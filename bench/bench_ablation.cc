@@ -1,0 +1,120 @@
+// Ablations of DMTCP design choices called out by the paper:
+//  - sync strategies after checkpoint (§5.2: +0.79 s for sync; "sync the
+//    previous checkpoint instead" amortizes it);
+//  - forked checkpointing (§5.3): user-visible stop time vs image-durable
+//    time, and the copy-on-write compression running concurrently;
+//  - compression codec choice (gzip default vs none vs RLE);
+//  - centralized coordinator (§5.4): checkpoint time as the number of
+//    participating processes grows with tiny images — the barrier cost.
+#include "bench/bench_util.h"
+
+using namespace dsim;
+using namespace dsim::bench;
+
+namespace {
+
+Measured pargeant4_once(core::DmtcpOptions opts, int nodes, u64 seed) {
+  World w(nodes, opts, seed, false);
+  auto m = measure(
+      w,
+      [&](World& ww) {
+        ww.ctl->launch(0, "mpdboot", {std::to_string(nodes)});
+        ww.ctl->run_for(100 * timeconst::kMillisecond);
+        ww.ctl->launch(0, "mpd_mpirun",
+                       mpi::mpirun_argv(4 * nodes, nodes, "pargeant4",
+                                        {"1000000", "20", "pg4"}));
+      },
+      400 * timeconst::kMillisecond, /*do_restart=*/false);
+  if (opts.forked_checkpointing) {
+    w.ctl->run_for(60 * timeconst::kSecond);  // background writer completes
+    m.round = w.ctl->stats().rounds.back();
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const int nodes = env_int("DSIM_BENCH_NODES", 16);
+
+  {
+    Table t({"sync mode", "ckpt_s", "delta_vs_none_s"});
+    double base = 0;
+    for (const auto mode : {core::SyncMode::kNone, core::SyncMode::kSyncAfter,
+                            core::SyncMode::kSyncPrevious}) {
+      core::DmtcpOptions opts;
+      opts.sync = mode;
+      Stats ck;
+      for (int rep = 0; rep < reps(); ++rep) {
+        auto m = pargeant4_once(opts, nodes, mix_seed(0xab1, rep,
+                                                      static_cast<u64>(mode)));
+        ck.add(m.ckpt_seconds);
+      }
+      if (mode == core::SyncMode::kNone) base = ck.mean();
+      const char* name = mode == core::SyncMode::kNone ? "none"
+                         : mode == core::SyncMode::kSyncAfter
+                             ? "sync-after (paper: +0.79s)"
+                             : "sync-previous";
+      t.add_row({name, Table::fmt(ck.mean()), Table::fmt(ck.mean() - base)});
+    }
+    t.print("Ablation — sync strategy (§5.2), ParGeant4");
+  }
+
+  {
+    Table t({"mode", "stop_time_s", "image_durable_s"});
+    for (const bool forked : {false, true}) {
+      core::DmtcpOptions opts;
+      opts.forked_checkpointing = forked;
+      auto m = pargeant4_once(opts, nodes, mix_seed(0xab2, forked));
+      const double durable =
+          forked && m.round.background_done > 0
+              ? to_seconds(m.round.background_done - m.round.requested)
+              : m.ckpt_seconds;
+      t.add_row({forked ? "forked (§5.3)" : "in-process",
+                 Table::fmt(m.ckpt_seconds), Table::fmt(durable)});
+    }
+    t.print("Ablation — forked checkpointing: stop time vs durability");
+  }
+
+  {
+    Table t({"codec", "ckpt_s", "size_MB"});
+    for (const auto codec :
+         {compress::CodecKind::kNone, compress::CodecKind::kRle,
+          compress::CodecKind::kGzipish}) {
+      core::DmtcpOptions opts;
+      opts.codec = codec;
+      World w(1, opts, mix_seed(0xab3, static_cast<u64>(codec)), false, 8);
+      auto m = measure(
+          w,
+          [&](World& ww) {
+            ww.ctl->launch(0, "desktop_app", {"matlab", "0", "m"});
+          },
+          100 * timeconst::kMillisecond, false);
+      t.add_row({compress::codec_name(codec), Table::fmt(m.ckpt_seconds),
+                 mb(m.compressed)});
+    }
+    t.print("Ablation — codec choice (MATLAB profile)");
+  }
+
+  {
+    // Tiny-image processes isolate protocol + barrier costs: the paper
+    // argues the centralized coordinator is not a bottleneck (§5.4).
+    Table t({"procs", "ckpt_s", "non_write_s"});
+    for (int nn : {4, 8, 16, 32}) {
+      core::DmtcpOptions opts;
+      World w(nn, opts, mix_seed(0xab4, nn), false);
+      auto m = measure(
+          w,
+          [&](World& ww) {
+            ww.ctl->launch(0, "orte_mpirun",
+                           mpi::mpirun_argv(4 * nn, nn, "hello", {"h"}));
+          },
+          300 * timeconst::kMillisecond, false);
+      const double non_write = m.ckpt_seconds - m.round.write_seconds();
+      t.add_row({std::to_string(m.procs), Table::fmt(m.ckpt_seconds),
+                 Table::fmt(non_write, 4)});
+    }
+    t.print("Ablation — coordinator/barrier cost vs process count");
+  }
+  return 0;
+}

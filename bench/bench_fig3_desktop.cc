@@ -1,0 +1,35 @@
+// Figure 3 (§5.1): checkpoint/restart times (3a) and compressed checkpoint
+// sizes (3b) for 21 common shell-like applications on a single node
+// (dual-socket quad-core, 8 cores), gzip compression enabled.
+#include "bench/bench_util.h"
+
+using namespace dsim;
+using namespace dsim::bench;
+
+int main() {
+  Table t({"app", "ckpt_s", "ckpt_sd", "restart_s", "restart_sd", "size_MB",
+           "uncompressed_MB"});
+  for (const auto& prof : apps::desktop_profiles()) {
+    if (prof.name == "runcms") continue;  // reported by bench_runcms
+    Stats ck, rs;
+    u64 size = 0, unsize = 0;
+    for (int rep = 0; rep < reps(); ++rep) {
+      World w(1, {}, mix_seed(0xf193, rep), /*san=*/false, /*cores=*/8);
+      auto m = measure(
+          w,
+          [&](World& ww) {
+            ww.ctl->launch(0, "desktop_app", {prof.name, "0", prof.name});
+          },
+          100 * timeconst::kMillisecond, /*do_restart=*/true);
+      ck.add(m.ckpt_seconds);
+      rs.add(m.restart_seconds);
+      size = m.compressed;
+      unsize = m.uncompressed;
+    }
+    t.add_row({prof.name, Table::fmt(ck.mean()), Table::fmt(ck.stddev()),
+               Table::fmt(rs.mean()), Table::fmt(rs.stddev()), mb(size),
+               mb(unsize)});
+  }
+  t.print("Figure 3a/3b — desktop applications (1 node, gzip on)");
+  return 0;
+}

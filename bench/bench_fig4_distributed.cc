@@ -1,0 +1,95 @@
+// Figure 4 (§5.2): checkpoint times (4a), restart times (4b) and aggregate
+// checkpoint sizes (4c) for the distributed application suite on 32 nodes,
+// with and without compression. Error bars = one standard deviation over
+// repetitions (paper: 10 runs).
+//
+// Scale notes: rank counts follow the paper (BT/SP need squares: 36; other
+// NAS kernels and ParGeant4 use 128 ranks over 32 nodes; iPython uses one
+// engine per node). DSIM_BENCH_NP=small shrinks ranks for smoke runs.
+#include "bench/bench_util.h"
+
+using namespace dsim;
+using namespace dsim::bench;
+
+namespace {
+
+struct Config {
+  std::string label;
+  std::string runtime;  // "sockets", "mpd", "orte"
+  std::string prog;
+  std::vector<std::string> args;  // app args (before rank/np/nnodes)
+  int np;
+};
+
+void launch_config(World& w, const Config& c, int nodes) {
+  if (c.runtime == "sockets") {
+    std::vector<std::string> argv = c.args;
+    w.ctl->launch(0, c.prog, argv);
+    return;
+  }
+  if (c.runtime == "mpd") {
+    w.ctl->launch(0, "mpdboot", {std::to_string(nodes)});
+    w.ctl->run_for(100 * timeconst::kMillisecond);
+    w.ctl->launch(0, "mpd_mpirun",
+                  mpi::mpirun_argv(c.np, nodes, c.prog, c.args));
+    return;
+  }
+  w.ctl->launch(0, "orte_mpirun",
+                mpi::mpirun_argv(c.np, nodes, c.prog, c.args));
+}
+
+}  // namespace
+
+int main() {
+  const int nodes = env_int("DSIM_BENCH_NODES", 32);
+  const bool small = env_int("DSIM_BENCH_SMALL", 0) != 0;
+  const int big_np = small ? 2 * nodes : 4 * nodes;  // paper: 128 over 32
+  const int sq_np = small ? 16 : 36;                 // BT/SP: square counts
+
+  const std::vector<Config> configs = {
+      {"iPython/Shell[1]", "sockets", "ipython_controller",
+       {std::to_string(nodes), "100000", "shell", "ipys"}, 0},
+      {"iPython/Demo[1]", "sockets", "ipython_controller",
+       {std::to_string(nodes), "100000", "demo", "ipyd"}, 0},
+      {"Baseline[2]", "mpd", "hello", {"hello2"}, nodes},
+      {"ParGeant4[2]", "mpd", "pargeant4", {"1000000", "20", "pg4"}, big_np},
+      {"NAS/CG[2]", "mpd", "nas", {"cg", "1000000", "cg"}, big_np},
+      {"Baseline[3]", "orte", "hello", {"hello3"}, nodes},
+      {"NAS/EP[3]", "orte", "nas", {"ep", "1000000", "ep"}, big_np},
+      {"NAS/LU[3]", "orte", "nas", {"lu", "1000000", "lu"}, big_np},
+      {"NAS/SP[3]", "orte", "nas", {"sp", "1000000", "sp"}, sq_np},
+      {"NAS/MG[3]", "orte", "nas", {"mg", "1000000", "mg"}, big_np},
+      {"NAS/IS[3]", "orte", "nas", {"is", "1000000", "is"}, big_np},
+      {"NAS/BT[3]", "orte", "nas", {"bt", "1000000", "bt"}, sq_np},
+  };
+
+  Table t({"config", "codec", "ckpt_s", "ckpt_sd", "restart_s", "restart_sd",
+           "agg_size_MB", "procs"});
+  for (const auto& c : configs) {
+    for (const auto codec :
+         {compress::CodecKind::kGzipish, compress::CodecKind::kNone}) {
+      Stats ck, rs;
+      u64 size = 0;
+      int procs = 0;
+      for (int rep = 0; rep < reps(); ++rep) {
+        core::DmtcpOptions opts;
+        opts.codec = codec;
+        World w(nodes, opts, mix_seed(0xf194, rep, c.np), false);
+        auto m = measure(
+            w, [&](World& ww) { launch_config(ww, c, nodes); },
+            600 * timeconst::kMillisecond, /*do_restart=*/true);
+        ck.add(m.ckpt_seconds);
+        rs.add(m.restart_seconds);
+        size = codec == compress::CodecKind::kGzipish ? m.compressed
+                                                      : m.uncompressed;
+        procs = m.procs;
+      }
+      t.add_row({c.label, compress::codec_name(codec), Table::fmt(ck.mean()),
+                 Table::fmt(ck.stddev()), Table::fmt(rs.mean()),
+                 Table::fmt(rs.stddev()), mb(size), std::to_string(procs)});
+    }
+  }
+  t.print("Figure 4a/4b/4c — distributed applications (" +
+          std::to_string(nodes) + " nodes)");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6 (§5.2): checkpoint/restart time as total memory grows — a
+// synthetic OpenMPI program allocating random (incompressible) data on 32
+// nodes, compression disabled, checkpoints to local disk. The implied
+// bandwidth sits well beyond physical disk speed: unsynced writes are
+// absorbed by the page cache (§5.4).
+#include "bench/bench_util.h"
+
+using namespace dsim;
+using namespace dsim::bench;
+
+int main() {
+  const int nodes = env_int("DSIM_BENCH_NODES", 32);
+  Table t({"total_GB", "ckpt_s", "restart_s", "implied_MB_per_s_per_node"});
+  for (const double total_gb : {4.0, 8.0, 16.0, 24.0, 32.0, 48.0, 64.0}) {
+    const int mb_per_rank = static_cast<int>(total_gb * 1024.0 / nodes);
+    core::DmtcpOptions opts;
+    opts.codec = compress::CodecKind::kNone;
+    World w(nodes, opts, mix_seed(0xf196, static_cast<u64>(total_gb)), false);
+    auto m = measure(
+        w,
+        [&](World& ww) {
+          ww.ctl->launch(0, "orte_mpirun",
+                         mpi::mpirun_argv(nodes, nodes, "memhog",
+                                          {std::to_string(mb_per_rank),
+                                           "hog"}));
+        },
+        400 * timeconst::kMillisecond, /*do_restart=*/true);
+    const double per_node_mb =
+        total_gb * 1024.0 / nodes / std::max(m.ckpt_seconds, 1e-9);
+    t.add_row({Table::fmt(total_gb, 0), Table::fmt(m.ckpt_seconds),
+               Table::fmt(m.restart_seconds), Table::fmt(per_node_mb, 0)});
+  }
+  t.print("Figure 6 — time vs memory (32 nodes, compression off)");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Micro-benchmarks of the substrate (google-benchmark): compressor
+// throughput by content class, sparse ByteImage operations, event-loop
+// dispatch, CRC32. These are host-side costs, not virtual-time results.
+#include <benchmark/benchmark.h>
+
+#include "compress/compressor.h"
+#include "util/serialize.h"
+#include "sim/byte_image.h"
+#include "sim/event_loop.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dsim;
+
+std::vector<std::byte> make_data(const std::string& kind, size_t n) {
+  std::vector<std::byte> data(n);
+  Rng rng(42);
+  if (kind == "zero") return data;
+  if (kind == "rand") {
+    for (auto& b : data) b = static_cast<std::byte>(rng.next_u64());
+    return data;
+  }
+  // "text": structured, repetitive content.
+  const char* words[] = {"checkpoint ", "restart ", "drain ", "socket "};
+  size_t i = 0;
+  while (i < n) {
+    const char* w = words[rng.next_below(4)];
+    for (const char* p = w; *p && i < n; ++p) data[i++] = std::byte(*p);
+  }
+  return data;
+}
+
+void BM_GzipishCompress(benchmark::State& state, const std::string& kind) {
+  auto data = make_data(kind, 1 << 20);
+  const auto& codec = compress::codec(compress::CodecKind::kGzipish);
+  for (auto _ : state) {
+    auto out = codec.compress(data);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * (1 << 20));
+}
+BENCHMARK_CAPTURE(BM_GzipishCompress, zero, std::string("zero"));
+BENCHMARK_CAPTURE(BM_GzipishCompress, text, std::string("text"));
+BENCHMARK_CAPTURE(BM_GzipishCompress, rand, std::string("rand"));
+
+void BM_GzipishRoundTrip(benchmark::State& state) {
+  auto data = make_data("text", 256 << 10);
+  const auto& codec = compress::codec(compress::CodecKind::kGzipish);
+  for (auto _ : state) {
+    auto out = codec.decompress(codec.compress(data));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GzipishRoundTrip);
+
+void BM_ByteImageWrite(benchmark::State& state) {
+  sim::ByteImage img(64 << 20);
+  std::vector<std::byte> chunk(4096, std::byte{0x5a});
+  u64 off = 0;
+  for (auto _ : state) {
+    img.write(off % (60 << 20), chunk);
+    off += 4096;
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_ByteImageWrite);
+
+using dsim::ByteWriter;
+
+void BM_ByteImageSerializeSparse(benchmark::State& state) {
+  sim::ByteImage img(1ull << 30);  // 1 GB virtual, mostly pattern
+  img.fill(0, 1ull << 30, sim::ExtentKind::kRand, 7);
+  std::vector<std::byte> chunk(4096, std::byte{0x5a});
+  img.write(4096, chunk);
+  for (auto _ : state) {
+    ByteWriter w;
+    img.serialize(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_ByteImageSerializeSparse);
+
+void BM_EventLoopPostRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    for (int i = 0; i < 1000; ++i) {
+      loop.post_in(i, [] {});
+    }
+    loop.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopPostRun);
+
+void BM_Crc32(benchmark::State& state) {
+  auto data = make_data("rand", 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_Crc32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

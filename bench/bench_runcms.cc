@@ -1,0 +1,32 @@
+// §5.1 RunCMS: a 680 MB image with 540 mapped dynamic libraries (the CMS
+// experiment software at CERN). Paper: checkpoint 25.2 s, restart 18.4 s,
+// 225 MB gzip-compressed image.
+#include "bench/bench_util.h"
+
+using namespace dsim;
+using namespace dsim::bench;
+
+int main() {
+  Table t({"metric", "measured", "paper"});
+  Stats ck, rs;
+  u64 size = 0, unsize = 0;
+  for (int rep = 0; rep < reps(); ++rep) {
+    World w(1, {}, mix_seed(0xc35, rep), false, 8);
+    auto m = measure(
+        w,
+        [&](World& ww) {
+          ww.ctl->launch(0, "desktop_app", {"runcms", "0", "runcms"});
+        },
+        150 * timeconst::kMillisecond, /*do_restart=*/true);
+    ck.add(m.ckpt_seconds);
+    rs.add(m.restart_seconds);
+    size = m.compressed;
+    unsize = m.uncompressed;
+  }
+  t.add_row({"checkpoint time (s)", Table::fmt(ck.mean()), "25.2"});
+  t.add_row({"restart time (s)", Table::fmt(rs.mean()), "18.4"});
+  t.add_row({"image size gz (MB)", mb(size), "225"});
+  t.add_row({"memory image (MB)", mb(unsize), "680"});
+  t.print("RunCMS (§5.1)");
+  return 0;
+}

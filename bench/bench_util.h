@@ -1,0 +1,90 @@
+// Shared benchmark harness utilities.
+//
+// Every figure/table bench builds a fresh simulated cluster per repetition
+// (seeded differently so device jitter produces the paper's error bars),
+// brings the workload to a steady state, and measures checkpoint and
+// restart rounds through DmtcpControl's stats. Output is an ASCII table on
+// stdout (one row per data point) so the paper's plots can be re-drawn
+// directly from the captured output.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "apps/desktop.h"
+#include "apps/distributed.h"
+#include "core/launch.h"
+#include "mpi/runtime.h"
+#include "sim/cluster.h"
+#include "sim/model_params.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace dsim::bench {
+
+struct World {
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<core::DmtcpControl> ctl;
+
+  World(int nodes, core::DmtcpOptions opts, u64 seed, bool san = false,
+        int cores = sim::params::kCoresPerNode) {
+    auto cfg = sim::Cluster::lab_cluster(nodes, san);
+    cfg.seed = seed;
+    cfg.cores_per_node = cores;
+    cfg.jitter_sigma = sim::params::kJitterSigma;
+    cluster = std::make_unique<sim::Cluster>(cfg);
+    ctl = std::make_unique<core::DmtcpControl>(cluster->kernel(), opts);
+    apps::register_desktop_programs(cluster->kernel());
+    apps::register_distributed_programs(cluster->kernel());
+    mpi::register_runtime_programs(cluster->kernel());
+  }
+  sim::Kernel& k() { return cluster->kernel(); }
+};
+
+/// One measured checkpoint + (optional) restart.
+struct Measured {
+  double ckpt_seconds = 0;
+  double restart_seconds = 0;
+  u64 uncompressed = 0;
+  u64 compressed = 0;
+  int procs = 0;
+  core::CkptRound round;
+  core::RestartRun restart;
+};
+
+/// Bring up `launch`, wait `settle` of virtual time, checkpoint; optionally
+/// kill + restart. The world is consumed.
+inline Measured measure(World& w, const std::function<void(World&)>& launch,
+                        SimTime settle, bool do_restart) {
+  launch(w);
+  w.ctl->run_for(settle);
+  const auto& round = w.ctl->checkpoint_now();
+  Measured m;
+  m.round = round;
+  m.ckpt_seconds = round.total_seconds();
+  m.uncompressed = round.total_uncompressed;
+  m.compressed = round.total_compressed;
+  m.procs = round.procs;
+  if (do_restart) {
+    w.ctl->kill_computation();
+    const auto& rr = w.ctl->restart();
+    m.restart = rr;
+    m.restart_seconds = rr.total_seconds();
+  }
+  return m;
+}
+
+inline int env_int(const char* name, int dflt) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : dflt;
+}
+
+/// Repetitions per data point (paper: 10; default trimmed for CI runtimes).
+inline int reps() { return env_int("DSIM_BENCH_REPS", 3); }
+
+inline std::string mb(u64 bytes) {
+  return Table::fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
+}
+
+}  // namespace dsim::bench

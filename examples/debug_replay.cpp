@@ -1,0 +1,57 @@
+// Debugging long-running jobs with checkpoints (§1 use cases 4 and 5):
+// take periodic checkpoints of a distributed computation; when a "bug"
+// appears late in the run, restart repeatedly from the last checkpoint
+// taken before it — the paper's short debug-recompile cycle, and the
+// checkpoint image as "the ultimate bug report".
+#include <cstdio>
+
+#include "apps/distributed.h"
+#include "core/launch.h"
+#include "mpi/runtime.h"
+#include "sim/cluster.h"
+
+using namespace dsim;
+
+int main() {
+  sim::Cluster cluster(sim::Cluster::lab_cluster(4));
+  core::DmtcpControl dmtcp(cluster.kernel(), core::DmtcpOptions{});
+  apps::register_distributed_programs(cluster.kernel());
+  mpi::register_runtime_programs(cluster.kernel());
+
+  dmtcp.launch(0, "orte_mpirun",
+               mpi::mpirun_argv(8, 4, "nas", {"cg", "600", "dbg"}));
+  dmtcp.run_for(150 * timeconst::kMillisecond);
+
+  // Periodic checkpoints while the job runs (the --interval feature).
+  int rounds = 0;
+  for (; rounds < 3; ++rounds) {
+    dmtcp.run_for(100 * timeconst::kMillisecond);
+    const auto& round = dmtcp.checkpoint_now();
+    std::printf("periodic checkpoint %d at t=%.2f s (%.3f s, %d procs)\n",
+                rounds, to_seconds(round.requested), round.total_seconds(),
+                round.procs);
+  }
+
+  // The "bug" manifests here. Kill the job and re-examine the suspicious
+  // region by replaying from the last checkpoint — as many times as needed.
+  std::printf("bug observed! replaying the last checkpoint 3 times...\n");
+  for (int replay = 0; replay < 3; ++replay) {
+    dmtcp.kill_computation();
+    const auto& rr = dmtcp.restart();
+    std::printf("  replay %d: restarted %d procs in %.3f s\n", replay,
+                rr.procs, rr.total_seconds());
+    // "Step through" the suspicious window.
+    dmtcp.run_for(50 * timeconst::kMillisecond);
+  }
+
+  // Satisfied, let the job run to completion from the final replay.
+  const bool done = dmtcp.run_until(
+      [&] {
+        auto inode =
+            cluster.kernel().shared_fs().lookup("/shared/results/dbg");
+        return inode && inode->data.size() > 0;
+      },
+      cluster.kernel().loop().now() + 300 * timeconst::kSecond);
+  std::printf("job completed after replay: %s\n", done ? "yes" : "NO");
+  return done ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+#include "apps/app_util.h"
+
+namespace dsim::apps {
+
+Task<void> write_result(sim::ProcessCtx& ctx, const std::string& name,
+                        const std::string& payload) {
+  const std::string path = "/shared/results/" + name;
+  const Fd fd = co_await ctx.open(path, /*create=*/true, /*truncate=*/true);
+  DSIM_CHECK(fd != kNoFd);
+  u64 done = 0;
+  auto bytes = as_bytes_view(payload);
+  while (done < bytes.size()) {
+    const i64 n = co_await ctx.write(fd, bytes.subspan(done));
+    DSIM_CHECK(n > 0);
+    done += static_cast<u64>(n);
+  }
+  co_await ctx.close(fd);
+}
+
+}  // namespace dsim::apps

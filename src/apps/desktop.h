@@ -1,0 +1,38 @@
+// Desktop application models (§5.1).
+//
+// The paper demonstrates checkpointing of 21 interactive "shell-like"
+// applications (bc, emacs, MATLAB, TightVNC+twm, vim/cscope, …) plus
+// RunCMS. We model each as a process with the application's memory
+// footprint and compressibility (mapped libraries + heap with a measured
+// zero/random mix), its thread count, and — where the real application is
+// multi-process (vim/cscope, TightVNC+twm) — its child processes and ptys.
+// Footprints are calibrated to reproduce Fig. 3b's compressed sizes; see
+// EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace dsim::apps {
+
+struct DesktopProfile {
+  std::string name;        // row label in Fig. 3
+  double rss_mb;           // resident memory (uncompressed image size driver)
+  double compress_ratio;   // target gzip ratio (drives zero/random mix)
+  int threads;             // user threads
+  int libs;                // mapped dynamic libraries (segments)
+  const char* child;       // co-process (nullptr if single-process)
+  bool uses_pty;           // allocates a pty (vnc/twm, vim)
+};
+
+/// The 21 applications of Fig. 3, in the paper's order, plus "runcms".
+const std::vector<DesktopProfile>& desktop_profiles();
+const DesktopProfile& desktop_profile(const std::string& name);
+
+/// Register "desktop_app" (argv: [profile, iters(0=forever), result-name])
+/// and its helper child program.
+void register_desktop_programs(sim::Kernel& k);
+
+}  // namespace dsim::apps

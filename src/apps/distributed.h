@@ -1,0 +1,42 @@
+// Distributed workloads for the §5.2 experiments.
+//
+// NAS-style kernels: EP, IS and CG carry their distinctive computation
+// (random tallies, a mostly-zero bucket sort with all-to-all exchange, and
+// sparse mat-vec with allreduce); MG, LU, SP and BT share a structured-grid
+// template (halo exchanges + periodic reductions) with per-kernel memory
+// footprints and message sizes. Footprints are the paper's Fig.-4c
+// aggregates divided by rank count; bulk array content is pattern ballast
+// (zero/random extents) so cluster-scale images cost no host RAM, while the
+// working arrays the kernels actually touch are real bytes (DESIGN.md §5).
+//
+// ParGeant4: a TOP-C style master/worker event loop over mini-MPI (§5.2).
+// iPython: a controller + engines over raw sockets (the paper's "based on
+// sockets directly" category). memhog: the Fig.-6 synthetic that allocates
+// random data. All are restart-safe.
+#pragma once
+
+#include <string>
+
+#include "sim/kernel.h"
+
+namespace dsim::apps {
+
+struct NasConfig {
+  std::string name;      // "ep", "is", "cg", "mg", "lu", "sp", "bt"
+  double agg_mb;         // aggregate uncompressed footprint (Fig. 4c shape)
+  double zero_frac;      // ballast zero fraction (IS ≈ mostly zeros, §5.4)
+  u64 msg_bytes;         // halo / exchange message size
+  double cpu_ms_per_it;  // compute per iteration per rank
+  int default_np;        // paper's rank count (BT/SP need squares: 36)
+};
+
+const NasConfig& nas_config(const std::string& name);
+
+/// Register: "nas" (argv: [kernel, iters, result, rank, np, nnodes]),
+/// "hello" (MPI baseline), "pargeant4" (argv: [events, mb_per_worker,
+/// result, rank, np, nnodes]), "ipython_controller"/"ipython_engine",
+/// "memhog" (argv: [mb_per_rank, result, rank, np, nnodes]),
+/// and "chombo" (stencil for the DejaVu comparison).
+void register_distributed_programs(sim::Kernel& k);
+
+}  // namespace dsim::apps

@@ -1,0 +1,19 @@
+#include "baseline/dejavu.h"
+
+namespace dsim::baseline {
+
+double dejavu_runtime_seconds(const DejaVuModel& m, double plain_seconds,
+                              u64 comm_bytes, u64 dirty_bytes) {
+  const double log_cost =
+      static_cast<double>(comm_bytes) / m.log_bytes_per_sec;
+  const double fault_cost = static_cast<double>(dirty_bytes / 4096) *
+                            m.page_fault_us * 1e-6;
+  return plain_seconds * (1.0 + m.cpu_overhead) + log_cost + fault_cost;
+}
+
+double dejavu_checkpoint_seconds(const DejaVuModel& m, u64 dirty_bytes) {
+  return m.quiesce_seconds +
+         static_cast<double>(dirty_bytes) / m.ckpt_disk_bw;
+}
+
+}  // namespace dsim::baseline

@@ -1,0 +1,38 @@
+// DejaVu-style baseline checkpointer model (§2 comparison).
+//
+// DejaVu (Ruscio et al.) takes a more invasive approach than DMTCP: it logs
+// all communication and uses page protection to detect modified pages, which
+// costs overhead during normal execution — Ruscio et al. report ~45 %
+// overhead on a Chombo benchmark with ten checkpoints per hour, versus
+// DMTCP's essentially-zero overhead between checkpoints. DejaVu was not
+// publicly available (the paper could not obtain it either), so this module
+// models its published cost structure rather than its implementation:
+//   - every CPU second of application work costs (1 + kCpuOverhead);
+//   - every transmitted byte is additionally logged (kLogByteCost);
+//   - a checkpoint writes the dirty-page set at disk speed after a global
+//     quiesce (no streaming drain protocol).
+// bench_baseline_dejavu applies this model to the same Chombo-like workload
+// DMTCP checkpoints, reproducing the comparison's shape.
+#pragma once
+
+#include "util/types.h"
+
+namespace dsim::baseline {
+
+struct DejaVuModel {
+  double cpu_overhead = 0.45;      // reported runtime overhead
+  double log_bytes_per_sec = 35e6; // message-log flush bandwidth
+  double page_fault_us = 4.0;      // write-protect fault per dirty page
+  double ckpt_disk_bw = 80e6;      // dirty pages to disk (no page-cache trick)
+  double quiesce_seconds = 0.8;    // global stop + log flush coordination
+};
+
+/// Projected run time of a workload under DejaVu given its plain run time,
+/// total communicated bytes and dirty memory footprint.
+double dejavu_runtime_seconds(const DejaVuModel& m, double plain_seconds,
+                              u64 comm_bytes, u64 dirty_bytes);
+
+/// Projected duration of one DejaVu checkpoint.
+double dejavu_checkpoint_seconds(const DejaVuModel& m, u64 dirty_bytes);
+
+}  // namespace dsim::baseline

@@ -1,0 +1,68 @@
+// Bit-level I/O for the Huffman entropy stage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/assertx.h"
+#include "util/types.h"
+
+namespace dsim::compress {
+
+/// LSB-first bit writer (gzip convention).
+class BitWriter {
+ public:
+  void put_bits(u32 value, int nbits) {
+    DSIM_CHECK(nbits >= 0 && nbits <= 24);
+    acc_ |= static_cast<u64>(value & ((1u << nbits) - 1)) << fill_;
+    fill_ += nbits;
+    while (fill_ >= 8) {
+      out_.push_back(static_cast<std::byte>(acc_ & 0xFF));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+
+  std::vector<std::byte> finish() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<std::byte>(acc_ & 0xFF));
+      acc_ = 0;
+      fill_ = 0;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::byte> out_;
+  u64 acc_ = 0;
+  int fill_ = 0;
+};
+
+/// LSB-first bit reader.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::byte> data) : data_(data) {}
+
+  u32 get_bits(int nbits) {
+    DSIM_CHECK(nbits >= 0 && nbits <= 24);
+    while (fill_ < nbits) {
+      DSIM_CHECK_MSG(pos_ < data_.size(), "bitstream truncated");
+      acc_ |= static_cast<u64>(static_cast<u8>(data_[pos_++])) << fill_;
+      fill_ += 8;
+    }
+    u32 v = static_cast<u32>(acc_ & ((1u << nbits) - 1));
+    acc_ >>= nbits;
+    fill_ -= nbits;
+    return v;
+  }
+
+  u32 get_bit() { return get_bits(1); }
+
+ private:
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+  u64 acc_ = 0;
+  int fill_ = 0;
+};
+
+}  // namespace dsim::compress

@@ -1,0 +1,54 @@
+// Compression codecs for checkpoint images.
+//
+// DMTCP pipes checkpoint images through gzip by default (§5: "DMTCP
+// dynamically invokes gzip before saving"). We implement a real gzip-like
+// codec from scratch (LZ77 with hash-chain matching + order-0 canonical
+// Huffman entropy stage, CRC-32 verified container) so that reported
+// compressed sizes are measured, not modeled. An RLE codec and a null codec
+// exist for tests and ablations.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dsim::compress {
+
+enum class CodecKind : u8 {
+  kNone = 0,   // store; identity transform
+  kRle = 1,    // run-length encoding (ablation / tests)
+  kGzipish = 2 // LZ77 + canonical Huffman; the default "gzip"
+};
+
+std::string codec_name(CodecKind kind);
+
+/// A compression codec. Implementations are pure functions of their input
+/// (no hidden state), so they are safe to share.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual CodecKind kind() const = 0;
+
+  /// Compress `input` into a self-describing container (magic, original
+  /// size, CRC-32 of the original data, payload).
+  virtual std::vector<std::byte> compress(
+      std::span<const std::byte> input) const = 0;
+
+  /// Decompress a container produced by `compress`. Aborts (DSIM_CHECK) on
+  /// corrupt containers — checkpoint integrity is a hard invariant.
+  virtual std::vector<std::byte> decompress(
+      std::span<const std::byte> container) const = 0;
+};
+
+/// Singleton accessor for a codec implementation.
+const Codec& codec(CodecKind kind);
+
+/// Measured compression ratio (compressed/original) of a data sample under
+/// `kind`. Used to extrapolate sizes of pattern (ballast) extents from a
+/// materialized sample. Returns 1.0 for empty input.
+double measure_ratio(CodecKind kind, std::span<const std::byte> sample);
+
+}  // namespace dsim::compress

@@ -1,0 +1,174 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "compress/bitstream.h"
+#include "util/assertx.h"
+#include "util/serialize.h"
+
+namespace dsim::compress {
+namespace {
+
+constexpr int kMaxBits = 15;
+constexpr int kAlphabet = 256;
+
+/// Compute code lengths from symbol frequencies with a standard
+/// two-queue Huffman construction, then clamp to kMaxBits by re-running on
+/// dampened frequencies if needed (rare for byte alphabets).
+std::array<u8, kAlphabet> code_lengths(std::array<u64, kAlphabet> freq) {
+  std::array<u8, kAlphabet> lengths{};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    struct HNode {
+      u64 weight;
+      int left = -1, right = -1;  // indices into nodes; -1 = leaf
+      int symbol = -1;
+    };
+    std::vector<HNode> nodes;
+    using Entry = std::pair<u64, int>;  // (weight, node index)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (int s = 0; s < kAlphabet; ++s) {
+      if (freq[s] == 0) continue;
+      nodes.push_back({freq[s], -1, -1, s});
+      heap.emplace(freq[s], static_cast<int>(nodes.size() - 1));
+    }
+    lengths.fill(0);
+    if (heap.empty()) return lengths;
+    if (heap.size() == 1) {
+      lengths[nodes[heap.top().second].symbol] = 1;
+      return lengths;
+    }
+    while (heap.size() > 1) {
+      auto [wa, a] = heap.top();
+      heap.pop();
+      auto [wb, b] = heap.top();
+      heap.pop();
+      nodes.push_back({wa + wb, a, b, -1});
+      heap.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+    }
+    // Depth-first walk to assign depths.
+    int root = heap.top().second;
+    int max_depth = 0;
+    std::vector<std::pair<int, int>> stack{{root, 0}};
+    while (!stack.empty()) {
+      auto [n, depth] = stack.back();
+      stack.pop_back();
+      const HNode& node = nodes[static_cast<size_t>(n)];
+      if (node.symbol >= 0) {
+        lengths[node.symbol] = static_cast<u8>(depth);
+        max_depth = std::max(max_depth, depth);
+      } else {
+        stack.emplace_back(node.left, depth + 1);
+        stack.emplace_back(node.right, depth + 1);
+      }
+    }
+    if (max_depth <= kMaxBits) return lengths;
+    // Dampen frequencies and retry; flattens the tree.
+    for (auto& f : freq) {
+      if (f) f = (f >> 2) + 1;
+    }
+  }
+  DSIM_UNREACHABLE("huffman length limiting failed to converge");
+}
+
+/// Canonical code assignment from lengths (RFC 1951 style).
+std::array<u32, kAlphabet> canonical_codes(
+    const std::array<u8, kAlphabet>& lengths) {
+  std::array<u32, kAlphabet> codes{};
+  std::array<u32, kMaxBits + 2> bl_count{};
+  for (int s = 0; s < kAlphabet; ++s) bl_count[lengths[s]]++;
+  bl_count[0] = 0;
+  std::array<u32, kMaxBits + 2> next_code{};
+  u32 code = 0;
+  for (int bits = 1; bits <= kMaxBits; ++bits) {
+    code = (code + bl_count[bits - 1]) << 1;
+    next_code[bits] = code;
+  }
+  for (int s = 0; s < kAlphabet; ++s) {
+    if (lengths[s]) codes[s] = next_code[lengths[s]]++;
+  }
+  return codes;
+}
+
+/// Reverse bit order of `code` over `len` bits. We write LSB-first, so
+/// canonical (MSB-first) codes are stored reversed to stay prefix-decodable.
+u32 reverse_bits(u32 code, int len) {
+  u32 r = 0;
+  for (int i = 0; i < len; ++i) {
+    r = (r << 1) | ((code >> i) & 1);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::byte> huffman_encode(std::span<const std::byte> input) {
+  std::array<u64, kAlphabet> freq{};
+  for (std::byte b : input) freq[static_cast<u8>(b)]++;
+  const auto lengths = code_lengths(freq);
+  const auto codes = canonical_codes(lengths);
+
+  ByteWriter header;
+  for (int s = 0; s < kAlphabet; ++s) header.put_u8(lengths[s]);
+  header.put_u64(input.size());
+
+  BitWriter bits;
+  for (std::byte b : input) {
+    const int s = static_cast<u8>(b);
+    bits.put_bits(reverse_bits(codes[s], lengths[s]), lengths[s]);
+  }
+  auto payload = bits.finish();
+  header.put_bytes(payload);
+  return header.take();
+}
+
+std::vector<std::byte> huffman_decode(std::span<const std::byte> input) {
+  ByteReader reader(input);
+  std::array<u8, kAlphabet> lengths{};
+  for (int s = 0; s < kAlphabet; ++s) lengths[s] = reader.get_u8();
+  const u64 count = reader.get_u64();
+  const auto codes = canonical_codes(lengths);
+
+  // Build a direct-indexed decode table over kMaxBits bits: each entry maps
+  // the next kMaxBits (LSB-first) to (symbol, length).
+  struct Entry {
+    i16 symbol = -1;
+    u8 len = 0;
+  };
+  std::vector<Entry> table(static_cast<size_t>(1) << kMaxBits);
+  for (int s = 0; s < kAlphabet; ++s) {
+    const int len = lengths[s];
+    if (!len) continue;
+    const u32 rcode = reverse_bits(codes[s], len);
+    // All table slots whose low `len` bits equal rcode decode to s.
+    const u32 step = 1u << len;
+    for (u32 idx = rcode; idx < table.size(); idx += step) {
+      table[idx] = {static_cast<i16>(s), static_cast<u8>(len)};
+    }
+  }
+
+  std::vector<std::byte> out;
+  out.reserve(count);
+  // Bit-level scan with manual buffer (BitReader cannot peek past the end on
+  // the final symbols, so pad the accumulator with zeros).
+  auto payload = reader.get_bytes(reader.remaining());
+  u64 acc = 0;
+  int fill = 0;
+  size_t pos = 0;
+  for (u64 i = 0; i < count; ++i) {
+    while (fill < kMaxBits && pos < payload.size()) {
+      acc |= static_cast<u64>(static_cast<u8>(payload[pos++])) << fill;
+      fill += 8;
+    }
+    const Entry e = table[acc & ((1u << kMaxBits) - 1)];
+    DSIM_CHECK_MSG(e.symbol >= 0 && e.len > 0 && e.len <= fill + kMaxBits,
+                   "corrupt huffman stream");
+    out.push_back(static_cast<std::byte>(e.symbol));
+    acc >>= e.len;
+    fill -= e.len;
+  }
+  return out;
+}
+
+}  // namespace dsim::compress

@@ -1,0 +1,379 @@
+#include "core/coordinator.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/msg_io.h"
+#include "core/protocol.h"
+#include "core/restart_script.h"
+#include "sim/model_params.h"
+#include "sim/pctx.h"
+#include "util/assertx.h"
+#include "util/logging.h"
+
+namespace dsim::core {
+namespace {
+
+struct Client {
+  Fd fd = kNoFd;
+  UniquePid upid{};
+  Pid vpid = kNoPid;
+  std::string host;
+  bool restarting = false;
+};
+
+struct BarrierState {
+  std::vector<Fd> waiters;
+  int expected = 0;
+};
+
+struct CoordState {
+  std::shared_ptr<DmtcpShared> shared;
+  std::map<Fd, Client> clients;
+  std::map<std::string, BarrierState> barriers;
+  // Discovery service (§4.4 step 2).
+  std::map<sim::ConnId, std::pair<i32, i32>> conn_addrs;
+  std::map<sim::ConnId, std::vector<Fd>> pending_queries;
+  // Restart-script material, per round: host -> image paths.
+  std::map<int, std::map<i32, std::vector<std::string>>> round_images;
+  // dmtcp_command clients waiting for checkpoint completion.
+  std::vector<Fd> ckpt_waiters;
+  int current_round = -1;
+  // Discovery entries are valid for one restart only; stale addresses from
+  // a previous restart point at rendezvous listeners that no longer exist.
+  size_t discovery_epoch = 0;
+};
+
+void refresh_discovery_epoch(CoordState* st) {
+  const size_t epoch = st->shared->stats.restarts.size();
+  if (st->discovery_epoch != epoch) {
+    st->discovery_epoch = epoch;
+    st->conn_addrs.clear();
+    st->pending_queries.clear();
+  }
+}
+
+sim::TcpVNode* sock_of(sim::Process& p, Fd fd) {
+  auto of = p.fds().get(fd);
+  if (!of || of->vnode->kind() != sim::VKind::kTcp) return nullptr;
+  return static_cast<sim::TcpVNode*>(of->vnode.get());
+}
+
+Task<void> send_to(sim::ProcessCtx& ctx, Fd fd, Msg m) {
+  if (auto* s = sock_of(ctx.process(), fd)) {
+    co_await send_msg(ctx.kernel(), ctx.thread(), *s, m);
+  }
+}
+
+Task<void> initiate_checkpoint(CoordState* st, sim::ProcessCtx& ctx) {
+  if (st->shared->ckpt_active) co_return;  // a round is already in flight
+  st->shared->ckpt_active = true;
+  const int round = static_cast<int>(st->shared->stats.rounds.size());
+  st->current_round = round;
+  CkptRound r;
+  r.requested = ctx.now();
+  st->shared->stats.rounds.push_back(r);
+  LOG_INFO("coordinator: checkpoint round %d requested (%zu clients)", round,
+           st->clients.size());
+  if (st->clients.empty()) {
+    // Nothing to checkpoint: complete the round trivially (procs == 0 tells
+    // the requester the computation had already finished).
+    auto& rr = st->shared->stats.rounds.back();
+    rr.suspended = rr.elected = rr.drained = rr.checkpointed = rr.refilled =
+        ctx.now();
+    st->shared->ckpt_active = false;
+    co_return;
+  }
+  Msg req;
+  req.type = MsgType::kCkptRequest;
+  req.a = round;
+  for (const auto& [fd, c] : st->clients) {
+    co_await ctx.cpu(to_seconds(sim::params::kCoordMsgCpu));
+    co_await send_to(ctx, fd, req);
+  }
+}
+
+void stamp_barrier(CoordState* st, const std::string& name, SimTime now) {
+  auto& stats = st->shared->stats;
+  if (!stats.rounds.empty()) {
+    CkptRound& r = stats.rounds.back();
+    if (name == barrier::kSuspended) r.suspended = now;
+    else if (name == barrier::kElected) r.elected = now;
+    else if (name == barrier::kDrained) r.drained = now;
+    else if (name == barrier::kCheckpointed) r.checkpointed = now;
+    else if (name == barrier::kRefilled) r.refilled = now;
+  }
+  if (!stats.restarts.empty()) {
+    RestartRun& rr = stats.restarts.back();
+    if (name == "restart:checkpointed") {
+      rr.refill_seconds = -to_seconds(now);  // completed at restart:refilled
+    } else if (name == "restart:refilled") {
+      rr.refilled = now;
+      rr.refill_seconds += to_seconds(now);
+    }
+  }
+}
+
+Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
+  st->shared->ckpt_active = false;
+  st->shared->ckpt_generation++;
+  // Generate the restart script for this round (§3).
+  const int round = st->current_round;
+  RestartPlan plan;
+  plan.coord_node = st->shared->opts.coord_node;
+  plan.coord_port = st->shared->opts.coord_port;
+  for (const auto& [host, paths] : st->round_images[round]) {
+    plan.hosts.push_back(RestartPlan::HostLine{host, paths});
+    plan.total_procs += static_cast<int>(paths.size());
+  }
+  const std::string script = format_restart_script(plan);
+  const std::string path =
+      st->shared->opts.ckpt_dir + "/dmtcp_restart_script.sh";
+  auto inode =
+      ctx.kernel().fs_for(ctx.process().node(), path).create(path);
+  inode->data = sim::ByteImage(script.size());
+  inode->data.write(0, as_bytes_view(script));
+  // Wake dmtcp_command --checkpoint waiters.
+  for (Fd fd : st->ckpt_waiters) {
+    Msg done;
+    done.type = MsgType::kCommandReply;
+    done.s = "checkpoint-done";
+    done.a = round;
+    co_await send_to(ctx, fd, done);
+  }
+  st->ckpt_waiters.clear();
+}
+
+/// Release every barrier whose waiter count reached its expectation. Called
+/// on both barrier arrivals and client departures: a client exiting
+/// mid-round shrinks the membership and can satisfy a pending barrier.
+Task<void> maybe_release_barriers(CoordState* st, sim::ProcessCtx& ctx) {
+  for (auto& [name, b] : st->barriers) {
+    const int expected =
+        b.expected > 0 ? b.expected : static_cast<int>(st->clients.size());
+    if (b.waiters.empty() ||
+        static_cast<int>(b.waiters.size()) < expected) {
+      continue;
+    }
+    LOG_INFO("coordinator: barrier %s released (%zu waiters)", name.c_str(),
+             b.waiters.size());
+    stamp_barrier(st, name, ctx.now());
+    Msg rel;
+    rel.type = MsgType::kBarrierRelease;
+    rel.s = name;
+    auto waiters = std::move(b.waiters);
+    b.waiters.clear();
+    b.expected = 0;
+    for (Fd w : waiters) co_await send_to(ctx, w, rel);
+    if (name == barrier::kRefilled) co_await finish_round(st, ctx);
+  }
+}
+
+Task<void> client_handler(CoordState* st, sim::ProcessCtx* pctx, Fd fd) {
+  auto& ctx = *pctx;
+  auto& k = ctx.kernel();
+  sim::TcpVNode* sock = sock_of(ctx.process(), fd);
+  DSIM_CHECK(sock != nullptr);
+  while (true) {
+    auto m = co_await recv_msg(k, ctx.thread(), *sock);
+    if (!m) break;  // client gone
+    co_await ctx.cpu(to_seconds(sim::params::kCoordMsgCpu));
+    switch (m->type) {
+      case MsgType::kRegister: {
+        Client c;
+        c.fd = fd;
+        c.upid = m->upid;
+        c.vpid = m->a;
+        c.host = m->s;
+        c.restarting = m->b != 0;
+        st->clients[fd] = c;
+        LOG_INFO("coordinator: register vpid=%d host=%s fd=%d (%zu clients)",
+                 c.vpid, c.host.c_str(), fd, st->clients.size());
+        if (c.restarting && !st->shared->stats.restarts.empty()) {
+          st->shared->stats.restarts.back().procs++;
+        }
+        break;
+      }
+      case MsgType::kBarrierWait: {
+        auto& b = st->barriers[m->s];
+        if (m->a > 0) b.expected = m->a;
+        b.waiters.push_back(fd);
+        co_await maybe_release_barriers(st, ctx);
+        break;
+      }
+      case MsgType::kCommand: {
+        if (m->s == "checkpoint") {
+          co_await initiate_checkpoint(st, ctx);
+          if (m->a == 1) {
+            st->ckpt_waiters.push_back(fd);
+          } else {
+            Msg rep;
+            rep.type = MsgType::kCommandReply;
+            rep.s = "checkpoint-requested";
+            co_await send_to(ctx, fd, rep);
+          }
+        } else if (m->s == "status") {
+          Msg rep;
+          rep.type = MsgType::kCommandReply;
+          rep.s = "clients";
+          rep.a = static_cast<int>(st->clients.size());
+          co_await send_to(ctx, fd, rep);
+        } else if (m->s == "interval") {
+          st->shared->opts.interval =
+              static_cast<SimTime>(m->a) * timeconst::kSecond;
+          Msg rep;
+          rep.type = MsgType::kCommandReply;
+          rep.s = "interval-set";
+          co_await send_to(ctx, fd, rep);
+        }
+        break;
+      }
+      case MsgType::kAdvertise: {
+        refresh_discovery_epoch(st);
+        st->conn_addrs[m->conn] = {m->a, m->b};
+        auto it = st->pending_queries.find(m->conn);
+        if (it != st->pending_queries.end()) {
+          Msg info;
+          info.type = MsgType::kAddrInfo;
+          info.conn = m->conn;
+          info.a = m->a;
+          info.b = m->b;
+          for (Fd q : it->second) co_await send_to(ctx, q, info);
+          st->pending_queries.erase(it);
+        }
+        break;
+      }
+      case MsgType::kQueryAddr: {
+        refresh_discovery_epoch(st);
+        auto it = st->conn_addrs.find(m->conn);
+        if (it != st->conn_addrs.end()) {
+          Msg info;
+          info.type = MsgType::kAddrInfo;
+          info.conn = m->conn;
+          info.a = it->second.first;
+          info.b = it->second.second;
+          co_await send_to(ctx, fd, info);
+        } else {
+          st->pending_queries[m->conn].push_back(fd);
+        }
+        break;
+      }
+      case MsgType::kImageStats: {
+        const int round = m->a;
+        auto& r = st->shared->stats.rounds.at(static_cast<size_t>(round));
+        r.procs++;
+        r.total_uncompressed += m->ua;
+        ByteReader br(m->blob);
+        r.total_compressed += br.get_u64();
+        st->round_images[round][m->b].push_back(m->s);
+        break;
+      }
+      case MsgType::kStageNote: {
+        if (!st->shared->stats.restarts.empty()) {
+          RestartRun& rr = st->shared->stats.restarts.back();
+          const double secs = to_seconds(static_cast<SimTime>(m->ua));
+          if (m->s == "files") rr.files_ptys_seconds += secs;
+          else if (m->s == "reconnect") rr.reconnect_seconds += secs;
+          else if (m->s == "memory") {
+            rr.memory_threads_seconds += secs;
+            rr.hosts_reported++;
+          }
+        }
+        break;
+      }
+      default:
+        DSIM_UNREACHABLE("coordinator: unexpected message type");
+    }
+  }
+  LOG_INFO("coordinator: client fd=%d vpid=%d disconnected", fd,
+           st->clients.count(fd) ? st->clients[fd].vpid : -1);
+  st->clients.erase(fd);
+  // The departure may satisfy a barrier the remaining clients wait in.
+  co_await maybe_release_barriers(st, ctx);
+  k.close_fd(ctx.process(), fd);
+}
+
+Task<void> interval_timer(CoordState* st, sim::ProcessCtx* pctx) {
+  auto& ctx = *pctx;
+  while (true) {
+    const SimTime iv = st->shared->opts.interval;
+    if (iv <= 0) {
+      co_await ctx.sleep(50 * timeconst::kMillisecond);
+      continue;
+    }
+    co_await ctx.sleep(iv);
+    if (st->shared->opts.interval > 0) {
+      co_await initiate_checkpoint(st, ctx);
+    }
+  }
+}
+
+Task<void> handler_entry(CoordState* st, sim::ProcessCtx* pctx, Fd fd) {
+  co_await client_handler(st, pctx, fd);
+}
+
+Task<int> coordinator_main(sim::ProcessCtx& ctx,
+                           std::shared_ptr<DmtcpShared> shared) {
+  auto st = std::make_unique<CoordState>();
+  st->shared = shared;
+
+  const Fd lfd = co_await ctx.socket_raw(false);
+  const bool ok = co_await ctx.bind_raw(lfd, shared->opts.coord_port);
+  DSIM_CHECK_MSG(ok, "coordinator: port already in use");
+  co_await ctx.listen_raw(lfd);
+
+  {
+    sim::Thread& t =
+        ctx.process().add_thread(sim::ThreadKind::kManager);
+    t.start(interval_timer(st.get(), &t.pctx()));
+  }
+
+  while (true) {
+    const Fd cfd = co_await ctx.accept_raw(lfd);
+    if (cfd == kNoFd) break;
+    sim::Thread& t = ctx.process().add_thread(sim::ThreadKind::kManager);
+    t.start(handler_entry(st.get(), &t.pctx(), cfd));
+  }
+  co_return 0;
+}
+
+Task<int> command_main(sim::ProcessCtx& ctx,
+                       std::shared_ptr<DmtcpShared> shared) {
+  // argv: [command] — "checkpoint" (waits for completion) or "status".
+  DSIM_CHECK(!ctx.process().argv().empty());
+  const std::string cmd = ctx.process().argv()[0];
+  const Fd fd = co_await ctx.socket_raw(false);
+  const sim::SockAddr coord{shared->opts.coord_node, shared->opts.coord_port};
+  while (!co_await ctx.connect_raw(fd, coord)) {
+    co_await ctx.sleep(1 * timeconst::kMillisecond);
+  }
+  auto* sock = sock_of(ctx.process(), fd);
+  Msg m;
+  m.type = MsgType::kCommand;
+  m.s = cmd;
+  m.a = (cmd == "checkpoint") ? 1 : 0;  // wait for completion
+  co_await send_msg(ctx.kernel(), ctx.thread(), *sock, m);
+  auto reply = co_await recv_msg(ctx.kernel(), ctx.thread(), *sock);
+  co_return reply.has_value() ? 0 : 1;
+}
+
+}  // namespace
+
+sim::Program make_coordinator_program(std::shared_ptr<DmtcpShared> shared) {
+  sim::Program p;
+  p.name = "dmtcp_coordinator";
+  p.main = [shared](sim::ProcessCtx& ctx) {
+    return coordinator_main(ctx, shared);
+  };
+  return p;
+}
+
+sim::Program make_command_program(std::shared_ptr<DmtcpShared> shared) {
+  sim::Program p;
+  p.name = "dmtcp_command";
+  p.main = [shared](sim::ProcessCtx& ctx) { return command_main(ctx, shared); };
+  return p;
+}
+
+}  // namespace dsim::core

@@ -1,0 +1,29 @@
+// The DMTCP checkpoint coordinator.
+//
+// A single process outside the checkpointed computation (spawned
+// automatically by the first dmtcp_checkpoint, §3). It implements:
+//   - registration of checkpoint managers,
+//   - the cluster-wide barrier (the only checkpoint-time primitive, §4.3),
+//   - checkpoint initiation (on command or --interval timer),
+//   - the restart-time discovery service (§4.4 step 2),
+//   - restart-script generation (§3),
+//   - virtual-pid bookkeeping.
+//
+// "Global barriers could be implemented efficiently through peer-to-peer
+// communication or broadcast trees, but are currently centralized for
+// simplicity" (§4.3) — same choice here; bench_ablation measures the
+// coordinator's cost as process count grows.
+#pragma once
+
+#include <memory>
+
+#include "core/stats.h"
+#include "sim/program.h"
+
+namespace dsim::core {
+
+/// Program factories registered into the kernel by DmtcpControl.
+sim::Program make_coordinator_program(std::shared_ptr<DmtcpShared> shared);
+sim::Program make_command_program(std::shared_ptr<DmtcpShared> shared);
+
+}  // namespace dsim::core

@@ -1,0 +1,650 @@
+#include "core/hijack.h"
+
+#include <algorithm>
+
+#include "core/msg_io.h"
+#include "mtcp/mtcp.h"
+#include "sim/model_params.h"
+#include "util/assertx.h"
+#include "util/logging.h"
+
+namespace dsim::core {
+
+using sim::SegKind;
+using sim::SockSegment;
+using sim::TcpVNode;
+namespace params = sim::params;
+
+namespace {
+
+std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == '/' || c == ':' || c == ' ') c = '_';
+  }
+  return s;
+}
+
+}  // namespace
+
+Task<void> hijack_manager_entry(Hijack* h, sim::ProcessCtx* ctx) {
+  co_await h->manager_main(*ctx);
+}
+
+Hijack::Hijack(sim::Process& p, std::shared_ptr<DmtcpShared> shared)
+    : p_(p), shared_(std::move(shared)) {
+  vpid_ = p.pid();
+  upid_ = UniquePid{hostid_of(p.node()), vpid_,
+                    static_cast<u64>(p.kernel().loop().now())};
+  if (!shared_->active_vpids.insert(vpid_).second) {
+    // Virtual-pid conflict (§4.5): a restored process already owns this pid.
+    // The parent's fork wrapper will observe `conflicted` and re-fork.
+    conflicted_ = true;
+  } else {
+    shared_->vpid_map[vpid_] = p.pid();
+  }
+}
+
+std::shared_ptr<Hijack> Hijack::make_restored(
+    sim::Process& p, std::shared_ptr<DmtcpShared> shared, ConnTable table,
+    Pid vpid, Pid virt_ppid, UniquePid upid, int expected_procs) {
+  auto h = std::shared_ptr<Hijack>(new Hijack(p, std::move(shared)));
+  // Undo the fresh-attach vpid claim and take over the image's identity.
+  h->shared_->active_vpids.erase(h->vpid_);
+  h->shared_->vpid_map.erase(h->vpid_);
+  h->vpid_ = vpid;
+  h->upid_ = upid;
+  h->shared_->active_vpids.insert(vpid);
+  h->shared_->vpid_map[vpid] = p.pid();  // translation re-pointed (§4.5)
+  h->is_restored_ = true;
+  h->virt_ppid_ = virt_ppid;
+  h->restart_expected_ = expected_procs;
+  h->restored_table_ = std::move(table);
+  for (const auto& [desc, fd] : h->restored_table_.preaccepted) {
+    h->preaccepted_[desc].push_back(fd);
+  }
+  return h;
+}
+
+void Hijack::on_attach() {
+  // "Launches a checkpoint management thread in every user process" (§4).
+  sim::Thread& t = p_.add_thread(sim::ThreadKind::kManager);
+  t.start(hijack_manager_entry(this, &t.pctx()));
+}
+
+void Hijack::on_process_exit() { shared_->active_vpids.erase(vpid_); }
+
+// --- wrapped syscalls -------------------------------------------------------
+
+Task<std::pair<Fd, Fd>> Hijack::wrap_pipe(sim::ProcessCtx& ctx) {
+  // §4.5: "a wrapper around the pipe system call promotes pipes into
+  // sockets" so the drain/refill machinery handles them.
+  auto [a, b] = co_await ctx.socketpair_raw();
+  if (auto* va = ctx.fd_tcp(a)) va->promoted_pipe = true;
+  if (auto* vb = ctx.fd_tcp(b)) vb->promoted_pipe = true;
+  co_return std::make_pair(a, b);
+}
+
+Task<Pid> Hijack::wrap_spawn(sim::ProcessCtx& ctx, NodeId node,
+                             std::string prog, std::vector<std::string> argv,
+                             std::map<std::string, std::string> env) {
+  // Hold new spawns while a checkpoint is in flight so the coordinator's
+  // barrier membership stays stable for the round.
+  while (shared_->ckpt_active) {
+    co_await ctx.sleep(500 * timeconst::kMicrosecond);
+  }
+  // The ssh/exec interception point (§3): make sure the child — possibly on
+  // a remote node — runs under DMTCP with the same coordinator.
+  env["DMTCP_ENABLED"] = "1";
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const Pid child = co_await ctx.spawn_raw(node, prog, argv, env);
+    sim::Process* cp = ctx.kernel().find_process(child);
+    DSIM_CHECK(cp != nullptr);
+    auto* ch = dynamic_cast<Hijack*>(cp->interposer());
+    if (ch != nullptr && ch->conflicted_) {
+      // §4.5: terminate the child with the conflicting virtual pid and fork
+      // once again.
+      LOG_INFO("vpid conflict on pid %d; re-forking", child);
+      ctx.kernel().kill_process(child);
+      continue;
+    }
+    co_return child;
+  }
+  DSIM_UNREACHABLE("could not resolve vpid conflict after 64 attempts");
+}
+
+Pid Hijack::wrap_getpid(sim::ProcessCtx& ctx) {
+  (void)ctx;
+  return vpid_;
+}
+
+Task<int> Hijack::wrap_waitpid(sim::ProcessCtx& ctx, Pid child) {
+  // Translate the (stable) virtual pid to the current real pid (§4.5).
+  Pid real = child;
+  if (auto it = shared_->vpid_map.find(child);
+      it != shared_->vpid_map.end()) {
+    real = it->second;
+  }
+  sim::Process* c = ctx.kernel().find_process(real);
+  if (!c) co_return 255;  // child predates the last restart; nothing to reap
+  if (c->state() == sim::ProcState::kDead) co_return 255;  // already reaped
+  if (c->ppid() != p_.pid()) {
+    // Restored processes are forked from dmtcp_restart; re-establish the
+    // original parent/child link so wait semantics hold.
+    c->set_ppid(p_.pid());
+    p_.children().push_back(real);
+  }
+  co_return co_await ctx.waitpid_raw(real);
+}
+
+Task<Fd> Hijack::wrap_accept(sim::ProcessCtx& ctx, Fd fd) {
+  auto of = ctx.fd_get(fd);
+  DSIM_CHECK(of != nullptr);
+  auto it = preaccepted_.find(of->description_id);
+  if (it != preaccepted_.end() && !it->second.empty()) {
+    const Fd ready = it->second.front();
+    it->second.pop_front();
+    co_return ready;
+  }
+  co_return co_await ctx.accept_raw(fd);
+}
+
+// --- manager -----------------------------------------------------------------
+
+sim::TcpVNode* Hijack::coord_sock() {
+  auto of = p_.fds().get(coord_fd_);
+  DSIM_CHECK(of && of->vnode->kind() == sim::VKind::kTcp);
+  return static_cast<TcpVNode*>(of->vnode.get());
+}
+
+sim::TcpVNode* Hijack::vnode_for_desc(u64 desc_id) {
+  for (const auto& [fd, of] : p_.fds().entries()) {
+    if (of->description_id == desc_id &&
+        of->vnode->kind() == sim::VKind::kTcp) {
+      return static_cast<TcpVNode*>(of->vnode.get());
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<sim::OpenFile> Hijack::desc_by_id(u64 desc_id) {
+  for (const auto& [fd, of] : p_.fds().entries()) {
+    if (of->description_id == desc_id) return of;
+  }
+  return nullptr;
+}
+
+Task<void> Hijack::manager_main(sim::ProcessCtx& ctx) {
+  auto& k = ctx.kernel();
+  // Open the coordinator connection (kept out of checkpoints).
+  coord_fd_ = co_await ctx.socket_raw(false);
+  p_.fds().get(coord_fd_)->dmtcp_internal = true;
+  const sim::SockAddr coord{
+      static_cast<NodeId>(std::stoi(p_.env_or("DMTCP_COORD_NODE", "0"))),
+      static_cast<u16>(std::stoi(p_.env_or("DMTCP_COORD_PORT", "7779")))};
+  while (!co_await ctx.connect_raw(coord_fd_, coord)) {
+    co_await ctx.sleep(1 * timeconst::kMillisecond);
+  }
+  Msg reg;
+  reg.type = MsgType::kRegister;
+  reg.upid = upid_;
+  reg.a = vpid_;
+  reg.b = is_restored_ ? 1 : 0;
+  reg.s = k.node(p_.node()).hostname();
+  co_await send_msg(k, ctx.thread(), *coord_sock(), reg);
+
+  if (is_restored_) {
+    co_await restart_resume(ctx);
+  }
+
+  // Barrier 1 (§4.3): wait until the coordinator requests a checkpoint.
+  while (true) {
+    auto m = co_await recv_msg(k, ctx.thread(), *coord_sock());
+    if (!m) co_return;  // coordinator gone; computation is shutting down
+    if (m->type == MsgType::kCkptRequest) {
+      co_await do_checkpoint(ctx, m->a);
+    }
+  }
+}
+
+Task<void> Hijack::barrier(sim::ProcessCtx& ctx, const std::string& name,
+                           int expected) {
+  auto& k = ctx.kernel();
+  Msg m;
+  m.type = MsgType::kBarrierWait;
+  m.upid = upid_;
+  m.s = name;
+  m.a = expected;
+  co_await send_msg(k, ctx.thread(), *coord_sock(), m);
+  while (true) {
+    auto r = co_await recv_msg(k, ctx.thread(), *coord_sock());
+    DSIM_CHECK_MSG(r.has_value(), "coordinator died inside a barrier");
+    if (r->type == MsgType::kBarrierRelease && r->s == name) co_return;
+  }
+}
+
+void Hijack::suspend_user_threads() {
+  for (auto& t : p_.threads()) {
+    if (t->kind() == sim::ThreadKind::kManager || !t->alive()) continue;
+    t->ckpt_suspend();
+  }
+}
+
+void Hijack::resume_user_threads() {
+  for (auto& t : p_.threads()) {
+    if (t->kind() == sim::ThreadKind::kManager || !t->alive()) continue;
+    t->ckpt_resume();
+  }
+}
+
+int Hijack::flush_accept_backlogs() {
+  // Connections sitting in listener backlogs become real fds so they are
+  // checkpointed; accept() hands them out from the stash afterwards.
+  int flushed = 0;
+  auto entries = p_.fds().entries();  // copy: we install new fds below
+  for (const auto& [fd, of] : entries) {
+    if (of->dmtcp_internal || of->vnode->kind() != sim::VKind::kTcp) continue;
+    auto* s = static_cast<TcpVNode*>(of->vnode.get());
+    if (s->state != TcpVNode::State::kListening) continue;
+    while (auto accepted = p_.kernel().try_accept(*s)) {
+      const Fd nfd = p_.fds().install(accepted, 512);  // high fd range
+      preaccepted_[of->description_id].push_back(nfd);
+      ++flushed;
+    }
+  }
+  return flushed;
+}
+
+ConnTable Hijack::build_conn_table() {
+  ConnTable table;
+  std::map<u64, bool> seen;
+  for (const auto& [fd, of] : p_.fds().entries()) {
+    if (of->dmtcp_internal) continue;
+    table.fds.push_back(FdEntry{fd, of->description_id});
+    if (seen.count(of->description_id)) continue;
+    seen[of->description_id] = true;
+
+    ConnRecord rec;
+    rec.desc_id = of->description_id;
+    rec.offset = of->offset;
+    rec.fown_saved = of->fown_saved;
+    switch (of->vnode->kind()) {
+      case sim::VKind::kFile: {
+        rec.type = ConnType::kFile;
+        rec.path = static_cast<sim::FileVNode&>(*of->vnode).path();
+        break;
+      }
+      case sim::VKind::kTcp: {
+        auto* s = static_cast<TcpVNode*>(of->vnode.get());
+        rec.conn_id = s->conn_id;
+        rec.unix_domain = s->unix_domain;
+        rec.promoted_pipe = s->promoted_pipe;
+        if (s->state == TcpVNode::State::kListening) {
+          rec.type = ConnType::kListener;
+          rec.listen_port = s->local.port;
+        } else if (s->state == TcpVNode::State::kEstablished) {
+          rec.type = ConnType::kEstablished;
+          rec.is_acceptor = s->is_acceptor;
+          rec.drain_leader = (of->fown_pid == p_.pid());
+          rec.peer_gone = s->peer_closed || s->peer.expired();
+        } else {
+          rec.type = ConnType::kRawSocket;
+        }
+        break;
+      }
+      case sim::VKind::kPtyMaster:
+      case sim::VKind::kPtySlave: {
+        auto& pv = static_cast<sim::PtyVNode&>(*of->vnode);
+        rec.type = of->vnode->kind() == sim::VKind::kPtyMaster
+                       ? ConnType::kPtyMaster
+                       : ConnType::kPtySlave;
+        rec.pty_id = pv.pair().id;
+        rec.termios = pv.pair().termios;
+        break;
+      }
+      case sim::VKind::kPipeRead:
+      case sim::VKind::kPipeWrite:
+        DSIM_UNREACHABLE(
+            "raw pipe under DMTCP: the pipe() wrapper should have promoted "
+            "it to a socketpair");
+      default:
+        rec.type = ConnType::kFile;
+        break;
+    }
+    table.conns.push_back(std::move(rec));
+  }
+  for (const auto& [desc, fds] : preaccepted_) {
+    for (Fd fd : fds) table.preaccepted.emplace_back(desc, fd);
+  }
+  return table;
+}
+
+Task<void> Hijack::drain_all(sim::ProcessCtx& ctx, ConnTable& table) {
+  // §4.3 step 4, run concurrently over all led sockets: flush a token, drain
+  // until the peer's token arrives, then handshake on the connection id.
+  struct Job {
+    TcpVNode* sock;
+    ConnRecord* rec;
+    int state = 0;  // 0 token, 1 drain, 2 send-handshake, 3 await, 4 done
+    std::vector<std::byte> drained;
+  };
+  std::vector<Job> jobs;
+  for (auto& rec : table.conns) {
+    if (rec.type != ConnType::kEstablished || !rec.drain_leader) continue;
+    TcpVNode* s = vnode_for_desc(rec.desc_id);
+    DSIM_CHECK(s != nullptr);
+    jobs.push_back(Job{s, &rec, 0, {}});
+  }
+  // TCP flush dynamics the socket model abstracts away (Table 1a's ~0.1 s
+  // drain stage); see model_params.h.
+  if (!jobs.empty()) co_await ctx.sleep(params::kDrainFlushBase);
+  auto& k = ctx.kernel();
+  while (true) {
+    bool all_done = true;
+    bool progress = false;
+    for (auto& j : jobs) {
+      if (j.state == 4) continue;
+      if (j.sock->peer_closed && j.sock->recv_q.empty() && j.state <= 1) {
+        j.rec->drained = std::move(j.drained);
+        j.state = 4;  // half-closed connection: keep what we got
+        progress = true;
+        continue;
+      }
+      switch (j.state) {
+        case 0: {
+          SockSegment tok;
+          tok.kind = SegKind::kToken;
+          tok.bytes = {std::byte{0xD7}};
+          if (k.try_send_segment(*j.sock, std::move(tok))) {
+            j.state = 1;
+            progress = true;
+          }
+          break;
+        }
+        case 1: {
+          while (auto seg = k.try_recv_segment(*j.sock)) {
+            progress = true;
+            if (seg->kind == SegKind::kToken) {
+              j.state = 2;
+              break;
+            }
+            DSIM_CHECK_MSG(seg->kind == SegKind::kData,
+                           "unexpected protocol segment during drain");
+            j.drained.insert(j.drained.end(), seg->bytes.begin(),
+                             seg->bytes.end());
+          }
+          break;
+        }
+        case 2: {
+          ByteWriter w;
+          j.rec->conn_id.serialize(w);
+          SockSegment ctrl;
+          ctrl.kind = SegKind::kCtrl;
+          ctrl.bytes = w.take();
+          if (k.try_send_segment(*j.sock, std::move(ctrl))) {
+            j.state = 3;
+            progress = true;
+          }
+          break;
+        }
+        case 3: {
+          if (auto seg = k.try_recv_segment(*j.sock)) {
+            DSIM_CHECK(seg->kind == SegKind::kCtrl);
+            ByteReader r(seg->bytes);
+            const auto peer_id = sim::ConnId::deserialize(r);
+            DSIM_CHECK_MSG(peer_id == j.rec->conn_id,
+                           "drain handshake: remote side reports a "
+                           "different globally unique socket id");
+            j.rec->drained = std::move(j.drained);
+            j.state = 4;
+            progress = true;
+          }
+          break;
+        }
+      }
+      if (j.state != 4) all_done = false;
+    }
+    if (all_done) break;
+    if (!progress) co_await ctx.sleep(150 * timeconst::kMicrosecond);
+  }
+}
+
+Task<void> Hijack::refill_all(sim::ProcessCtx& ctx, const ConnTable& table) {
+  // §4.3 step 6: each leader sends its drained bytes back to the sender
+  // (ctrl plane), and re-sends the peer's blob as ordinary data so it lands
+  // back in the peer's kernel receive buffer.
+  struct Job {
+    TcpVNode* sock;
+    const ConnRecord* rec;
+    int state = 0;  // 0 send-ctrl, 1 await-ctrl, 2 resend, 3 done
+    std::vector<std::byte> peer_blob;
+    u64 resent = 0;
+  };
+  std::vector<Job> jobs;
+  for (const auto& rec : table.conns) {
+    if (rec.type != ConnType::kEstablished || !rec.drain_leader) continue;
+    TcpVNode* s = vnode_for_desc(rec.desc_id);
+    DSIM_CHECK(s != nullptr);
+    jobs.push_back(Job{s, &rec, 0, {}, 0});
+  }
+  auto& k = ctx.kernel();
+  while (true) {
+    bool all_done = true;
+    bool progress = false;
+    for (auto& j : jobs) {
+      if (j.state == 3) continue;
+      if (j.sock->peer_closed || j.sock->peer.expired()) {
+        // Half-closed connection: the peer cannot re-send, so the drained
+        // bytes go straight back into our own receive buffer (they precede
+        // the EOF the application will eventually observe).
+        if (j.state == 0 && !j.rec->drained.empty()) {
+          SockSegment seg;
+          seg.kind = SegKind::kData;
+          seg.bytes = j.rec->drained;
+          j.sock->recv_q.push_back(std::move(seg));
+          j.sock->recv_q_bytes += j.rec->drained.size();
+          j.sock->readable.wake_all();
+        }
+        j.state = 3;
+        progress = true;
+        continue;
+      }
+      switch (j.state) {
+        case 0: {
+          ByteWriter w;
+          w.put_blob(j.rec->drained);
+          SockSegment ctrl;
+          ctrl.kind = SegKind::kCtrl;
+          ctrl.bytes = w.take();
+          if (k.try_send_segment(*j.sock, std::move(ctrl))) {
+            j.state = 1;
+            progress = true;
+          }
+          break;
+        }
+        case 1: {
+          if (auto seg = k.try_recv_segment(*j.sock)) {
+            DSIM_CHECK(seg->kind == SegKind::kCtrl);
+            ByteReader r(seg->bytes);
+            j.peer_blob = r.get_blob();
+            j.state = j.peer_blob.empty() ? 3 : 2;
+            progress = true;
+          }
+          break;
+        }
+        case 2: {
+          while (j.resent < j.peer_blob.size()) {
+            const u64 n = std::min<u64>(params::kTcpSegmentBytes,
+                                        j.peer_blob.size() - j.resent);
+            SockSegment seg;
+            seg.kind = SegKind::kData;
+            seg.bytes.assign(
+                j.peer_blob.begin() + static_cast<ptrdiff_t>(j.resent),
+                j.peer_blob.begin() + static_cast<ptrdiff_t>(j.resent + n));
+            if (!k.try_send_segment(*j.sock, std::move(seg))) break;
+            j.resent += n;
+            progress = true;
+          }
+          if (j.resent == j.peer_blob.size()) j.state = 3;
+          break;
+        }
+      }
+      if (j.state != 3) all_done = false;
+    }
+    if (all_done) break;
+    if (!progress) co_await ctx.sleep(150 * timeconst::kMicrosecond);
+  }
+}
+
+std::string Hijack::ckpt_path() const {
+  return shared_->opts.ckpt_dir + "/ckpt_" + sanitize(p_.prog_name()) + "_" +
+         upid_.str() + ".dmtcp";
+}
+
+Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
+                               const ConnTable& table) {
+  auto& k = ctx.kernel();
+  if (shared_->opts.sync == SyncMode::kSyncPrevious && generations_ > 0) {
+    co_await k.sync_storage(ctx.thread(), p_.node(), ckpt_path());
+  }
+
+  mtcp::ProcessImage img = mtcp::capture(p_);
+  img.virt_pid = vpid_;
+  img.dmtcp_blob = table.encode();
+  mtcp::EncodedImage enc = mtcp::encode(img, shared_->opts.codec);
+
+  const std::string path = ckpt_path();
+  auto inode = k.fs_for(p_.node(), path).create(path);
+
+  if (shared_->opts.forked_checkpointing) {
+    // §5.3: fork a child; the child compresses and writes while the parent
+    // resumes. Copy-on-write makes the fork cheap; the child's compression
+    // occupies a core via the fluid-share CPU model.
+    const double rss_mb =
+        static_cast<double>(p_.mem().total_bytes()) / (1024.0 * 1024.0);
+    co_await ctx.sleep(params::kForkBase +
+                       static_cast<SimTime>(rss_mb *
+                                            static_cast<double>(
+                                                params::kForkPerMb)));
+    inode->data = sim::ByteImage(enc.bytes.size());
+    inode->data.write(0, enc.bytes);
+    auto shared = shared_;
+    auto* kp = &k;
+    const NodeId node = p_.node();
+    const u64 charge = enc.virtual_compressed;
+    k.node(p_.node())
+        .cpu()
+        .submit(enc.assemble_seconds + enc.compress_seconds,
+                [kp, node, path, charge, shared, round] {
+                  kp->charge_storage_bg(
+                      node, path, charge, /*is_read=*/false,
+                      [kp, shared, round] {
+                        auto& r = shared->stats.rounds[static_cast<size_t>(
+                            round)];
+                        r.background_done =
+                            std::max(r.background_done, kp->loop().now());
+                      });
+                });
+  } else {
+    co_await ctx.cpu(enc.assemble_seconds + enc.compress_seconds);
+    inode->data = sim::ByteImage(enc.bytes.size());
+    inode->data.write(0, enc.bytes);
+    co_await k.charge_storage(ctx.thread(), p_.node(), path,
+                              enc.virtual_compressed, /*is_read=*/false);
+    if (shared_->opts.sync == SyncMode::kSyncAfter) {
+      co_await k.sync_storage(ctx.thread(), p_.node(), path);
+    }
+  }
+
+  Msg stats;
+  stats.type = MsgType::kImageStats;
+  stats.upid = upid_;
+  stats.a = round;
+  stats.b = p_.node();
+  stats.ua = enc.virtual_uncompressed;
+  stats.s = path;
+  ByteWriter bw;
+  bw.put_u64(enc.virtual_compressed);
+  stats.blob = bw.take();
+  co_await send_msg(k, ctx.thread(), *coord_sock(), stats);
+}
+
+Task<void> Hijack::do_checkpoint(sim::ProcessCtx& ctx, int round) {
+  // dmtcpaware: the application may briefly delay checkpoints around a
+  // critical section.
+  while (delay_count_ > 0) {
+    co_await ctx.sleep(200 * timeconst::kMicrosecond);
+  }
+  if (hook_pre_) hook_pre_();
+
+  // Stage 2: suspend user threads; save fd owners (§4.3).
+  suspend_user_threads();
+  int nthreads = 0;
+  for (auto& t : p_.threads()) {
+    if (t->alive() && t->kind() != sim::ThreadKind::kManager) ++nthreads;
+  }
+  flush_accept_backlogs();
+  co_await ctx.sleep(params::kSuspendBase +
+                     nthreads * params::kSuspendPerThread);
+  co_await barrier(ctx, barrier::kSuspended);
+
+  // Stage 3: elect shared-FD leaders via the F_SETOWN trick.
+  int nsock = 0;
+  for (const auto& [fd, of] : p_.fds().entries()) {
+    if (of->dmtcp_internal || of->vnode->kind() != sim::VKind::kTcp) continue;
+    of->fown_saved = of->fown_pid;
+    of->fown_pid = p_.pid();  // last writer wins the election
+    ++nsock;
+  }
+  co_await ctx.sleep(params::kElectBase + nsock * params::kElectPerFd);
+  co_await barrier(ctx, barrier::kElected);
+
+  // Stage 4: drain kernel buffers; handshake; write connection table.
+  ConnTable table = build_conn_table();
+  co_await drain_all(ctx, table);
+  co_await barrier(ctx, barrier::kDrained);
+
+  // Stage 5: write the checkpoint image.
+  co_await write_image(ctx, round, table);
+  co_await barrier(ctx, barrier::kCheckpointed);
+
+  // Stage 6: refill kernel buffers.
+  co_await refill_all(ctx, table);
+  co_await barrier(ctx, barrier::kRefilled);
+
+  // Stage 7: restore F_SETOWN owners and resume user threads.
+  for (const auto& [fd, of] : p_.fds().entries()) {
+    if (of->dmtcp_internal || of->vnode->kind() != sim::VKind::kTcp) continue;
+    of->fown_pid = of->fown_saved;
+  }
+  if (hook_post_) hook_post_();
+  resume_user_threads();
+  ++generations_;
+}
+
+Task<void> Hijack::restart_resume(sim::ProcessCtx& ctx) {
+  // §4.4 step 5: "the user process will resume at Barrier 5 of the
+  // checkpoint algorithm", then refill (step 6) and resume (step 7).
+  co_await barrier(ctx, "restart:checkpointed", restart_expected_);
+  co_await refill_all(ctx, restored_table_);
+  co_await barrier(ctx, "restart:refilled", restart_expected_);
+  for (const auto& rec : restored_table_.conns) {
+    if (auto of = desc_by_id(rec.desc_id)) of->fown_pid = rec.fown_saved;
+  }
+  // Re-establish the original parent/child link (pid virtualization, §4.5):
+  // the vpid map is complete once every restored process has passed the
+  // global barrier above. Without this, an exiting restored child would be
+  // auto-reaped (its fork parent is the defunct restart process).
+  if (auto it = shared_->vpid_map.find(virt_ppid_);
+      it != shared_->vpid_map.end()) {
+    if (sim::Process* parent = p_.kernel().find_process(it->second);
+        parent && parent->state() == sim::ProcState::kRunning) {
+      p_.set_ppid(parent->pid());
+      parent->children().push_back(p_.pid());
+    }
+  }
+  if (hook_post_restart_) hook_post_restart_();
+  resume_user_threads();
+  ++generations_;
+}
+
+}  // namespace dsim::core

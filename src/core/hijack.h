@@ -1,0 +1,116 @@
+// The DMTCP hijack library: per-process checkpoint runtime.
+//
+// Injected at process start (the simulator's LD_PRELOAD, §4.2), it:
+//   - spawns the checkpoint manager thread;
+//   - connects to the coordinator and registers the process;
+//   - wraps the syscalls DMTCP cares about (pipe promotion §4.5, remote
+//     spawn interception §3, pid virtualization §4.5, pre-accepted
+//     connection stashing);
+//   - executes the seven checkpoint stages with six barriers (§4.3) and the
+//     resume-from-restart path (§4.4 steps 5-7).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/conn_table.h"
+#include "core/ids.h"
+#include "core/protocol.h"
+#include "core/stats.h"
+#include "sim/interposer.h"
+#include "sim/pctx.h"
+
+namespace dsim::core {
+
+using sim::Task;
+
+class Hijack final : public sim::Interposer {
+ public:
+  /// Fresh attach at process start.
+  Hijack(sim::Process& p, std::shared_ptr<DmtcpShared> shared);
+  /// Reconstructed by dmtcp_restart for a restored process. `table` carries
+  /// the connection table (with drained data) from the checkpoint image.
+  static std::shared_ptr<Hijack> make_restored(
+      sim::Process& p, std::shared_ptr<DmtcpShared> shared, ConnTable table,
+      Pid vpid, Pid virt_ppid, UniquePid upid, int expected_procs);
+
+  // --- Interposer lifecycle ---
+  void on_attach() override;
+  void on_process_exit() override;
+
+  // --- wrapped syscalls ---
+  Task<std::pair<Fd, Fd>> wrap_pipe(sim::ProcessCtx& ctx) override;
+  Task<Pid> wrap_spawn(sim::ProcessCtx& ctx, NodeId node, std::string prog,
+                       std::vector<std::string> argv,
+                       std::map<std::string, std::string> env) override;
+  Pid wrap_getpid(sim::ProcessCtx& ctx) override;
+  Task<int> wrap_waitpid(sim::ProcessCtx& ctx, Pid child) override;
+  Task<Fd> wrap_accept(sim::ProcessCtx& ctx, Fd fd) override;
+
+  // --- dmtcpaware surface (see core/dmtcpaware.h) ---
+  void delay_lock() { ++delay_count_; }
+  void delay_unlock() { --delay_count_; }
+  int delay_count() const { return delay_count_; }
+  void set_hooks(std::function<void()> pre, std::function<void()> post,
+                 std::function<void()> post_restart) {
+    hook_pre_ = std::move(pre);
+    hook_post_ = std::move(post);
+    hook_post_restart_ = std::move(post_restart);
+  }
+  int completed_generations() const { return generations_; }
+
+  UniquePid upid() const { return upid_; }
+  Pid vpid() const { return vpid_; }
+  DmtcpShared& shared() { return *shared_; }
+  sim::Process& process() { return p_; }
+
+ private:
+  friend Task<void> hijack_manager_entry(Hijack* h, sim::ProcessCtx* ctx);
+
+  Task<void> manager_main(sim::ProcessCtx& ctx);
+  Task<void> do_checkpoint(sim::ProcessCtx& ctx, int round);
+  Task<void> restart_resume(sim::ProcessCtx& ctx);
+
+  // Stage helpers.
+  void suspend_user_threads();
+  void resume_user_threads();
+  int flush_accept_backlogs();
+  ConnTable build_conn_table();
+  /// Concurrent token-flush / drain / handshake over all led sockets.
+  Task<void> drain_all(sim::ProcessCtx& ctx, ConnTable& table);
+  /// Concurrent refill: exchange drained blobs and re-send (§4.3 step 6).
+  Task<void> refill_all(sim::ProcessCtx& ctx, const ConnTable& table);
+  Task<void> write_image(sim::ProcessCtx& ctx, int round,
+                         const ConnTable& table);
+  Task<void> barrier(sim::ProcessCtx& ctx, const std::string& name,
+                     int expected = 0);
+  std::string ckpt_path() const;
+  sim::TcpVNode* coord_sock();
+  sim::TcpVNode* vnode_for_desc(u64 desc_id);
+  std::shared_ptr<sim::OpenFile> desc_by_id(u64 desc_id);
+
+  sim::Process& p_;
+  std::shared_ptr<DmtcpShared> shared_;
+  Pid vpid_ = kNoPid;
+  Pid virt_ppid_ = kNoPid;
+  UniquePid upid_{};
+  Fd coord_fd_ = kNoFd;
+  bool is_restored_ = false;
+  int restart_expected_ = 0;
+  ConnTable restored_table_;
+  int delay_count_ = 0;
+  int generations_ = 0;
+  /// Fresh attach found its pid already used as a virtual pid (§4.5); the
+  /// parent's fork wrapper kills this child and forks again.
+  bool conflicted_ = false;
+  std::function<void()> hook_pre_;
+  std::function<void()> hook_post_;
+  std::function<void()> hook_post_restart_;
+  /// Pre-accepted connections flushed from listener backlogs at suspend
+  /// time: listener description id -> fds ready to hand to accept().
+  std::map<u64, std::deque<Fd>> preaccepted_;
+};
+
+}  // namespace dsim::core

@@ -1,0 +1,53 @@
+// DMTCP identity types.
+#pragma once
+
+#include <string>
+
+#include "util/serialize.h"
+#include "util/types.h"
+
+namespace dsim::core {
+
+/// Globally unique process identity: (hostid, pid, creation time). Stable
+/// across checkpoint/restart; used in image filenames and registration.
+struct UniquePid {
+  u64 hostid = 0;
+  Pid pid = 0;     // virtual pid
+  u64 time = 0;    // creation timestamp (ns)
+
+  bool operator==(const UniquePid&) const = default;
+  bool operator<(const UniquePid& o) const {
+    if (hostid != o.hostid) return hostid < o.hostid;
+    if (pid != o.pid) return pid < o.pid;
+    return time < o.time;
+  }
+  bool valid() const { return hostid != 0 || pid != 0 || time != 0; }
+
+  std::string str() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%llx-%d-%llx",
+                  static_cast<unsigned long long>(hostid), pid,
+                  static_cast<unsigned long long>(time));
+    return buf;
+  }
+
+  void serialize(ByteWriter& w) const {
+    w.put_u64(hostid);
+    w.put_i32(pid);
+    w.put_u64(time);
+  }
+  static UniquePid deserialize(ByteReader& r) {
+    UniquePid u;
+    u.hostid = r.get_u64();
+    u.pid = r.get_i32();
+    u.time = r.get_u64();
+    return u;
+  }
+};
+
+/// Deterministic host id for a simulated node.
+inline u64 hostid_of(NodeId node) {
+  return 0xd317c0ffee000000ULL | static_cast<u64>(node);
+}
+
+}  // namespace dsim::core

@@ -1,0 +1,140 @@
+#include "core/launch.h"
+
+#include "core/coordinator.h"
+#include "core/hijack.h"
+#include "core/restart.h"
+#include "util/assertx.h"
+#include "util/logging.h"
+
+namespace dsim::core {
+
+DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
+    : k_(kernel), shared_(std::make_shared<DmtcpShared>()) {
+  shared_->opts = opts;
+  k_.programs().add(make_coordinator_program(shared_));
+  k_.programs().add(make_command_program(shared_));
+  k_.programs().add(make_restart_program(shared_));
+  auto shared = shared_;
+  k_.set_attach_factory([shared](sim::Process& p) {
+    return std::make_shared<Hijack>(p, shared);
+  });
+  coord_pid_ = k_.spawn_process(opts.coord_node, "dmtcp_coordinator", {},
+                                {{"DMTCP_COORD_PORT",
+                                  std::to_string(opts.coord_port)}});
+}
+
+Pid DmtcpControl::launch(NodeId node, const std::string& prog,
+                         std::vector<std::string> argv,
+                         std::map<std::string, std::string> extra_env) {
+  std::map<std::string, std::string> env = std::move(extra_env);
+  env["DMTCP_ENABLED"] = "1";
+  env["DMTCP_COORD_NODE"] = std::to_string(shared_->opts.coord_node);
+  env["DMTCP_COORD_PORT"] = std::to_string(shared_->opts.coord_port);
+  return k_.spawn_process(node, prog, std::move(argv), std::move(env));
+}
+
+bool DmtcpControl::run_until(const std::function<bool()>& pred,
+                             SimTime deadline) {
+  while (!pred()) {
+    if (k_.loop().now() >= deadline) return pred();
+    const SimTime step =
+        std::min<SimTime>(deadline, k_.loop().now() + timeconst::kMillisecond);
+    const bool more = k_.loop().run_until(step);
+    if (!more && !pred() && k_.loop().now() >= deadline) return false;
+    if (!more && k_.loop().pending() == 0 && !pred()) {
+      // No events left: the predicate can never become true.
+      return pred();
+    }
+  }
+  return true;
+}
+
+void DmtcpControl::run_for(SimTime dt) {
+  k_.loop().run_until(k_.loop().now() + dt);
+}
+
+void DmtcpControl::request_checkpoint() {
+  k_.spawn_process(shared_->opts.coord_node, "dmtcp_command", {"checkpoint"},
+                   {{"DMTCP_COORD_NODE",
+                     std::to_string(shared_->opts.coord_node)},
+                    {"DMTCP_COORD_PORT",
+                     std::to_string(shared_->opts.coord_port)}});
+}
+
+const CkptRound& DmtcpControl::checkpoint_now(SimTime deadline_extra) {
+  const size_t round = shared_->stats.rounds.size();
+  request_checkpoint();
+  const SimTime deadline =
+      k_.loop().now() + 600 * timeconst::kSecond + deadline_extra;
+  const bool done = run_until(
+      [&] {
+        return shared_->stats.rounds.size() > round &&
+               shared_->stats.rounds[round].refilled != 0;
+      },
+      deadline);
+  DSIM_CHECK_MSG(done, "checkpoint round did not complete");
+  return shared_->stats.rounds[round];
+}
+
+void DmtcpControl::kill_computation() {
+  for (Pid pid : k_.live_pids()) {
+    sim::Process* p = k_.find_process(pid);
+    if (p && p->env_or("DMTCP_ENABLED", "") == "1") {
+      k_.kill_process(pid);
+    }
+  }
+  // Let EOFs and handler teardown propagate.
+  run_for(10 * timeconst::kMillisecond);
+}
+
+RestartPlan DmtcpControl::read_restart_plan() const {
+  const std::string path =
+      shared_->opts.ckpt_dir + "/dmtcp_restart_script.sh";
+  auto inode = k_.fs_for(shared_->opts.coord_node, path).lookup(path);
+  DSIM_CHECK_MSG(inode != nullptr, "no restart script generated yet");
+  auto bytes = inode->data.materialize(0, inode->data.size());
+  return parse_restart_script(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+}
+
+const RestartRun& DmtcpControl::restart(std::map<NodeId, NodeId> host_map) {
+  RestartPlan plan = read_restart_plan();
+  RestartRun run;
+  run.script_started = k_.loop().now();
+  shared_->stats.restarts.push_back(run);
+  const size_t idx = shared_->stats.restarts.size() - 1;
+
+  for (const auto& host : plan.hosts) {
+    NodeId target = host.host;
+    if (auto it = host_map.find(host.host); it != host_map.end()) {
+      target = it->second;
+    }
+    // Migration with node-local images: stage the image files onto the
+    // target node (the paper's cluster-to-laptop use case stages images
+    // out-of-band; the SAN/NFS configuration shares them naturally).
+    if (target != host.host &&
+        shared_->opts.ckpt_dir.rfind("/shared", 0) != 0) {
+      for (const auto& img : host.images) {
+        auto src = k_.node(host.host).fs().lookup(img);
+        DSIM_CHECK(src != nullptr);
+        auto dst = k_.node(target).fs().create(img);
+        *dst = *src;
+      }
+    }
+    std::vector<std::string> argv{
+        "--coord-node", std::to_string(plan.coord_node),
+        "--coord-port", std::to_string(plan.coord_port),
+        "--expected",   std::to_string(plan.total_procs),
+        "--hosts",      std::to_string(plan.hosts.size())};
+    for (const auto& img : host.images) argv.push_back(img);
+    k_.spawn_process(target, "dmtcp_restart", std::move(argv), {});
+  }
+
+  const bool done = run_until(
+      [&] { return shared_->stats.restarts[idx].refilled != 0; },
+      k_.loop().now() + 600 * timeconst::kSecond);
+  DSIM_CHECK_MSG(done, "restart did not complete");
+  return shared_->stats.restarts[idx];
+}
+
+}  // namespace dsim::core

@@ -1,0 +1,67 @@
+// DmtcpControl: the experimenter's handle on a DMTCP-managed computation.
+//
+// Owns the shared state, registers the dmtcp_* programs with the kernel,
+// installs the hijack attach hook, and spawns the coordinator (the paper's
+// "the first call to dmtcp_checkpoint will automatically spawn the
+// checkpoint coordinator", §3). Benches and tests drive everything through
+// this class: launch under checkpoint control, request checkpoints, kill
+// the computation, and restart from the generated script — optionally
+// migrating hosts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/restart_script.h"
+#include "core/stats.h"
+#include "sim/kernel.h"
+
+namespace dsim::core {
+
+class DmtcpControl {
+ public:
+  DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts);
+
+  /// dmtcp_checkpoint <program> — launch under checkpoint control.
+  Pid launch(NodeId node, const std::string& prog,
+             std::vector<std::string> argv = {},
+             std::map<std::string, std::string> extra_env = {});
+
+  /// Drive the simulation until `pred()` or until `deadline` virtual time.
+  /// Returns true if the predicate was met.
+  bool run_until(const std::function<bool()>& pred, SimTime deadline);
+  /// Drive the simulation for `dt` of virtual time.
+  void run_for(SimTime dt);
+
+  /// dmtcp_command --checkpoint: trigger a checkpoint and wait for the
+  /// round to complete. Returns the round's stats.
+  const CkptRound& checkpoint_now(SimTime deadline_extra = 0);
+  /// Fire-and-forget checkpoint request.
+  void request_checkpoint();
+
+  /// Kill every process running under DMTCP (cluster-wide failure). The
+  /// coordinator survives — as in reality, it is outside the computation.
+  void kill_computation();
+
+  /// Parse dmtcp_restart_script.sh and run it. `host_map` relocates
+  /// original hosts to new nodes (migration / restart-on-a-laptop, §1 use
+  /// case 6). Returns the restart's stats.
+  const RestartRun& restart(std::map<NodeId, NodeId> host_map = {});
+  /// The parsed restart plan from the last generated script.
+  RestartPlan read_restart_plan() const;
+
+  DmtcpShared& shared() { return *shared_; }
+  std::shared_ptr<DmtcpShared> shared_ptr() { return shared_; }
+  const DmtcpStats& stats() const { return shared_->stats; }
+  sim::Kernel& kernel() { return k_; }
+  Pid coordinator_pid() const { return coord_pid_; }
+
+ private:
+  sim::Kernel& k_;
+  std::shared_ptr<DmtcpShared> shared_;
+  Pid coord_pid_ = kNoPid;
+};
+
+}  // namespace dsim::core

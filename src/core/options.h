@@ -1,0 +1,28 @@
+// DMTCP configuration knobs exposed by dmtcp_checkpoint's command line.
+#pragma once
+
+#include <string>
+
+#include "compress/compressor.h"
+#include "util/types.h"
+
+namespace dsim::core {
+
+/// What to do about kernel write buffers after a checkpoint (§5.2).
+enum class SyncMode : u8 {
+  kNone = 0,          // default; matches the paper's timing methodology
+  kSyncAfter = 1,     // sync() before resuming user threads (+0.79 s)
+  kSyncPrevious = 2,  // sync the *previous* checkpoint instead
+};
+
+struct DmtcpOptions {
+  NodeId coord_node = 0;
+  u16 coord_port = 7779;
+  compress::CodecKind codec = compress::CodecKind::kGzipish;  // gzip default
+  bool forked_checkpointing = false;  // fork + copy-on-write writer (§5.3)
+  SyncMode sync = SyncMode::kNone;
+  std::string ckpt_dir = "/ckpt";     // "/shared/ckpt" → SAN/NFS (Fig. 5b)
+  SimTime interval = 0;               // --interval: periodic checkpoints
+};
+
+}  // namespace dsim::core

@@ -1,0 +1,86 @@
+// Coordinator wire protocol.
+//
+// Managers, restart processes and dmtcp_command talk to the checkpoint
+// coordinator over ordinary (simulated) TCP with length-prefixed messages.
+// The coordinator implements exactly the primitives the paper needs: a
+// cluster-wide barrier (§4.3 — "the only global communication primitive
+// used at checkpoint time is a barrier") and, at restart time, a discovery
+// service for re-locating migrated peers (§4.4 step 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "sim/socket.h"
+#include "util/serialize.h"
+#include "util/types.h"
+
+namespace dsim::core {
+
+enum class MsgType : u8 {
+  kRegister = 1,        // manager -> coord: join computation (s=hostname, a=vpid, b=restarting)
+  kCkptRequest = 2,     // coord -> manager: begin checkpoint (a=round)
+  kBarrierWait = 3,     // manager -> coord: waiting at barrier `s` (a=expected override, 0=all clients)
+  kBarrierRelease = 4,  // coord -> manager: barrier `s` released
+  kCommand = 5,         // dmtcp_command -> coord: s in {"checkpoint","status","kill","interval"} (a=arg)
+  kCommandReply = 6,    // coord -> dmtcp_command: s=reply text, a=numeric
+  kAdvertise = 7,       // restart -> coord: conn listener at (a=node, b=port)
+  kQueryAddr = 8,       // restart -> coord: where is conn? (blocks until advertised)
+  kAddrInfo = 9,        // coord -> restart: conn is at (a=node, b=port)
+  kVpidCheck = 10,      // hijack -> coord: does vpid a collide? reply kVpidReply b=1 collision
+  kVpidReply = 11,
+  kVpidRegister = 12,   // hijack -> coord: vpid a now in use
+  kImageStats = 13,     // manager -> coord: ua=uncompressed, blob=8B compressed (round a)
+  kStageNote = 14,      // restart -> coord: s=stage name, ua=duration ns (restart breakdown)
+};
+
+struct Msg {
+  MsgType type = MsgType::kRegister;
+  UniquePid upid{};
+  i32 a = 0;
+  i32 b = 0;
+  u64 ua = 0;
+  std::string s;
+  sim::ConnId conn{};
+  std::vector<std::byte> blob;
+
+  std::vector<std::byte> encode() const {
+    ByteWriter w;
+    w.put_u8(static_cast<u8>(type));
+    upid.serialize(w);
+    w.put_i32(a);
+    w.put_i32(b);
+    w.put_u64(ua);
+    w.put_string(s);
+    conn.serialize(w);
+    w.put_blob(blob);
+    return w.take();
+  }
+  static Msg decode(std::span<const std::byte> bytes) {
+    ByteReader r(bytes);
+    Msg m;
+    m.type = static_cast<MsgType>(r.get_u8());
+    m.upid = UniquePid::deserialize(r);
+    m.a = r.get_i32();
+    m.b = r.get_i32();
+    m.ua = r.get_u64();
+    m.s = r.get_string();
+    m.conn = sim::ConnId::deserialize(r);
+    m.blob = r.get_blob();
+    return m;
+  }
+};
+
+/// Barrier names for the checkpoint rounds (§4.3, Fig. 1) and restart
+/// (§4.4, Fig. 2).
+namespace barrier {
+inline constexpr const char* kSuspended = "suspended";
+inline constexpr const char* kElected = "elected";
+inline constexpr const char* kDrained = "drained";
+inline constexpr const char* kCheckpointed = "checkpointed";
+inline constexpr const char* kRefilled = "refilled";
+inline constexpr const char* kRestartConns = "restart:conns";
+}  // namespace barrier
+
+}  // namespace dsim::core

@@ -1,0 +1,381 @@
+#include "core/restart.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/hijack.h"
+#include "core/msg_io.h"
+#include "core/protocol.h"
+#include "mtcp/mtcp.h"
+#include "sim/model_params.h"
+#include "sim/pctx.h"
+#include "util/assertx.h"
+#include "util/logging.h"
+
+namespace dsim::core {
+namespace {
+
+using sim::SegKind;
+using sim::SockSegment;
+using sim::TcpVNode;
+
+struct LoadedImage {
+  mtcp::ProcessImage img;
+  ConnTable table;
+  double decode_seconds = 0;
+};
+
+struct RestartArgs {
+  NodeId coord_node = 0;
+  u16 coord_port = 7779;
+  int expected = 0;
+  int hosts = 0;
+  std::vector<std::string> images;
+};
+
+RestartArgs parse_args(const std::vector<std::string>& argv) {
+  RestartArgs a;
+  for (size_t i = 0; i < argv.size(); ++i) {
+    if (argv[i] == "--coord-node") a.coord_node = std::stoi(argv[++i]);
+    else if (argv[i] == "--coord-port")
+      a.coord_port = static_cast<u16>(std::stoi(argv[++i]));
+    else if (argv[i] == "--expected") a.expected = std::stoi(argv[++i]);
+    else if (argv[i] == "--hosts") a.hosts = std::stoi(argv[++i]);
+    else a.images.push_back(argv[i]);
+  }
+  return a;
+}
+
+TcpVNode* tcp_of(const std::shared_ptr<sim::OpenFile>& of) {
+  DSIM_CHECK(of && of->vnode->kind() == sim::VKind::kTcp);
+  return static_cast<TcpVNode*>(of->vnode.get());
+}
+
+/// §4.4 step 2 handshake: after reconnecting, "the two sides perform a
+/// handshake and agree on the socket being restored".
+Task<void> send_conn_handshake(sim::ProcessCtx& ctx, TcpVNode& s,
+                               const sim::ConnId& id) {
+  ByteWriter w;
+  id.serialize(w);
+  SockSegment seg;
+  seg.kind = SegKind::kCtrl;
+  seg.bytes = w.take();
+  co_await ctx.kernel().sock_send_segment(ctx.thread(), s, std::move(seg));
+}
+
+Task<sim::ConnId> recv_conn_handshake(sim::ProcessCtx& ctx, TcpVNode& s) {
+  auto seg = co_await ctx.kernel().sock_recv_segment(ctx.thread(), s);
+  DSIM_CHECK_MSG(seg.kind == SegKind::kCtrl, "restart handshake corrupted");
+  ByteReader r(seg.bytes);
+  co_return sim::ConnId::deserialize(r);
+}
+
+Task<int> restart_main(sim::ProcessCtx& ctx,
+                       std::shared_ptr<DmtcpShared> shared) {
+  auto& k = ctx.kernel();
+  sim::Process& self = ctx.process();
+  const RestartArgs args = parse_args(self.argv());
+  DSIM_CHECK_MSG(!args.images.empty(), "dmtcp_restart: no images given");
+
+  // --- Load the images. Metadata (connection tables) is needed now; the
+  // bulk memory cost (read + gunzip) is charged in stage 3-5, where each
+  // restored process pays it — in parallel across the node's cores, as the
+  // real restart does after forking.
+  std::vector<LoadedImage> loaded;
+  double total_decode_seconds = 0;
+  u64 total_read_bytes = 0;
+  for (const auto& path : args.images) {
+    auto inode = k.fs_for(self.node(), path).lookup(path);
+    DSIM_CHECK_MSG(inode != nullptr, "dmtcp_restart: image not found");
+    auto container = inode->data.materialize(0, inode->data.size());
+    double decode_seconds = 0;
+    LoadedImage li;
+    li.img = mtcp::decode(container, shared->opts.codec, &decode_seconds);
+    li.decode_seconds = decode_seconds;
+    total_decode_seconds += decode_seconds;
+    total_read_bytes += inode->charge_or_size();
+    li.table = ConnTable::decode(li.img.dmtcp_blob);
+    loaded.push_back(std::move(li));
+  }
+
+  // --- Connect to the coordinator (discovery service + barriers).
+  const Fd coord_fd = co_await ctx.socket_raw(false);
+  self.fds().get(coord_fd)->dmtcp_internal = true;
+  while (!co_await ctx.connect_raw(
+      coord_fd, sim::SockAddr{args.coord_node, args.coord_port})) {
+    co_await ctx.sleep(1 * timeconst::kMillisecond);
+  }
+  TcpVNode* coord = tcp_of(self.fds().get(coord_fd));
+
+  // --- Stage 1 (§4.4): reopen files and recreate ptys.
+  const SimTime t_files = ctx.now();
+  std::map<u64, std::shared_ptr<sim::OpenFile>> descs;
+  std::map<i32, std::pair<std::shared_ptr<sim::OpenFile>,
+                          std::shared_ptr<sim::OpenFile>>>
+      ptys;
+  struct EstabWork {
+    const ConnRecord* rec;
+    std::shared_ptr<sim::OpenFile> listener;  // acceptor side only
+  };
+  std::vector<EstabWork> estabs;
+  std::set<u64> estab_seen;
+
+  for (const auto& li : loaded) {
+    for (const auto& rec : li.table.conns) {
+      if (descs.count(rec.desc_id)) continue;
+      k.reserve_description_ids(rec.desc_id);
+      switch (rec.type) {
+        case ConnType::kFile: {
+          auto of = k.open_file(self, rec.path, {.create = true});
+          of->offset = rec.offset;
+          of->description_id = rec.desc_id;
+          descs[rec.desc_id] = of;
+          break;
+        }
+        case ConnType::kPtyMaster:
+        case ConnType::kPtySlave: {
+          auto it = ptys.find(rec.pty_id);
+          if (it == ptys.end()) {
+            auto [m, s] = k.make_pty(self);
+            static_cast<sim::PtyVNode&>(*m->vnode).pair().termios =
+                rec.termios;
+            it = ptys.emplace(rec.pty_id, std::make_pair(m, s)).first;
+          }
+          descs[rec.desc_id] = rec.type == ConnType::kPtyMaster
+                                   ? it->second.first
+                                   : it->second.second;
+          descs[rec.desc_id]->description_id = rec.desc_id;
+          break;
+        }
+        case ConnType::kListener: {
+          auto of = k.make_socket(self, rec.unix_domain);
+          const bool ok = k.sock_bind(self, *tcp_of(of), rec.listen_port);
+          DSIM_CHECK_MSG(ok, "dmtcp_restart: listener port taken");
+          k.sock_listen(self, *tcp_of(of));
+          tcp_of(of)->conn_id = rec.conn_id;
+          of->description_id = rec.desc_id;
+          descs[rec.desc_id] = of;
+          break;
+        }
+        case ConnType::kRawSocket: {
+          auto of = k.make_socket(self, rec.unix_domain);
+          tcp_of(of)->conn_id = rec.conn_id;
+          of->description_id = rec.desc_id;
+          descs[rec.desc_id] = of;
+          break;
+        }
+        case ConnType::kEstablished: {
+          if (rec.peer_gone) {
+            // Half-closed at checkpoint time: restore a local socket that
+            // reports EOF after its (refilled) residual data.
+            auto of = k.make_socket(self, rec.unix_domain);
+            TcpVNode* s = tcp_of(of);
+            s->state = TcpVNode::State::kEstablished;
+            s->peer_closed = true;
+            s->conn_id = rec.conn_id;
+            s->promoted_pipe = rec.promoted_pipe;
+            of->description_id = rec.desc_id;
+            descs[rec.desc_id] = of;
+            break;
+          }
+          // A description shared by several processes (fork semantics)
+          // appears in each of their tables; reconnect it exactly once.
+          if (estab_seen.insert(rec.desc_id).second) {
+            estabs.push_back(EstabWork{&rec, nullptr});
+          }
+          break;
+        }
+      }
+      co_await ctx.sleep(25 * timeconst::kMicrosecond);  // per-fd syscalls
+    }
+  }
+  {
+    Msg note;
+    note.type = MsgType::kStageNote;
+    note.s = "files";
+    note.ua = static_cast<u64>(ctx.now() - t_files);
+    co_await send_msg(k, ctx.thread(), *coord, note);
+  }
+
+  // --- Stage 2 (§4.4): recreate and reconnect sockets via discovery.
+  const SimTime t_conns = ctx.now();
+  // (a) Acceptor ends: one rendezvous listener per connection, advertised
+  // to the discovery service.
+  for (auto& w : estabs) {
+    if (!w.rec->is_acceptor) continue;
+    auto lof = k.make_socket(self, w.rec->unix_domain);
+    const bool ok = k.sock_bind(self, *tcp_of(lof), 0);  // ephemeral
+    DSIM_CHECK(ok);
+    k.sock_listen(self, *tcp_of(lof));
+    w.listener = lof;
+    Msg adv;
+    adv.type = MsgType::kAdvertise;
+    adv.conn = w.rec->conn_id;
+    adv.a = self.node();
+    adv.b = tcp_of(lof)->local.port;
+    co_await send_msg(k, ctx.thread(), *coord, adv);
+  }
+  // (b) Connector ends: query the discovery service...
+  int queries = 0;
+  for (const auto& w : estabs) {
+    if (w.rec->is_acceptor) continue;
+    Msg q;
+    q.type = MsgType::kQueryAddr;
+    q.conn = w.rec->conn_id;
+    co_await send_msg(k, ctx.thread(), *coord, q);
+    ++queries;
+  }
+  // ...and collect the advertisements as peers come up.
+  std::map<sim::ConnId, sim::SockAddr> addrs;
+  while (static_cast<int>(addrs.size()) < queries) {
+    auto m = co_await recv_msg(k, ctx.thread(), *coord);
+    DSIM_CHECK_MSG(m.has_value(), "coordinator died during restart");
+    DSIM_CHECK(m->type == MsgType::kAddrInfo);
+    addrs[m->conn] = sim::SockAddr{m->a, static_cast<u16>(m->b)};
+  }
+  // (c) Connect all connector ends and handshake on the connection id.
+  for (const auto& w : estabs) {
+    if (w.rec->is_acceptor) continue;
+    auto of = k.make_socket(self, w.rec->unix_domain);
+    TcpVNode* s = tcp_of(of);
+    const sim::SockAddr addr = addrs.at(w.rec->conn_id);
+    while (!co_await k.sock_connect(ctx.thread(), *s, addr)) {
+      co_await ctx.sleep(1 * timeconst::kMillisecond);
+    }
+    s->conn_id = w.rec->conn_id;
+    s->promoted_pipe = w.rec->promoted_pipe;
+    of->description_id = w.rec->desc_id;
+    co_await send_conn_handshake(ctx, *s, w.rec->conn_id);
+    descs[w.rec->desc_id] = of;
+  }
+  // (d) Accept on all acceptor ends; verify the handshake.
+  for (const auto& w : estabs) {
+    if (!w.rec->is_acceptor) continue;
+    auto of = co_await k.sock_accept(ctx.thread(), *tcp_of(w.listener));
+    DSIM_CHECK(of != nullptr);
+    TcpVNode* s = tcp_of(of);
+    const sim::ConnId peer_id = co_await recv_conn_handshake(ctx, *s);
+    DSIM_CHECK_MSG(peer_id == w.rec->conn_id,
+                   "restart: handshake disagreed on the restored socket");
+    s->conn_id = w.rec->conn_id;
+    s->is_acceptor = true;
+    s->promoted_pipe = w.rec->promoted_pipe;
+    of->description_id = w.rec->desc_id;
+    descs[w.rec->desc_id] = of;
+  }
+  // All hosts must finish reconnection before user processes run (Fig. 2).
+  {
+    Msg bw;
+    bw.type = MsgType::kBarrierWait;
+    bw.s = barrier::kRestartConns;
+    bw.a = args.hosts;
+    co_await send_msg(k, ctx.thread(), *coord, bw);
+    while (true) {
+      auto m = co_await recv_msg(k, ctx.thread(), *coord);
+      DSIM_CHECK(m.has_value());
+      if (m->type == MsgType::kBarrierRelease &&
+          m->s == barrier::kRestartConns) {
+        break;
+      }
+    }
+    Msg note;
+    note.type = MsgType::kStageNote;
+    note.s = "reconnect";
+    note.ua = static_cast<u64>(ctx.now() - t_conns);
+    co_await send_msg(k, ctx.thread(), *coord, note);
+  }
+
+  // --- Stages 3-5 (§4.4): fork into user processes, rearrange fds with
+  // dup2 semantics, restore memory and threads. The per-image read and
+  // decompress costs run concurrently (one core each, fluid-shared).
+  const SimTime t_mem = ctx.now();
+  {
+    // Device: one sequential read stream per restart process.
+    co_await k.charge_storage(ctx.thread(), self.node(), args.images[0],
+                              total_read_bytes, /*is_read=*/true);
+    // CPU: per-image gunzip/copy jobs in parallel on this node's cores.
+    struct SyncCnt {
+      int remaining = 0;
+      sim::WaitQueue wq;
+    };
+    auto sync = std::make_shared<SyncCnt>();
+    sync->remaining = static_cast<int>(loaded.size());
+    for (auto& li : loaded) {
+      k.node(self.node()).cpu().submit(li.decode_seconds, [sync] {
+        if (--sync->remaining == 0) sync->wq.wake_all();
+      });
+    }
+    while (sync->remaining > 0) co_await sync->wq.wait(ctx.thread());
+  }
+  for (auto& li : loaded) {
+    sim::Process& child = k.fork_bare_child(self);
+    // Stage 4: exact descriptor layout; shared descriptions share OpenFiles.
+    child.fds().clear();
+    for (const auto& fe : li.table.fds) {
+      auto it = descs.find(fe.desc_id);
+      DSIM_CHECK_MSG(it != descs.end(), "restart: missing description");
+      child.fds().install_at(fe.fd, it->second);
+    }
+    // Stage 5: memory (private segments), then the §4.5 shared-memory rules.
+    mtcp::restore_memory(child, li.img);
+    for (const auto& si : li.img.segments) {
+      if (!si.shared) continue;
+      auto& fs = k.fs_for(child.node(), si.backing_path);
+      const bool missing = !fs.exists(si.backing_path);
+      const bool read_only = fs.read_only(si.backing_path);
+      if (missing) {
+        // Backing file missing and directory writable: create a new backing
+        // file from checkpoint data.
+        fs.create(si.backing_path);
+      }
+      auto seg = k.mmap_shared(child, si.backing_path, si.data.size());
+      if (!read_only) {
+        // Overwrite the shared segment with checkpoint data; co-mapped
+        // processes write the same bytes, so the end state is consistent.
+        auto bytes = si.data.materialize(0, si.data.size());
+        seg->data.write(0, bytes);
+        auto inode = fs.lookup(si.backing_path);
+        inode->data = seg->data;
+      }
+      // Read-only: map current file data, *not* the checkpoint data (§4.5).
+      child.mem().attach(seg);
+    }
+    child.env() = li.img.env;
+    // Identity + hijack runtime with the restored connection table.
+    const UniquePid upid{hostid_of(li.img.origin_node), li.img.virt_pid, 0};
+    auto hijack =
+        Hijack::make_restored(child, shared, li.table, li.img.virt_pid,
+                              li.img.virt_ppid, upid, args.expected);
+    child.set_interposer(hijack);
+    // User threads start suspended; the manager resumes them at stage 7.
+    std::vector<sim::ThreadContext> contexts;
+    for (const auto& ti : li.img.threads) contexts.push_back(ti.ctx);
+    k.start_restored(child, li.img.prog_name, li.img.argv, contexts,
+                     /*start_suspended=*/true);
+    hijack->on_attach();  // manager joins at "restart:checkpointed" (B5)
+    co_await ctx.sleep(300 * timeconst::kMicrosecond);  // fork cost
+  }
+  {
+    Msg note;
+    note.type = MsgType::kStageNote;
+    note.s = "memory";
+    note.ua = static_cast<u64>(ctx.now() - t_mem);
+    co_await send_msg(k, ctx.thread(), *coord, note);
+  }
+  // The restart process's duplicate descriptor references are dropped on
+  // exit (children hold their own references), mirroring the real restart
+  // program exec'ing into the user processes.
+  co_return 0;
+}
+
+}  // namespace
+
+sim::Program make_restart_program(std::shared_ptr<DmtcpShared> shared) {
+  sim::Program p;
+  p.name = "dmtcp_restart";
+  p.main = [shared](sim::ProcessCtx& ctx) { return restart_main(ctx, shared); };
+  return p;
+}
+
+}  // namespace dsim::core

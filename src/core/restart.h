@@ -1,0 +1,20 @@
+// dmtcp_restart: the unified per-host restart process (§4.4, Fig. 2).
+//
+// One restart process per host: it reopens files and recreates ptys,
+// re-establishes sockets through the coordinator's discovery service, then
+// forks into the user processes, rearranges descriptors with dup2 so that
+// previously-shared descriptions are shared again, restores memory and
+// threads via MTCP, and hands control to the restored checkpoint managers
+// (which join at Barrier 5, refill, and resume).
+#pragma once
+
+#include <memory>
+
+#include "core/stats.h"
+#include "sim/program.h"
+
+namespace dsim::core {
+
+sim::Program make_restart_program(std::shared_ptr<DmtcpShared> shared);
+
+}  // namespace dsim::core

@@ -1,0 +1,32 @@
+// dmtcp_restart_script.sh generation and parsing (§3).
+//
+// "Additionally, a shell script, dmtcp_restart_script.sh, is created
+// containing all the commands needed to restart the distributed
+// computation. This script consists of many calls to dmtcp_restart, one for
+// each node." The script is a real text artifact written into the simulated
+// filesystem; DmtcpControl::restart() parses it back, which keeps the
+// generate/parse pair honest (round-trip tested).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dsim::core {
+
+struct RestartPlan {
+  NodeId coord_node = 0;
+  u16 coord_port = 7779;
+  int total_procs = 0;
+  struct HostLine {
+    NodeId host = 0;
+    std::vector<std::string> images;
+  };
+  std::vector<HostLine> hosts;
+};
+
+std::string format_restart_script(const RestartPlan& plan);
+RestartPlan parse_restart_script(const std::string& text);
+
+}  // namespace dsim::core

@@ -1,0 +1,81 @@
+// Instrumentation shared between the DMTCP runtime and the experimenter.
+//
+// The coordinator stamps barrier-release times; managers report image sizes;
+// restart processes report stage durations. Benches read this after the
+// simulation settles. (This mirrors the paper's methodology: stage times are
+// "the durations between the global barriers", §5.3.)
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "util/types.h"
+
+namespace dsim::core {
+
+/// One checkpoint round, timestamped by the coordinator.
+struct CkptRound {
+  SimTime requested = 0;
+  SimTime suspended = 0;
+  SimTime elected = 0;
+  SimTime drained = 0;
+  SimTime checkpointed = 0;
+  SimTime refilled = 0;
+  int procs = 0;
+  u64 total_uncompressed = 0;  // aggregate cluster-wide image bytes
+  u64 total_compressed = 0;
+  /// Forked mode: when the last background writer finished (image durable).
+  SimTime background_done = 0;
+
+  double total_seconds() const { return to_seconds(refilled - requested); }
+  double suspend_seconds() const { return to_seconds(suspended - requested); }
+  double elect_seconds() const { return to_seconds(elected - suspended); }
+  double drain_seconds() const { return to_seconds(drained - elected); }
+  double write_seconds() const { return to_seconds(checkpointed - drained); }
+  double refill_seconds() const { return to_seconds(refilled - checkpointed); }
+};
+
+/// One restart, assembled from restart-process stage notes + coordinator
+/// barrier stamps.
+struct RestartRun {
+  SimTime script_started = 0;
+  SimTime refilled = 0;      // == resume point (§4.4 steps 6-7)
+  int procs = 0;
+  // Per-host stage durations, averaged across hosts (Table 1b methodology).
+  double files_ptys_seconds = 0;
+  double reconnect_seconds = 0;
+  double memory_threads_seconds = 0;
+  int hosts_reported = 0;
+
+  double total_seconds() const { return to_seconds(refilled - script_started); }
+  double refill_seconds = 0;  // duration between restart B5 and B6
+};
+
+struct DmtcpStats {
+  std::vector<CkptRound> rounds;
+  std::vector<RestartRun> restarts;
+  const CkptRound& last_round() const { return rounds.back(); }
+  const RestartRun& last_restart() const { return restarts.back(); }
+};
+
+/// State shared by the control handle, coordinator and hijacks of one
+/// computation. Lives on the experimenter's side of the fence.
+struct DmtcpShared {
+  DmtcpOptions opts;
+  DmtcpStats stats;
+  int ckpt_generation = 0;  // bumped per completed checkpoint
+  /// Virtual pids in use across the computation (conflict detection, §4.5).
+  std::set<Pid> active_vpids;
+  /// Virtual pid -> current real pid (pid virtualization, §4.5). Entries
+  /// persist across exits (real pids are never reused within a run) and are
+  /// re-pointed on restart.
+  std::map<Pid, Pid> vpid_map;
+  /// True while a checkpoint round is in flight (new spawns are held at the
+  /// wrapper until it completes, keeping the barrier membership stable).
+  bool ckpt_active = false;
+};
+
+}  // namespace dsim::core

@@ -1,0 +1,36 @@
+// MPI process-manager runtimes.
+//
+// Two launch stacks mirror the paper's §5.2 configurations:
+//  - MPICH2-like: `mpdboot` spawns an `mpd` daemon per node over ssh (the
+//    DMTCP-intercepted path, §3); the daemons connect into a ring and keep
+//    a token circulating. `mpd_mpirun` contacts each mpd over a control
+//    connection to spawn the rank processes.
+//  - OpenMPI-like: `orte_mpirun` spawns an `orted` daemon per node over
+//    ssh; orteds connect back to mpirun (a star), which commands them to
+//    spawn ranks.
+// All daemons and launchers are ordinary simulated processes and are part
+// of the checkpointed computation — exactly what the paper's "Baseline"
+// rows in Fig. 4 measure ("the cost of checkpointing MPICH2 and its
+// resource manager, MPD").
+#pragma once
+
+#include "sim/kernel.h"
+
+namespace dsim::mpi {
+
+/// Register mpdboot/mpd/mpd_mpirun/orted/orte_mpirun with the kernel.
+void register_runtime_programs(sim::Kernel& k);
+
+/// Control port of the mpd daemon on a node.
+inline constexpr u16 kMpdPortBase = 21000;
+/// Port mpirun (OpenMPI-like) listens on for orted call-backs.
+inline constexpr u16 kOrtePort = 22000;
+
+/// Convenience used by benches: argv for `mpd_mpirun`/`orte_mpirun`:
+///   [np, nnodes, prog, appargs...]; the rank processes receive
+///   [appargs..., rank, np, nnodes].
+std::vector<std::string> mpirun_argv(int np, int nnodes,
+                                     const std::string& prog,
+                                     std::vector<std::string> app_args);
+
+}  // namespace dsim::mpi

@@ -1,0 +1,91 @@
+#include "mtcp/image.h"
+
+namespace dsim::mtcp {
+
+u64 ProcessImage::memory_bytes() const {
+  u64 acc = 0;
+  for (const auto& s : segments) acc += s.data.size();
+  return acc;
+}
+
+void ProcessImage::serialize(ByteWriter& w) const {
+  w.put_string(prog_name);
+  w.put_u64(argv.size());
+  for (const auto& a : argv) w.put_string(a);
+  w.put_u64(env.size());
+  for (const auto& [k, v] : env) {
+    w.put_string(k);
+    w.put_string(v);
+  }
+  w.put_i32(virt_pid);
+  w.put_i32(virt_ppid);
+  w.put_i32(origin_node);
+
+  for (u8 h : signals.handler) w.put_u8(h);
+  w.put_u32(signals.blocked_mask);
+  w.put_i32(ctty);
+
+  w.put_u64(segments.size());
+  for (const auto& s : segments) {
+    w.put_string(s.name);
+    w.put_u8(static_cast<u8>(s.kind));
+    w.put_bool(s.shared);
+    w.put_string(s.backing_path);
+    s.data.serialize(w);
+  }
+
+  w.put_u64(threads.size());
+  for (const auto& t : threads) {
+    w.put_u8(static_cast<u8>(t.kind));
+    w.put_u32(t.ctx.phase);
+    w.put_u32(t.ctx.role);
+    for (u64 r : t.ctx.regs) w.put_u64(r);
+  }
+
+  w.put_blob(dmtcp_blob);
+}
+
+ProcessImage ProcessImage::deserialize(ByteReader& r) {
+  ProcessImage img;
+  img.prog_name = r.get_string();
+  const u64 nargv = r.get_u64();
+  for (u64 i = 0; i < nargv; ++i) img.argv.push_back(r.get_string());
+  const u64 nenv = r.get_u64();
+  for (u64 i = 0; i < nenv; ++i) {
+    auto k = r.get_string();
+    img.env[k] = r.get_string();
+  }
+  img.virt_pid = r.get_i32();
+  img.virt_ppid = r.get_i32();
+  img.origin_node = r.get_i32();
+
+  for (auto& h : img.signals.handler) h = r.get_u8();
+  img.signals.blocked_mask = r.get_u32();
+  img.ctty = r.get_i32();
+
+  const u64 nseg = r.get_u64();
+  for (u64 i = 0; i < nseg; ++i) {
+    SegmentImage s;
+    s.name = r.get_string();
+    s.kind = static_cast<sim::MemKind>(r.get_u8());
+    s.shared = r.get_bool();
+    s.backing_path = r.get_string();
+    s.data = sim::ByteImage::deserialize(r);
+    img.segments.push_back(std::move(s));
+  }
+
+  const u64 nthr = r.get_u64();
+  for (u64 i = 0; i < nthr; ++i) {
+    ThreadImage t;
+    t.kind = static_cast<sim::ThreadKind>(r.get_u8());
+    t.ctx.phase = r.get_u32();
+    t.ctx.role = r.get_u32();
+    for (auto& reg : t.ctx.regs) reg = r.get_u64();
+    img.threads.push_back(t);
+  }
+
+  img.dmtcp_blob = r.get_blob();
+  return img;
+}
+
+}  // namespace dsim::mtcp

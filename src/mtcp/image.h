@@ -1,0 +1,60 @@
+// MTCP process image format.
+//
+// DMTCP's two-layer design (§4.1): MTCP owns single-process state — memory
+// segments, thread contexts, signal dispositions, terminal ownership — while
+// the DMTCP layer above owns descriptors and connections. The DMTCP layer's
+// serialized connection table travels as an opaque blob inside the image
+// (`dmtcp_blob`), keeping the layer API as narrow as the paper describes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/byte_image.h"
+#include "sim/process.h"
+#include "sim/thread.h"
+#include "util/serialize.h"
+#include "util/types.h"
+
+namespace dsim::mtcp {
+
+struct SegmentImage {
+  std::string name;
+  sim::MemKind kind = sim::MemKind::kHeap;
+  bool shared = false;
+  std::string backing_path;
+  sim::ByteImage data;
+};
+
+struct ThreadImage {
+  sim::ThreadKind kind = sim::ThreadKind::kMain;
+  sim::ThreadContext ctx;
+};
+
+struct ProcessImage {
+  // Identity.
+  std::string prog_name;
+  std::vector<std::string> argv;
+  std::map<std::string, std::string> env;
+  Pid virt_pid = kNoPid;
+  Pid virt_ppid = kNoPid;
+  NodeId origin_node = -1;
+
+  // MTCP-owned state.
+  sim::SignalTable signals;
+  i32 ctty = -1;
+  std::vector<SegmentImage> segments;
+  std::vector<ThreadImage> threads;  // user threads only; manager excluded
+
+  // DMTCP layer payload (connection table, fd table, drained socket data).
+  std::vector<std::byte> dmtcp_blob;
+
+  /// Sum of segment (virtual) sizes — the paper's "memory image" size.
+  u64 memory_bytes() const;
+
+  void serialize(ByteWriter& w) const;
+  static ProcessImage deserialize(ByteReader& r);
+};
+
+}  // namespace dsim::mtcp

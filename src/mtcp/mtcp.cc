@@ -1,0 +1,153 @@
+#include "mtcp/mtcp.h"
+
+#include <algorithm>
+
+#include "sim/model_params.h"
+#include "util/assertx.h"
+
+namespace dsim::mtcp {
+namespace {
+
+using sim::ByteImage;
+using sim::ExtentKind;
+
+/// Measured compression ratio of a pattern extent, from a materialized
+/// sample (cached per (codec, kind, seed-class)).
+double pattern_ratio(compress::CodecKind codec, const ByteImage::Extent& ext,
+                     u64 off) {
+  constexpr u64 kSample = 64 * 1024;
+  // Zero extents: one measurement per codec suffices.
+  static std::map<compress::CodecKind, double> zero_cache;
+  if (ext.kind == ExtentKind::kZero) {
+    auto zit = zero_cache.find(codec);
+    if (zit == zero_cache.end()) {
+      std::vector<std::byte> zeros(kSample);
+      zit = zero_cache.emplace(codec,
+                               compress::measure_ratio(codec, zeros)).first;
+    }
+    return zit->second;
+  }
+  // Random extents: position-based content; sample the actual range head.
+  static std::map<std::pair<compress::CodecKind, u64>, double> rand_cache;
+  auto it = rand_cache.find({codec, ext.seed});
+  if (it != rand_cache.end()) return it->second;
+  std::vector<std::byte> sample(std::min<u64>(kSample, ext.len));
+  for (u64 i = 0; i < sample.size(); ++i) {
+    sample[i] = static_cast<std::byte>(ByteImage::rand_byte(ext.seed, off + i));
+  }
+  const double r = compress::measure_ratio(codec, sample);
+  rand_cache.emplace(std::make_pair(codec, ext.seed), r);
+  return r;
+}
+
+}  // namespace
+
+ProcessImage capture(sim::Process& p) {
+  ProcessImage img;
+  img.prog_name = p.prog_name();
+  img.argv = p.argv();
+  img.env = p.env();
+  img.virt_pid = p.pid();   // overwritten by the DMTCP layer with the vpid
+  img.virt_ppid = p.ppid();
+  img.origin_node = p.node();
+  img.signals = p.signals();
+  img.ctty = p.ctty();
+  for (const auto& seg : p.mem().segments()) {
+    SegmentImage si;
+    si.name = seg->name;
+    si.kind = seg->kind;
+    si.shared = seg->shared;
+    si.backing_path = seg->backing_path;
+    si.data = seg->data;  // COW: O(#extents)
+    img.segments.push_back(std::move(si));
+  }
+  for (const auto& t : p.threads()) {
+    if (t->kind() == sim::ThreadKind::kManager) continue;
+    if (!t->alive()) continue;
+    img.threads.push_back(ThreadImage{t->kind(), t->context()});
+  }
+  // Main thread first (restore recreates in order).
+  std::stable_sort(img.threads.begin(), img.threads.end(),
+                   [](const ThreadImage& a, const ThreadImage& b) {
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return img;
+}
+
+EncodedImage encode(const ProcessImage& img, compress::CodecKind codec) {
+  ByteWriter w;
+  img.serialize(w);
+  auto serialized = w.take();
+
+  EncodedImage out;
+  // Virtual uncompressed size: full memory plus (small) metadata. Pattern
+  // extents are descriptors in `serialized` but count at full size here.
+  u64 pattern_bytes = 0;
+  u64 zero_bytes = 0;
+  double pattern_compressed = 0;
+  for (const auto& seg : img.segments) {
+    seg.data.for_each_extent([&](u64 off, const ByteImage::Extent& ext) {
+      if (ext.kind == ExtentKind::kZero) zero_bytes += ext.len;
+      if (ext.kind == ExtentKind::kReal) return;
+      pattern_bytes += ext.len;
+      if (codec != compress::CodecKind::kNone) {
+        pattern_compressed +=
+            static_cast<double>(ext.len) * pattern_ratio(codec, ext, off);
+      }
+    });
+  }
+  out.virtual_uncompressed = serialized.size() + pattern_bytes;
+
+  out.bytes = compress::codec(codec).compress(serialized);
+  if (codec == compress::CodecKind::kNone) {
+    out.virtual_compressed = out.virtual_uncompressed;
+    out.compress_seconds = 0;
+    // Direct write path (no gzip pipe): assembly is a fast gather.
+    out.assemble_seconds = static_cast<double>(out.virtual_uncompressed) /
+                           sim::params::kMemcpyBw;
+  } else {
+    out.virtual_compressed =
+        out.bytes.size() + static_cast<u64>(pattern_compressed);
+    // gzip cost split by content class (DESIGN.md §6): zero pages fly,
+    // everything else crawls at data rate.
+    const u64 nonzero = out.virtual_uncompressed - zero_bytes;
+    out.compress_seconds =
+        static_cast<double>(zero_bytes) / sim::params::kGzipZeroBw +
+        static_cast<double>(nonzero) / sim::params::kGzipDataBw;
+    out.assemble_seconds = static_cast<double>(out.virtual_uncompressed) /
+                           sim::params::kMemcpyBw;
+  }
+  return out;
+}
+
+ProcessImage decode(std::span<const std::byte> container,
+                    compress::CodecKind codec, double* decode_seconds) {
+  auto serialized = compress::codec(codec).decompress(container);
+  ByteReader r(serialized);
+  ProcessImage img = ProcessImage::deserialize(r);
+  if (decode_seconds) {
+    const double virt = static_cast<double>(img.memory_bytes());
+    *decode_seconds =
+        codec == compress::CodecKind::kNone
+            ? virt / sim::params::kImageAssembleBw
+            : virt / sim::params::kGunzipOutBw;
+  }
+  return img;
+}
+
+void restore_memory(sim::Process& p, const ProcessImage& img) {
+  p.mem().clear();
+  for (const auto& si : img.segments) {
+    if (si.shared) continue;  // §4.5 rules applied by core::restart
+    auto seg = std::make_shared<sim::MemSegment>();
+    seg->name = si.name;
+    seg->kind = si.kind;
+    seg->shared = false;
+    seg->data = si.data;
+    p.mem().attach(std::move(seg));
+  }
+  p.signals() = img.signals;
+  p.ctty() = img.ctty;
+}
+
+}  // namespace dsim::mtcp

@@ -1,0 +1,45 @@
+// MTCP: single-process checkpoint capture, encoding and restore.
+//
+// Capture walks the live process; encode serializes + compresses (real
+// bytes really compressed, pattern ballast estimated from measured samples);
+// restore rebuilds memory/signals into a bare process. Virtual-time costs
+// of assembling, compressing and decompressing are *computed* here and
+// *charged* by the caller (the DMTCP manager thread), so the forked-
+// checkpointing engine can charge them on a background CPU job instead.
+#pragma once
+
+#include <functional>
+
+#include "compress/compressor.h"
+#include "mtcp/image.h"
+#include "sim/process.h"
+
+namespace dsim::mtcp {
+
+/// Size/cost accounting for one encoded image.
+struct EncodedImage {
+  std::vector<std::byte> bytes;   // real container written to the VFS
+  u64 virtual_uncompressed = 0;   // what the paper's "checkpoint size" means
+  u64 virtual_compressed = 0;     // == virtual_uncompressed for CodecKind::kNone
+  double assemble_seconds = 0;    // serialize/memcpy cost
+  double compress_seconds = 0;    // gzip CPU cost (0 when not compressing)
+};
+
+/// Capture the MTCP-owned state of a live process. `dmtcp_blob` is spliced
+/// in by the caller (the DMTCP layer owns descriptors).
+ProcessImage capture(sim::Process& p);
+
+/// Serialize + compress. Pattern extents are charged by measured sample
+/// ratios (DESIGN.md §5); real extents are actually compressed.
+EncodedImage encode(const ProcessImage& img, compress::CodecKind codec);
+
+/// Inverse of encode. Also returns the decode CPU cost in seconds via
+/// `decode_seconds` (gunzip is output-rate-bound; §5.4).
+ProcessImage decode(std::span<const std::byte> container,
+                    compress::CodecKind codec, double* decode_seconds);
+
+/// Rebuild memory/signals/identity into `p` (threads are started by the
+/// restart driver; shared-memory §4.5 rules are applied by core::restart).
+void restore_memory(sim::Process& p, const ProcessImage& img);
+
+}  // namespace dsim::mtcp

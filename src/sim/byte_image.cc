@@ -1,0 +1,212 @@
+#include "sim/byte_image.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assertx.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace dsim::sim {
+
+ByteImage::ByteImage(u64 size) : size_(size) {
+  if (size > 0) {
+    ext_.emplace(0, Extent{size, ExtentKind::kZero, 0, nullptr, 0});
+  }
+}
+
+u8 ByteImage::rand_byte(u64 seed, u64 pos) {
+  u64 s = seed ^ (pos >> 3) * 0x9e3779b97f4a7c15ULL;
+  const u64 block = splitmix64(s);
+  return static_cast<u8>(block >> ((pos & 7) * 8));
+}
+
+void ByteImage::resize(u64 new_size) {
+  if (new_size == size_) return;
+  if (new_size > size_) {
+    ext_.emplace(size_,
+                 Extent{new_size - size_, ExtentKind::kZero, 0, nullptr, 0});
+    size_ = new_size;
+    return;
+  }
+  split_at(new_size);
+  ext_.erase(ext_.lower_bound(new_size), ext_.end());
+  size_ = new_size;
+}
+
+void ByteImage::split_at(u64 pos) {
+  if (pos == 0 || pos >= size_) return;
+  auto it = ext_.upper_bound(pos);
+  DSIM_CHECK(it != ext_.begin());
+  --it;
+  const u64 start = it->first;
+  if (start == pos) return;
+  Extent& ext = it->second;
+  DSIM_CHECK(pos < start + ext.len);
+  Extent tail = ext;
+  const u64 head_len = pos - start;
+  tail.len = ext.len - head_len;
+  if (tail.kind == ExtentKind::kReal) {
+    tail.data_off += head_len;
+  }
+  // kRand content is position-based, so the seed carries over unchanged.
+  ext.len = head_len;
+  ext_.emplace(pos, std::move(tail));
+}
+
+void ByteImage::replace_range(u64 off, u64 len, Extent ext) {
+  split_at(off);
+  split_at(off + len);
+  auto first = ext_.lower_bound(off);
+  auto last = ext_.lower_bound(off + len);
+  ext_.erase(first, last);
+  ext_.emplace(off, std::move(ext));
+}
+
+void ByteImage::write(u64 off, std::span<const std::byte> bytes) {
+  if (bytes.empty()) return;
+  DSIM_CHECK_MSG(off + bytes.size() <= size_, "ByteImage write out of range");
+
+  // Fast path: the range lies within a single uniquely-owned real extent.
+  auto it = ext_.upper_bound(off);
+  DSIM_CHECK(it != ext_.begin());
+  --it;
+  Extent& cur = it->second;
+  const u64 start = it->first;
+  if (cur.kind == ExtentKind::kReal && cur.data &&
+      cur.data.use_count() == 1 && off + bytes.size() <= start + cur.len) {
+    auto* vec = const_cast<std::vector<std::byte>*>(cur.data.get());
+    std::memcpy(vec->data() + cur.data_off + (off - start), bytes.data(),
+                bytes.size());
+    return;
+  }
+
+  auto data = std::make_shared<std::vector<std::byte>>(bytes.begin(),
+                                                       bytes.end());
+  replace_range(off, bytes.size(),
+                Extent{bytes.size(), ExtentKind::kReal, 0, std::move(data), 0});
+}
+
+void ByteImage::fill(u64 off, u64 len, ExtentKind kind, u64 seed) {
+  if (len == 0) return;
+  DSIM_CHECK_MSG(off + len <= size_, "ByteImage fill out of range");
+  DSIM_CHECK_MSG(kind != ExtentKind::kReal, "use write() for real bytes");
+  replace_range(off, len, Extent{len, kind, seed, nullptr, 0});
+}
+
+void ByteImage::read(u64 off, std::span<std::byte> out) const {
+  if (out.empty()) return;
+  DSIM_CHECK_MSG(off + out.size() <= size_, "ByteImage read out of range");
+  u64 pos = off;
+  u64 done = 0;
+  auto it = ext_.upper_bound(off);
+  DSIM_CHECK(it != ext_.begin());
+  --it;
+  while (done < out.size()) {
+    DSIM_CHECK(it != ext_.end());
+    const u64 start = it->first;
+    const Extent& ext = it->second;
+    const u64 in_ext = pos - start;
+    const u64 n = std::min<u64>(ext.len - in_ext, out.size() - done);
+    switch (ext.kind) {
+      case ExtentKind::kReal:
+        std::memcpy(out.data() + done,
+                    ext.data->data() + ext.data_off + in_ext, n);
+        break;
+      case ExtentKind::kZero:
+        std::memset(out.data() + done, 0, n);
+        break;
+      case ExtentKind::kRand:
+        for (u64 k = 0; k < n; ++k) {
+          out[done + k] = static_cast<std::byte>(rand_byte(ext.seed, pos + k));
+        }
+        break;
+    }
+    done += n;
+    pos += n;
+    ++it;
+  }
+}
+
+std::vector<std::byte> ByteImage::materialize(u64 off, u64 len) const {
+  std::vector<std::byte> out(len);
+  read(off, out);
+  return out;
+}
+
+u64 ByteImage::real_bytes() const {
+  u64 acc = 0;
+  for (const auto& [off, ext] : ext_) {
+    if (ext.kind == ExtentKind::kReal) acc += ext.len;
+  }
+  return acc;
+}
+
+u64 ByteImage::pattern_bytes(ExtentKind kind) const {
+  u64 acc = 0;
+  for (const auto& [off, ext] : ext_) {
+    if (ext.kind == kind) acc += ext.len;
+  }
+  return acc;
+}
+
+u32 ByteImage::content_crc() const {
+  u32 crc = 0;
+  std::vector<std::byte> chunk(64 * 1024);
+  u64 pos = 0;
+  while (pos < size_) {
+    const u64 n = std::min<u64>(chunk.size(), size_ - pos);
+    read(pos, std::span(chunk).first(n));
+    crc = crc32_update(crc, std::span<const std::byte>(chunk).first(n));
+    pos += n;
+  }
+  return crc;
+}
+
+void ByteImage::serialize(ByteWriter& w) const {
+  w.put_u64(size_);
+  w.put_u64(ext_.size());
+  for (const auto& [off, ext] : ext_) {
+    w.put_u64(off);
+    w.put_u64(ext.len);
+    w.put_u8(static_cast<u8>(ext.kind));
+    w.put_u64(ext.seed);
+    if (ext.kind == ExtentKind::kReal) {
+      w.put_blob(std::span<const std::byte>(*ext.data).subspan(
+          ext.data_off, ext.len));
+    }
+  }
+}
+
+ByteImage ByteImage::deserialize(ByteReader& r) {
+  ByteImage img;
+  img.size_ = r.get_u64();
+  const u64 n = r.get_u64();
+  for (u64 i = 0; i < n; ++i) {
+    const u64 off = r.get_u64();
+    Extent ext;
+    ext.len = r.get_u64();
+    ext.kind = static_cast<ExtentKind>(r.get_u8());
+    ext.seed = r.get_u64();
+    if (ext.kind == ExtentKind::kReal) {
+      ext.data = std::make_shared<std::vector<std::byte>>(r.get_blob());
+      DSIM_CHECK(ext.data->size() == ext.len);
+    }
+    img.ext_.emplace(off, std::move(ext));
+  }
+  img.check_invariants();
+  return img;
+}
+
+void ByteImage::check_invariants() const {
+  u64 expect = 0;
+  for (const auto& [off, ext] : ext_) {
+    DSIM_CHECK_MSG(off == expect, "ByteImage extents must be contiguous");
+    DSIM_CHECK(ext.len > 0);
+    expect = off + ext.len;
+  }
+  DSIM_CHECK_MSG(expect == size_, "ByteImage extents must cover size");
+}
+
+}  // namespace dsim::sim

@@ -1,0 +1,33 @@
+#include "sim/cluster.h"
+
+#include "sim/model_params.h"
+
+namespace dsim::sim {
+
+Cluster::Cluster(const ClusterConfig& cfg) {
+  KernelConfig kc;
+  kc.num_nodes = cfg.nodes;
+  kc.cores_per_node = cfg.cores_per_node;
+  kc.san_direct_nodes = cfg.san ? std::min(cfg.nodes, params::kSanDirectNodes)
+                                : 0;
+  kc.seed = cfg.seed;
+  kc.jitter_sigma = cfg.jitter_sigma;
+  kernel_ = std::make_unique<Kernel>(kc);
+}
+
+ClusterConfig Cluster::single_node() {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.cores_per_node = 8;  // dual-socket quad-core Xeon E5320 (§5.1)
+  return cfg;
+}
+
+ClusterConfig Cluster::lab_cluster(int nodes, bool san) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.cores_per_node = params::kCoresPerNode;
+  cfg.san = san;
+  return cfg;
+}
+
+}  // namespace dsim::sim

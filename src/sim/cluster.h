@@ -1,0 +1,39 @@
+// Cluster: convenience builder around Kernel matching the paper's testbeds.
+#pragma once
+
+#include <memory>
+
+#include "sim/kernel.h"
+
+namespace dsim::sim {
+
+struct ClusterConfig {
+  int nodes = 1;
+  int cores_per_node = 4;   // dual-socket dual-core Xeon 5130 (§5.2)
+  bool san = false;         // attach SAN/NFS shared storage (Fig. 5b)
+  u64 seed = 0x5eed;
+  double jitter_sigma = 0.0;
+};
+
+/// Owns a Kernel configured like one of the paper's testbeds. The paper's
+/// desktop experiments (§5.1) use single_node(); the distributed experiments
+/// (§5.2) use lab_cluster(32).
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg);
+
+  static ClusterConfig single_node();
+  static ClusterConfig lab_cluster(int nodes, bool san = false);
+
+  Kernel& kernel() { return *kernel_; }
+  EventLoop& loop() { return kernel_->loop(); }
+  /// Run the simulation until no events remain.
+  void run() { kernel_->loop().run(); }
+  /// Run at most until the given virtual time.
+  bool run_until(SimTime t) { return kernel_->loop().run_until(t); }
+
+ private:
+  std::unique_ptr<Kernel> kernel_;
+};
+
+}  // namespace dsim::sim

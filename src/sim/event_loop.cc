@@ -1,0 +1,64 @@
+#include "sim/event_loop.h"
+
+namespace dsim::sim {
+
+EventId EventLoop::post_at(SimTime t, Fn fn) {
+  DSIM_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  const EventId id = next_seq_++;
+  queue_.push(Ev{t, id, id});
+  fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::cancel(EventId id) {
+  if (id == kNoEvent) return;
+  auto it = fns_.find(id);
+  if (it == fns_.end()) return;  // already fired
+  fns_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool EventLoop::pop_one() {
+  while (!queue_.empty()) {
+    Ev ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id)) continue;
+    auto it = fns_.find(ev.id);
+    if (it == fns_.end()) continue;
+    Fn fn = std::move(it->second);
+    fns_.erase(it);
+    DSIM_CHECK(ev.t >= now_);
+    now_ = ev.t;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_ && pop_one()) {
+  }
+}
+
+bool EventLoop::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek: do not advance past the deadline.
+    Ev ev = queue_.top();
+    if (cancelled_.count(ev.id)) {
+      queue_.pop();
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    if (ev.t > deadline) {
+      now_ = deadline;
+      return true;
+    }
+    pop_one();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return !queue_.empty();
+}
+
+}  // namespace dsim::sim

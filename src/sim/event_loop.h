@@ -1,0 +1,71 @@
+// Discrete-event loop with a virtual clock.
+//
+// The entire cluster — every node, process, thread, NIC, disk and protocol —
+// is driven by one of these. Events at equal timestamps fire in posting
+// order (sequence-number tiebreak), which makes every simulation run
+// bit-reproducible for a given seed.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assertx.h"
+#include "util/types.h"
+
+namespace dsim::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = u64;
+inline constexpr EventId kNoEvent = 0;
+
+class EventLoop {
+ public:
+  using Fn = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now).
+  EventId post_at(SimTime t, Fn fn);
+  /// Schedule `fn` after a delay.
+  EventId post_in(SimTime dt, Fn fn) { return post_at(now_ + dt, std::move(fn)); }
+  /// Schedule `fn` at the current time (after already-queued same-time events).
+  EventId post_now(Fn fn) { return post_at(now_, std::move(fn)); }
+
+  /// Cancel a previously scheduled event. Safe to call with kNoEvent or an
+  /// already-fired id (no-op).
+  void cancel(EventId id);
+
+  /// Run until the queue is empty or `stop()` is called.
+  void run();
+  /// Run events with time <= deadline; returns true if events remain.
+  bool run_until(SimTime deadline);
+  void stop() { stopped_ = true; }
+
+  size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Ev {
+    SimTime t;
+    u64 seq;
+    EventId id;
+    // Ordering for priority_queue (min-heap via greater).
+    bool operator>(const Ev& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  bool pop_one();
+
+  SimTime now_ = 0;
+  u64 next_seq_ = 1;
+  bool stopped_ = false;
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> queue_;
+  // Functions stored separately so cancel() can release closures eagerly.
+  std::unordered_map<EventId, Fn> fns_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace dsim::sim

@@ -1,0 +1,61 @@
+#include "sim/interposer.h"
+
+#include "sim/pctx.h"
+
+namespace dsim::sim {
+
+Task<Fd> Interposer::wrap_socket(ProcessCtx& ctx, bool unix_domain) {
+  return ctx.socket_raw(unix_domain);
+}
+Task<bool> Interposer::wrap_connect(ProcessCtx& ctx, Fd fd, SockAddr addr) {
+  return ctx.connect_raw(fd, addr);
+}
+Task<bool> Interposer::wrap_bind(ProcessCtx& ctx, Fd fd, u16 port) {
+  return ctx.bind_raw(fd, port);
+}
+Task<void> Interposer::wrap_listen(ProcessCtx& ctx, Fd fd) {
+  return ctx.listen_raw(fd);
+}
+Task<Fd> Interposer::wrap_accept(ProcessCtx& ctx, Fd fd) {
+  return ctx.accept_raw(fd);
+}
+Task<std::pair<Fd, Fd>> Interposer::wrap_socketpair(ProcessCtx& ctx) {
+  return ctx.socketpair_raw();
+}
+Task<std::pair<Fd, Fd>> Interposer::wrap_pipe(ProcessCtx& ctx) {
+  return ctx.pipe_raw();
+}
+Task<Pid> Interposer::wrap_spawn(ProcessCtx& ctx, NodeId node,
+                                 std::string prog,
+                                 std::vector<std::string> argv,
+                                 std::map<std::string, std::string> env) {
+  return ctx.spawn_raw(node, prog, std::move(argv), std::move(env));
+}
+Task<int> Interposer::wrap_waitpid(ProcessCtx& ctx, Pid child) {
+  return ctx.waitpid_raw(child);
+}
+Task<void> Interposer::wrap_close(ProcessCtx& ctx, Fd fd) {
+  return ctx.close_raw(fd);
+}
+Task<void> Interposer::wrap_dup2(ProcessCtx& ctx, Fd oldfd, Fd newfd) {
+  return ctx.dup2_raw(oldfd, newfd);
+}
+Pid Interposer::wrap_getpid(ProcessCtx& ctx) { return ctx.getpid_real(); }
+Task<std::pair<Fd, Fd>> Interposer::wrap_openpty(ProcessCtx& ctx) {
+  return ctx.openpty_raw();
+}
+std::string Interposer::wrap_ptsname(ProcessCtx& ctx, Fd master) {
+  return ctx.ptsname_raw(master);
+}
+void Interposer::wrap_openlog(ProcessCtx& ctx, std::string ident) {
+  ctx.process().syslog_ident = std::move(ident);
+}
+void Interposer::wrap_syslog(ProcessCtx& ctx, std::string msg) {
+  ctx.process().syslog_messages.push_back(ctx.process().syslog_ident + ": " +
+                                          msg);
+}
+void Interposer::wrap_closelog(ProcessCtx& ctx) {
+  ctx.process().syslog_ident.clear();
+}
+
+}  // namespace dsim::sim

@@ -1,0 +1,31 @@
+#include "sim/net.h"
+
+#include "sim/model_params.h"
+
+namespace dsim::sim {
+
+Network::Network(EventLoop& loop, int num_nodes) : loop_(loop) {
+  egress_.reserve(num_nodes);
+  loopback_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    egress_.push_back(std::make_unique<StorageDevice>(
+        loop, "nic" + std::to_string(i), params::kNicBandwidth,
+        params::kNetLatency));
+    loopback_.push_back(std::make_unique<StorageDevice>(
+        loop, "lo" + std::to_string(i), params::kLoopbackBandwidth,
+        params::kLoopbackLatency));
+  }
+}
+
+void Network::transfer(NodeId from, NodeId to, u64 bytes,
+                       std::function<void()> arrive) {
+  auto& dev = (from == to) ? *loopback_[from] : *egress_[from];
+  dev.submit(bytes, std::move(arrive));
+}
+
+void Network::set_jitter(Rng* rng, double sigma) {
+  for (auto& d : egress_) d->set_jitter(rng, sigma);
+  for (auto& d : loopback_) d->set_jitter(rng, sigma);
+}
+
+}  // namespace dsim::sim

@@ -1,0 +1,37 @@
+// Cluster network fabric.
+//
+// Per-node NIC egress queues (Gigabit Ethernet bandwidth + latency) plus a
+// fast loopback path. The TCP socket layer moves segments through this
+// fabric; bytes "on the wire" at checkpoint time are exactly the segments in
+// flight here, which the DMTCP drain protocol must capture (§4.3 step 4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/storage.h"
+#include "util/types.h"
+
+namespace dsim::sim {
+
+class Network {
+ public:
+  Network(EventLoop& loop, int num_nodes);
+
+  /// Deliver `bytes` from node `from` to node `to`; `arrive` fires at the
+  /// receiver when the transfer completes.
+  void transfer(NodeId from, NodeId to, u64 bytes,
+                std::function<void()> arrive);
+
+  void set_jitter(Rng* rng, double sigma);
+  int num_nodes() const { return static_cast<int>(egress_.size()); }
+
+ private:
+  EventLoop& loop_;
+  std::vector<std::unique_ptr<StorageDevice>> egress_;    // NIC per node
+  std::vector<std::unique_ptr<StorageDevice>> loopback_;  // same-node path
+};
+
+}  // namespace dsim::sim

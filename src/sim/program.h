@@ -1,0 +1,40 @@
+// Program registry: "executables" the simulated OS can run.
+//
+// A Program supplies the main-thread coroutine and (for multithreaded
+// programs) a worker-thread entry. On restart the same factories are
+// re-invoked with restored ThreadContexts — the analogue of re-entering the
+// text segment of the same binary with restored registers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/task.h"
+#include "util/types.h"
+
+namespace dsim::sim {
+
+class ProcessCtx;
+
+struct Program {
+  std::string name;
+  /// Main-thread body. Return value is the process exit code.
+  std::function<Task<int>(ProcessCtx&)> main;
+  /// Optional worker-thread body; `role` comes from the saved ThreadContext.
+  std::function<Task<void>(ProcessCtx&, u32 role)> worker;
+};
+
+class ProgramRegistry {
+ public:
+  void add(Program p) { programs_[p.name] = std::move(p); }
+  const Program* find(const std::string& name) const {
+    auto it = programs_.find(name);
+    return it == programs_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, Program> programs_;
+};
+
+}  // namespace dsim::sim

@@ -1,0 +1,137 @@
+// TCP-like sockets with kernel buffers and in-flight data.
+//
+// The socket model carries three pools of bytes per direction — the sender's
+// kernel send buffer, segments in flight in the Network, and the receiver's
+// kernel receive buffer — because DMTCP's drain protocol (§4.3 step 4) must
+// capture all three. Flow control is credit-based: a sender may not have
+// more than the receiver's buffer capacity outstanding (in flight + queued).
+//
+// Segments are typed: kData carries user bytes; kToken is the drain marker
+// DMTCP sends to flush a connection; kCtrl carries manager-to-manager
+// payloads (refill blobs, restart handshakes). Tokens/ctrl ride the same
+// ordered stream as data — the token therefore arrives after every user
+// byte sent before it, which is what makes the drain sound.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/thread.h"
+#include "sim/vnode.h"
+#include "util/serialize.h"
+#include "util/types.h"
+
+namespace dsim::sim {
+
+class Kernel;
+
+struct SockAddr {
+  NodeId node = -1;
+  u16 port = 0;
+  bool operator==(const SockAddr&) const = default;
+  bool operator<(const SockAddr& o) const {
+    return node != o.node ? node < o.node : port < o.port;
+  }
+};
+
+/// Globally unique connection id (§4.4: "hostid, pid, timestamp,
+/// per-process connection number"). Assigned by the DMTCP wrappers at
+/// connect/accept time; stays constant across migration.
+struct ConnId {
+  u64 host = 0;
+  u32 pid = 0;
+  u64 timestamp = 0;
+  u32 seq = 0;
+  bool operator==(const ConnId&) const = default;
+  bool operator<(const ConnId& o) const {
+    if (host != o.host) return host < o.host;
+    if (pid != o.pid) return pid < o.pid;
+    if (timestamp != o.timestamp) return timestamp < o.timestamp;
+    return seq < o.seq;
+  }
+  bool valid() const { return host != 0 || pid != 0 || timestamp != 0; }
+  void serialize(ByteWriter& w) const {
+    w.put_u64(host);
+    w.put_u32(pid);
+    w.put_u64(timestamp);
+    w.put_u32(seq);
+  }
+  static ConnId deserialize(ByteReader& r) {
+    ConnId id;
+    id.host = r.get_u64();
+    id.pid = r.get_u32();
+    id.timestamp = r.get_u64();
+    id.seq = r.get_u32();
+    return id;
+  }
+  std::string str() const;
+};
+
+enum class SegKind : u8 { kData = 0, kToken = 1, kCtrl = 2 };
+
+struct SockSegment {
+  SegKind kind = SegKind::kData;
+  std::vector<std::byte> bytes;
+  u64 consumed = 0;  // partial-read cursor (kData at queue front)
+  u64 remaining() const { return bytes.size() - consumed; }
+};
+
+class TcpVNode final : public VNode,
+                       public std::enable_shared_from_this<TcpVNode> {
+ public:
+  enum class State : u8 {
+    kRaw,          // socket() called, not yet bound/connected
+    kListening,
+    kEstablished,
+    kClosed,       // locally closed
+  };
+
+  explicit TcpVNode(Kernel& kernel)
+      : VNode(VKind::kTcp), kernel_(kernel) {}
+
+  State state = State::kRaw;
+  SockAddr local{};
+  SockAddr remote{};
+  bool is_acceptor = false;  // this end was created by accept()
+
+  /// Paper §4.4: socket type recorded by the wrappers. Loopback/UNIX-domain
+  /// and promoted pipes are all TcpVNode instances flagged here.
+  bool unix_domain = false;
+  bool promoted_pipe = false;
+
+  // --- established-connection plumbing ---
+  std::weak_ptr<TcpVNode> peer;
+  std::deque<SockSegment> send_q;  // kernel send buffer
+  u64 send_q_bytes = 0;
+  u64 in_flight = 0;               // bytes handed to the Network
+  std::deque<SockSegment> recv_q;  // kernel receive buffer
+  u64 recv_q_bytes = 0;
+  bool peer_closed = false;        // FIN seen (ordered behind all data)
+  /// Closed locally but still flushing buffered/in-flight data before the
+  /// FIN is delivered to the peer (TCP linger semantics: data, then FIN).
+  bool lingering = false;
+  bool pump_scheduled = false;
+  WaitQueue readable;
+  WaitQueue writable;
+
+  // --- listener plumbing ---
+  std::deque<std::shared_ptr<TcpVNode>> accept_q;
+  WaitQueue acceptable;
+  u64 next_accept_hint = 0;
+
+  /// Total receivable bytes currently buffered (data + token + ctrl).
+  u64 buffered_bytes() const { return recv_q_bytes; }
+
+  /// DMTCP-layer connection identity (set by the Hijack wrappers).
+  ConnId conn_id{};
+
+  void on_last_close() override;
+  Kernel& kernel() { return kernel_; }
+
+ private:
+  Kernel& kernel_;
+};
+
+}  // namespace dsim::sim

@@ -1,0 +1,54 @@
+#include "sim/storage.h"
+
+#include <algorithm>
+
+#include "sim/model_params.h"
+#include "util/assertx.h"
+
+namespace dsim::sim {
+
+SimTime StorageDevice::jittered(double seconds) {
+  double s = seconds;
+  if (jitter_rng_ && jitter_sigma_ > 0) {
+    s *= std::max(0.2, 1.0 + jitter_rng_->next_gaussian() * jitter_sigma_);
+  }
+  return from_seconds(s);
+}
+
+void StorageDevice::submit(u64 bytes, std::function<void()> done) {
+  const SimTime start = std::max(loop_.now(), busy_until_);
+  const SimTime xfer = jittered(static_cast<double>(bytes) / bw_);
+  busy_until_ = start + xfer;
+  loop_.post_at(busy_until_ + latency_, std::move(done));
+}
+
+LocalStorage::LocalStorage(EventLoop& loop, std::string name)
+    : cache_(loop, name + "/cache", params::kPageCacheWriteBw,
+             params::kDiskLatency / 4),
+      disk_(loop, name + "/disk", params::kLocalDiskBw, params::kDiskLatency) {
+}
+
+void LocalStorage::write(u64 bytes, std::function<void()> done) {
+  dirty_ += bytes;
+  cache_.submit(bytes, std::move(done));
+}
+
+void LocalStorage::read(u64 bytes, std::function<void()> done) {
+  // Read path uses the (faster) cache read bandwidth: scale request size so
+  // one device with write bandwidth models both directions.
+  const double scale = params::kPageCacheWriteBw / params::kPageCacheReadBw;
+  cache_.submit(static_cast<u64>(static_cast<double>(bytes) * scale),
+                std::move(done));
+}
+
+void LocalStorage::sync(std::function<void()> done) {
+  const u64 dirty = dirty_;
+  dirty_ = 0;
+  if (dirty == 0) {
+    disk_.submit(1, std::move(done));  // latency-only round trip
+    return;
+  }
+  disk_.submit(dirty, std::move(done));
+}
+
+}  // namespace dsim::sim

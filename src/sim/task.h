@@ -1,0 +1,134 @@
+// Lazy coroutine task type.
+//
+// Simulated threads, daemons and protocol handlers are C++20 coroutines
+// returning Task<T>. A Task starts suspended; `co_await`ing it starts it and
+// transfers control back to the awaiter when it finishes (symmetric
+// transfer, so long await chains do not grow the host stack).
+//
+// A key property the checkpointing layer relies on: between two co_await
+// points a coroutine runs atomically with respect to the simulation. This is
+// the simulator's analogue of "between two preemption points", and defines
+// the safe suspend points for checkpointing (DESIGN.md §3.2).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+#include "util/assertx.h"
+
+namespace dsim::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+struct TaskPromise {
+  std::coroutine_handle<> continuation;
+  std::variant<std::monostate, T, std::exception_ptr> result;
+
+  Task<T> get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void return_value(T v) { result.template emplace<1>(std::move(v)); }
+  void unhandled_exception() {
+    result.template emplace<2>(std::current_exception());
+  }
+
+  T take() {
+    if (result.index() == 2) {
+      std::rethrow_exception(std::get<2>(result));
+    }
+    DSIM_CHECK_MSG(result.index() == 1, "task finished without a value");
+    return std::move(std::get<1>(result));
+  }
+};
+
+template <>
+struct TaskPromise<void> {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  Task<void> get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void return_void() {}
+  void unhandled_exception() { error = std::current_exception(); }
+
+  void take() {
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace detail
+
+/// Owning handle to a lazy coroutine. Move-only.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+
+  // Awaiter interface: co_await task starts it.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+    h_.promise().continuation = awaiting;
+    return h_;
+  }
+  T await_resume() { return h_.promise().take(); }
+
+  /// Release ownership (caller becomes responsible for destroy()).
+  Handle release() { return std::exchange(h_, {}); }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_{};
+};
+
+namespace detail {
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>{std::coroutine_handle<TaskPromise<T>>::from_promise(*this)};
+}
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>{
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this)};
+}
+}  // namespace detail
+
+}  // namespace dsim::sim

@@ -1,0 +1,31 @@
+#include "sim/vnode.h"
+
+#include "util/assertx.h"
+
+namespace dsim::sim {
+
+Fd FdTable::install(std::shared_ptr<OpenFile> of, Fd min_fd) {
+  Fd fd = min_fd;
+  while (map_.count(fd)) ++fd;
+  map_.emplace(fd, std::move(of));
+  return fd;
+}
+
+void FdTable::install_at(Fd fd, std::shared_ptr<OpenFile> of) {
+  map_[fd] = std::move(of);
+}
+
+std::shared_ptr<OpenFile> FdTable::get(Fd fd) const {
+  auto it = map_.find(fd);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<OpenFile> FdTable::remove(Fd fd) {
+  auto it = map_.find(fd);
+  if (it == map_.end()) return nullptr;
+  auto of = std::move(it->second);
+  map_.erase(it);
+  return of;
+}
+
+}  // namespace dsim::sim

@@ -1,0 +1,33 @@
+// Always-on invariant checking for the simulator.
+//
+// The simulator is a correctness instrument: a silently-violated invariant
+// would invalidate every experiment built on top of it, so checks stay on in
+// release builds (cost is negligible next to the protocol work).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsim::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "FATAL: check `%s` failed at %s:%d%s%s\n", expr, file,
+               line, msg && *msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+}  // namespace dsim::detail
+
+#define DSIM_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::dsim::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define DSIM_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::dsim::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define DSIM_UNREACHABLE(msg) \
+  ::dsim::detail::check_failed("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,32 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace dsim {
+namespace {
+
+constexpr std::array<u32, 256> make_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+u32 crc32_update(u32 crc, std::span<const std::byte> data) {
+  u32 c = crc ^ 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = kTable[(c ^ static_cast<u32>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dsim

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), as used by gzip containers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/types.h"
+
+namespace dsim {
+
+/// Incremental CRC-32. `crc` should start at 0 for a fresh stream.
+u32 crc32_update(u32 crc, std::span<const std::byte> data);
+
+inline u32 crc32(std::span<const std::byte> data) {
+  return crc32_update(0, data);
+}
+
+}  // namespace dsim

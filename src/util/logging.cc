@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <cstdarg>
+
+namespace dsim {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+SimTime (*g_clock)() = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+void set_log_clock(SimTime (*now_fn)()) { g_clock = now_fn; }
+
+namespace detail {
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level);
+}
+
+void vlog(LogLevel level, const char* fmt, ...) {
+  if (g_clock) {
+    std::fprintf(stderr, "[%s %10s] ", level_name(level),
+                 format_time(g_clock()).c_str());
+  } else {
+    std::fprintf(stderr, "[%s] ", level_name(level));
+  }
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace dsim

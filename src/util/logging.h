@@ -1,0 +1,46 @@
+// Lightweight leveled logging.
+//
+// The simulator is single-threaded (all concurrency is virtual), so logging
+// needs no synchronization. Log lines carry virtual time when a clock is
+// registered, which makes traces line up with experiment output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/types.h"
+
+namespace dsim {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log configuration. Defaults to kWarn so tests/benches stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Register a function returning current virtual time for log prefixes
+/// (nullptr to clear).
+void set_log_clock(SimTime (*now_fn)());
+
+namespace detail {
+bool log_enabled(LogLevel level);
+void vlog(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+}  // namespace detail
+
+}  // namespace dsim
+
+#define DSIM_LOG(level, ...)                              \
+  do {                                                    \
+    if (::dsim::detail::log_enabled(level))               \
+      ::dsim::detail::vlog(level, __VA_ARGS__);           \
+  } while (0)
+
+#define LOG_TRACE(...) DSIM_LOG(::dsim::LogLevel::kTrace, __VA_ARGS__)
+#define LOG_DEBUG(...) DSIM_LOG(::dsim::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) DSIM_LOG(::dsim::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) DSIM_LOG(::dsim::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) DSIM_LOG(::dsim::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,88 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulator (workload data, OS jitter,
+// repetition noise for error bars) draws from an explicitly-seeded stream so
+// that runs are bit-reproducible. We use xoshiro256** seeded via splitmix64,
+// both public-domain algorithms by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace dsim {
+
+/// splitmix64 step; used for seeding and for cheap hash mixing.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mix several integers into a single 64-bit hash (for derived seeds).
+constexpr u64 mix_seed(u64 a, u64 b = 0, u64 c = 0) {
+  u64 s = a;
+  u64 h = splitmix64(s);
+  s ^= b + 0x632be59bd9b4e019ULL;
+  h ^= splitmix64(s);
+  s ^= c + 0x9e3779b97f4a7c15ULL;
+  h ^= splitmix64(s);
+  return h;
+}
+
+/// xoshiro256** PRNG. Cheap, high quality, trivially copyable.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    u64 sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  u64 next_below(u64 bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  i64 next_range(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(next_below(static_cast<u64>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Approximately normal(0,1) via sum of uniforms (Irwin–Hall, 12 terms).
+  /// Plenty for modeling OS jitter; avoids transcendental calls.
+  double next_gaussian() {
+    double acc = 0;
+    for (int i = 0; i < 12; ++i) acc += next_double();
+    return acc - 6.0;
+  }
+
+  /// Derive an independent child stream (for per-entity RNGs).
+  Rng fork(u64 salt) { return Rng(mix_seed(next_u64(), salt)); }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  u64 s_[4]{};
+};
+
+}  // namespace dsim

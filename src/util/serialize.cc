@@ -1,0 +1,4 @@
+#include "util/serialize.h"
+
+// Header-only implementation; this translation unit anchors the library.
+namespace dsim {}

@@ -1,0 +1,37 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertx.h"
+
+namespace dsim {
+
+void Stats::add(double x) { samples_.push_back(x); }
+
+double Stats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0;
+  for (double x : samples_) acc += x;
+  return acc / static_cast<double>(samples_.size());
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::min() const {
+  DSIM_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  DSIM_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+}  // namespace dsim

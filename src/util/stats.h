@@ -1,0 +1,28 @@
+// Small statistics helpers for benchmark repetitions (mean, stddev, min/max).
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace dsim {
+
+/// Accumulates samples and reports summary statistics. Used by the benchmark
+/// harness to report "mean ± one standard deviation" exactly as the paper's
+/// figures do (Fig. 4 caption).
+class Stats {
+ public:
+  void add(double x);
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace dsim

@@ -1,0 +1,38 @@
+#include "util/types.h"
+
+#include <cstdio>
+
+namespace dsim {
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  const double s = to_seconds(t);
+  if (t < timeconst::kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t));
+  } else if (t < timeconst::kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.2fus", s * 1e6);
+  } else if (t < timeconst::kSecond) {
+    std::snprintf(buf, sizeof buf, "%.2fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", s);
+  }
+  return buf;
+}
+
+std::string format_bytes(u64 n) {
+  char buf[64];
+  if (n < 1024) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(n));
+  } else if (n < 1024ull * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", static_cast<double>(n) / 1024.0);
+  } else if (n < 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f MB",
+                  static_cast<double>(n) / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GB",
+                  static_cast<double>(n) / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+}  // namespace dsim
