@@ -1,0 +1,136 @@
+#include "ckptstore/chunk.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assertx.h"
+#include "util/crc32.h"
+
+namespace dsim::ckptstore {
+namespace {
+
+// Tags keep synthetic pattern keys out of the content-hash key space.
+constexpr u64 kZeroTag = 0x5A45524F434B5A00ull;  // "ZEROCKZ"
+constexpr u64 kRandTag = 0x52414E44434B5200ull;  // "RANDCKR"
+
+u64 fnv1a64(std::span<const std::byte> data, u64 h) {
+  constexpr u64 kPrime = 0x100000001B3ull;
+  for (std::byte b : data) {
+    h ^= static_cast<u64>(b);
+    h *= kPrime;
+  }
+  return h;
+}
+
+u64 mix64(u64 x) {
+  // splitmix64 finalizer.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string ChunkKey::str() const {
+  char buf[36];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+ChunkKey content_key(std::span<const std::byte> data) {
+  // Two independently-seeded FNV-1a streams form the 128-bit address.
+  ChunkKey k;
+  k.hi = fnv1a64(data, 0xCBF29CE484222325ull);
+  k.lo = fnv1a64(data, 0x84222325CBF29CE4ull) ^ mix64(data.size());
+  return k;
+}
+
+ChunkKey zero_key(u64 len) { return ChunkKey{kZeroTag, mix64(len)}; }
+
+ChunkKey rand_key(u64 seed, u64 pos, u64 len) {
+  return ChunkKey{kRandTag ^ mix64(seed),
+                  mix64(pos) ^ mix64(mix64(len) ^ seed)};
+}
+
+std::vector<std::byte> Chunk::materialize(compress::CodecKind codec) const {
+  switch (kind) {
+    case sim::ExtentKind::kZero:
+      return std::vector<std::byte>(len);
+    case sim::ExtentKind::kRand: {
+      std::vector<std::byte> out(len);
+      for (u64 i = 0; i < len; ++i) {
+        out[i] = static_cast<std::byte>(sim::ByteImage::rand_byte(seed,
+                                                                  pos + i));
+      }
+      return out;
+    }
+    case sim::ExtentKind::kReal: {
+      DSIM_CHECK_MSG(stored != nullptr, "real chunk has no stored container");
+      return compress::codec(codec).decompress(*stored);
+    }
+  }
+  DSIM_UNREACHABLE("bad chunk kind");
+}
+
+std::vector<ChunkSpan> scan_chunks(const sim::ByteImage& img,
+                                   u64 chunk_bytes) {
+  DSIM_CHECK_MSG(chunk_bytes > 0 && (chunk_bytes & (chunk_bytes - 1)) == 0,
+                 "chunk size must be a non-zero power of two");
+  struct ExtView {
+    u64 off, len;
+    sim::ExtentKind kind;
+    u64 seed;
+  };
+  std::vector<ExtView> exts;
+  img.for_each_extent([&](u64 off, const sim::ByteImage::Extent& e) {
+    exts.push_back({off, e.len, e.kind, e.seed});
+  });
+
+  std::vector<ChunkSpan> out;
+  out.reserve((img.size() + chunk_bytes - 1) / chunk_bytes);
+  size_t ei = 0;
+  for (u64 off = 0; off < img.size(); off += chunk_bytes) {
+    ChunkSpan s;
+    s.off = off;
+    s.len = std::min<u64>(chunk_bytes, img.size() - off);
+    while (ei < exts.size() && exts[ei].off + exts[ei].len <= off) ++ei;
+    if (ei < exts.size() && exts[ei].kind != sim::ExtentKind::kReal &&
+        exts[ei].off <= off &&
+        off + s.len <= exts[ei].off + exts[ei].len) {
+      s.kind = exts[ei].kind;  // pure pattern chunk: no materialization
+      s.seed = exts[ei].seed;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+ChunkKey span_key(const sim::ByteImage& img, const ChunkSpan& s) {
+  switch (s.kind) {
+    case sim::ExtentKind::kZero:
+      return zero_key(s.len);
+    case sim::ExtentKind::kRand:
+      return rand_key(s.seed, s.off, s.len);
+    case sim::ExtentKind::kReal:
+      return content_key(img.materialize(s.off, s.len));
+  }
+  DSIM_UNREACHABLE("bad span kind");
+}
+
+u32 span_crc(const sim::ByteImage& img, const ChunkSpan& s) {
+  if (s.kind == sim::ExtentKind::kZero) {
+    static std::map<u64, u32> cache;  // one all-zero buffer per chunk size
+    auto it = cache.find(s.len);
+    if (it == cache.end()) {
+      std::vector<std::byte> zeros(s.len);
+      it = cache.emplace(s.len, crc32(zeros)).first;
+    }
+    return it->second;
+  }
+  return crc32(img.materialize(s.off, s.len));
+}
+
+}  // namespace dsim::ckptstore

@@ -1,0 +1,125 @@
+// Content-addressed chunks for incremental checkpointing.
+//
+// A checkpoint segment is split into fixed-size chunks; each chunk is keyed
+// by a 128-bit content hash. Successive checkpoints of a long-running job
+// are mostly identical, so a generation only stores the chunks not already
+// resident in the repository (stdchk's observation, applied to DMTCP's
+// image format).
+//
+// The sparse ByteImage representation is preserved end to end: a chunk that
+// falls entirely inside a zero or pseudo-random pattern extent is keyed and
+// stored as a descriptor — no materialization of Fig.-6-scale ballast — while
+// real and mixed ranges are materialized and hashed by content.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "sim/byte_image.h"
+#include "util/serialize.h"
+#include "util/types.h"
+
+namespace dsim::ckptstore {
+
+/// 128-bit content address. Pattern chunks use tagged synthetic keys
+/// (identical pattern ranges dedup against each other but never collide
+/// with real-content hashes).
+struct ChunkKey {
+  u64 hi = 0;
+  u64 lo = 0;
+
+  bool operator==(const ChunkKey& o) const { return hi == o.hi && lo == o.lo; }
+  bool operator<(const ChunkKey& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+  std::string str() const;
+
+  void serialize(ByteWriter& w) const {
+    w.put_u64(hi);
+    w.put_u64(lo);
+  }
+  static ChunkKey deserialize(ByteReader& r) {
+    ChunkKey k;
+    k.hi = r.get_u64();
+    k.lo = r.get_u64();
+    return k;
+  }
+};
+
+/// Hash real content into a key.
+ChunkKey content_key(std::span<const std::byte> data);
+/// Synthetic key for an all-zero chunk of `len` bytes.
+ChunkKey zero_key(u64 len);
+/// Synthetic key for a pseudo-random pattern chunk: content is
+/// ByteImage::rand_byte(seed, pos..pos+len), so (seed, pos, len) determines
+/// the bytes exactly.
+ChunkKey rand_key(u64 seed, u64 pos, u64 len);
+
+/// Reference to one chunk inside a manifest: enough to fetch the chunk from
+/// the repository and verify its content on restart.
+struct ChunkRef {
+  ChunkKey key;
+  u64 len = 0;
+  u32 crc = 0;  // CRC-32 of the (virtual) chunk content
+
+  void serialize(ByteWriter& w) const {
+    key.serialize(w);
+    w.put_u64(len);
+    w.put_u32(crc);
+  }
+  static ChunkRef deserialize(ByteReader& r) {
+    ChunkRef c;
+    c.key = ChunkKey::deserialize(r);
+    c.len = r.get_u64();
+    c.crc = r.get_u32();
+    return c;
+  }
+};
+
+/// A chunk as resident in the repository. Real chunks carry a codec
+/// container (compressed once at first store, reused by every later
+/// generation referencing the same key); pattern chunks carry only their
+/// descriptor, with the device cost estimated from measured codec ratios
+/// the same way the full-image encoder charges ballast extents.
+struct Chunk {
+  sim::ExtentKind kind = sim::ExtentKind::kReal;
+  u64 len = 0;
+  u64 seed = 0;  // kRand
+  u64 pos = 0;   // kRand: segment offset the content was generated at
+  u32 crc = 0;   // CRC-32 of the virtual content
+  /// Bytes charged to the storage device when this chunk is first written
+  /// (container size for real chunks, estimated compressed size for
+  /// pattern chunks).
+  u64 charged_bytes = 0;
+  /// Real chunks only: the codec container holding the content.
+  std::shared_ptr<const std::vector<std::byte>> stored;
+
+  /// Materialize the full virtual content (decompresses real chunks,
+  /// synthesizes pattern chunks).
+  std::vector<std::byte> materialize(compress::CodecKind codec) const;
+};
+
+/// One chunk-to-be of a segment scan, before repository lookup. `kind` is a
+/// pattern kind only when the chunk lies entirely inside one pattern
+/// extent; mixed or real ranges report kReal and are materialized.
+struct ChunkSpan {
+  u64 off = 0;
+  u64 len = 0;
+  sim::ExtentKind kind = sim::ExtentKind::kReal;
+  u64 seed = 0;
+};
+
+/// Split `img` into fixed-size chunk spans (the last one may be short).
+/// `chunk_bytes` must be a non-zero power of two.
+std::vector<ChunkSpan> scan_chunks(const sim::ByteImage& img, u64 chunk_bytes);
+
+/// Key for a scanned span (cheap for pattern spans; materializes and hashes
+/// real/mixed spans).
+ChunkKey span_key(const sim::ByteImage& img, const ChunkSpan& s);
+
+/// CRC-32 of a span's virtual content (cached for zero spans).
+u32 span_crc(const sim::ByteImage& img, const ChunkSpan& s);
+
+}  // namespace dsim::ckptstore

@@ -1,0 +1,83 @@
+#include "ckptstore/manifest.h"
+
+#include "util/assertx.h"
+#include "util/crc32.h"
+
+namespace dsim::ckptstore {
+
+u64 Manifest::full_bytes() const {
+  u64 acc = 0;
+  for (const auto& s : segments) acc += s.size;
+  return acc;
+}
+
+std::vector<ChunkKey> Manifest::all_keys() const {
+  std::vector<ChunkKey> keys;
+  for (const auto& s : segments) {
+    for (const auto& c : s.chunks) keys.push_back(c.key);
+  }
+  return keys;
+}
+
+std::vector<std::byte> Manifest::encode() const {
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_string(owner);
+  w.put_i32(generation);
+  w.put_u64(chunk_bytes);
+  w.put_u8(codec);
+  w.put_blob(meta_blob);
+  w.put_u64(segments.size());
+  for (const auto& s : segments) {
+    w.put_string(s.name);
+    w.put_u8(s.kind);
+    w.put_bool(s.shared);
+    w.put_string(s.backing_path);
+    w.put_u64(s.size);
+    w.put_u64(s.chunks.size());
+    for (const auto& c : s.chunks) c.serialize(w);
+  }
+  w.put_u32(crc32(w.bytes()));
+  return w.take();
+}
+
+Manifest Manifest::decode(std::span<const std::byte> bytes) {
+  DSIM_CHECK_MSG(bytes.size() > 8, "manifest truncated");
+  const u32 body_crc = crc32(bytes.subspan(0, bytes.size() - 4));
+  ByteReader r(bytes);
+  Manifest m;
+  DSIM_CHECK_MSG(r.get_u32() == kMagic, "not a checkpoint manifest");
+  m.owner = r.get_string();
+  m.generation = r.get_i32();
+  m.chunk_bytes = r.get_u64();
+  m.codec = r.get_u8();
+  m.meta_blob = r.get_blob();
+  const u64 nseg = r.get_u64();
+  for (u64 i = 0; i < nseg; ++i) {
+    SegmentManifest s;
+    s.name = r.get_string();
+    s.kind = r.get_u8();
+    s.shared = r.get_bool();
+    s.backing_path = r.get_string();
+    s.size = r.get_u64();
+    const u64 nchunks = r.get_u64();
+    for (u64 j = 0; j < nchunks; ++j) {
+      s.chunks.push_back(ChunkRef::deserialize(r));
+    }
+    m.segments.push_back(std::move(s));
+  }
+  DSIM_CHECK_MSG(r.get_u32() == body_crc,
+                 "checkpoint manifest checksum mismatch");
+  return m;
+}
+
+bool Manifest::is_manifest(std::span<const std::byte> bytes) {
+  if (bytes.size() < 4) return false;
+  u32 magic = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    magic |= static_cast<u32>(static_cast<u8>(bytes[i])) << (8 * i);
+  }
+  return magic == kMagic;
+}
+
+}  // namespace dsim::ckptstore

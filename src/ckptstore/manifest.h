@@ -1,0 +1,56 @@
+// Per-generation checkpoint manifests.
+//
+// In incremental mode the file written to the checkpoint directory is not
+// the memory image but a manifest: the image's metadata plus, per segment,
+// the ordered list of chunk references that reassemble its content from the
+// chunk repository. The manifest is the unit of retention — a generation is
+// live while its manifest is, and GC drops chunks referenced only by dead
+// manifests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ckptstore/chunk.h"
+#include "util/serialize.h"
+#include "util/types.h"
+
+namespace dsim::ckptstore {
+
+/// One segment's reassembly recipe.
+struct SegmentManifest {
+  std::string name;
+  u8 kind = 0;  // sim::MemKind, opaque at this layer
+  bool shared = false;
+  std::string backing_path;
+  u64 size = 0;
+  std::vector<ChunkRef> chunks;
+};
+
+struct Manifest {
+  static constexpr u32 kMagic = 0x53434D44;  // "DMCS" little-endian
+
+  std::string owner;   // stable process identity (virtual pid)
+  int generation = 0;  // checkpoint round the manifest belongs to
+  u64 chunk_bytes = 0;
+  u8 codec = 0;  // compress::CodecKind the chunk containers use
+  /// Opaque blob from the layer above (mtcp identity, threads, signals,
+  /// DMTCP connection table).
+  std::vector<std::byte> meta_blob;
+  std::vector<SegmentManifest> segments;
+
+  /// Sum of segment (virtual) sizes.
+  u64 full_bytes() const;
+  /// Every chunk key referenced, in segment order (with duplicates).
+  std::vector<ChunkKey> all_keys() const;
+
+  /// Serialize with a trailing CRC-32 of the whole manifest.
+  std::vector<std::byte> encode() const;
+  /// Inverse of encode(); aborts on magic/CRC mismatch (a corrupt manifest
+  /// is unrecoverable — chunk-level corruption is the graceful path).
+  static Manifest decode(std::span<const std::byte> bytes);
+  /// Cheap container sniff: does `bytes` start with the manifest magic?
+  static bool is_manifest(std::span<const std::byte> bytes);
+};
+
+}  // namespace dsim::ckptstore

@@ -1,0 +1,106 @@
+#include "ckptstore/repository.h"
+
+#include <algorithm>
+
+#include "util/assertx.h"
+
+namespace dsim::ckptstore {
+
+const Chunk* Repository::find(const ChunkKey& key) const {
+  auto it = chunks_.find(key);
+  return it == chunks_.end() ? nullptr : &it->second.chunk;
+}
+
+Chunk* Repository::find_mutable(const ChunkKey& key) {
+  auto it = chunks_.find(key);
+  return it == chunks_.end() ? nullptr : &it->second.chunk;
+}
+
+bool Repository::put(const ChunkKey& key, Chunk chunk) {
+  stats_.put_requests++;
+  auto [it, inserted] = chunks_.try_emplace(key);
+  if (!inserted) {
+    stats_.dedup_hits++;
+    return false;
+  }
+  it->second.chunk = std::move(chunk);
+  stats_.live_chunks++;
+  stats_.live_stored_bytes += it->second.chunk.charged_bytes;
+  return true;
+}
+
+void Repository::commit_generation(const std::string& owner, int gen,
+                                   const std::vector<ChunkKey>& keys,
+                                   u64 logical_bytes) {
+  GenRec rec;
+  rec.logical_bytes = logical_bytes;
+  rec.keys = keys;
+  std::sort(rec.keys.begin(), rec.keys.end());
+  rec.keys.erase(std::unique(rec.keys.begin(), rec.keys.end()),
+                 rec.keys.end());
+  for (const auto& k : rec.keys) {
+    auto it = chunks_.find(k);
+    DSIM_CHECK_MSG(it != chunks_.end(),
+                   "manifest references a chunk the repository never stored");
+    it->second.refs++;
+  }
+  stats_.live_logical_bytes += logical_bytes;
+  auto [gi, fresh] = generations_[owner].try_emplace(gen, std::move(rec));
+  DSIM_CHECK_MSG(fresh, "generation committed twice for one owner");
+  (void)gi;
+}
+
+u64 Repository::collect_garbage(int keep) {
+  DSIM_CHECK_MSG(keep >= 1, "retention must keep at least one generation");
+  u64 reclaimed = 0;
+  for (auto& [owner, gens] : generations_) {
+    while (static_cast<int>(gens.size()) > keep) {
+      auto oldest = gens.begin();  // map is gen-ordered
+      for (const auto& k : oldest->second.keys) {
+        auto it = chunks_.find(k);
+        DSIM_CHECK(it != chunks_.end());
+        if (--it->second.refs == 0) {
+          reclaimed += it->second.chunk.charged_bytes;
+          stats_.live_chunks--;
+          stats_.live_stored_bytes -= it->second.chunk.charged_bytes;
+          chunks_.erase(it);
+        }
+      }
+      stats_.live_logical_bytes -= oldest->second.logical_bytes;
+      gens.erase(oldest);
+    }
+  }
+  stats_.reclaimed_bytes += reclaimed;
+  return reclaimed;
+}
+
+void Repository::absorb(const Repository& other) {
+  for (const auto& [key, slot] : other.chunks_) {
+    auto [it, inserted] = chunks_.try_emplace(key, slot);
+    if (inserted) {
+      stats_.live_chunks++;
+      stats_.live_stored_bytes += slot.chunk.charged_bytes;
+    } else {
+      // Referenced from both stores: the generations of both pin it.
+      it->second.refs += slot.refs;
+    }
+  }
+  for (const auto& [owner, gens] : other.generations_) {
+    auto& mine = generations_[owner];
+    for (const auto& [gen, rec] : gens) {
+      if (mine.try_emplace(gen, rec).second) {
+        stats_.live_logical_bytes += rec.logical_bytes;
+      }
+    }
+  }
+}
+
+std::vector<int> Repository::live_generations(const std::string& owner) const {
+  std::vector<int> out;
+  auto it = generations_.find(owner);
+  if (it == generations_.end()) return out;
+  for (const auto& [gen, rec] : it->second) out.push_back(gen);
+  return out;
+}
+
+}  // namespace dsim::ckptstore

@@ -1,0 +1,94 @@
+// The content-addressed chunk repository.
+//
+// One repository backs one checkpoint directory (the sim's analogue of a
+// stdchk-style checkpoint store service): chunks are stored once, keyed by
+// content, and refcounted by the generations whose manifests reference
+// them. Retention is "keep the last N generations per owner"; collecting
+// garbage drops dead manifests, decrements chunk refcounts, and reclaims
+// the storage of chunks no live generation references.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckptstore/chunk.h"
+
+namespace dsim::ckptstore {
+
+/// Aggregate repository statistics (dedup ratio, live/dead bytes),
+/// surfaced per round through the DMTCP stats plumbing.
+struct RepoStats {
+  u64 live_chunks = 0;
+  u64 live_stored_bytes = 0;   // device-resident chunk bytes
+  u64 live_logical_bytes = 0;  // sum of image bytes live manifests describe
+  u64 reclaimed_bytes = 0;     // cumulative stored bytes freed by GC
+  u64 put_requests = 0;        // cumulative chunk submissions
+  u64 dedup_hits = 0;          // submissions answered by a resident chunk
+  /// Logical bytes described per stored byte (>= 1 once dedup bites).
+  double dedup_ratio() const {
+    return live_stored_bytes == 0
+               ? 1.0
+               : static_cast<double>(live_logical_bytes) /
+                     static_cast<double>(live_stored_bytes);
+  }
+};
+
+class Repository {
+ public:
+  /// Resident chunk for `key`, or nullptr.
+  const Chunk* find(const ChunkKey& key) const;
+  /// Fault-injection / repair access (tests simulate chunk-store rot by
+  /// swapping a chunk's content for a plausible-but-wrong container).
+  Chunk* find_mutable(const ChunkKey& key);
+
+  /// Store `chunk` under `key` if absent. Returns true when the chunk is
+  /// new (its charged_bytes must be written to the device), false on a
+  /// dedup hit.
+  bool put(const ChunkKey& key, Chunk chunk);
+
+  /// Record a chunk submission answered by a resident chunk without going
+  /// through put() (the encoder's find-first fast path). Keeps the
+  /// put_requests/dedup_hits counters meaning "all submissions".
+  void note_hit() {
+    stats_.put_requests++;
+    stats_.dedup_hits++;
+  }
+
+  /// Record a committed manifest: `owner`'s generation `gen` references
+  /// `keys` and describes `logical_bytes` of image content. Pins every
+  /// referenced chunk until the generation is collected.
+  void commit_generation(const std::string& owner, int gen,
+                         const std::vector<ChunkKey>& keys,
+                         u64 logical_bytes);
+
+  /// Retention policy: keep only the newest `keep` generations per owner.
+  /// Returns the stored bytes reclaimed from chunks that became dead.
+  u64 collect_garbage(int keep);
+
+  /// Copy every chunk and generation of `other` into this repository
+  /// (checkpoint migration: the chunks referenced by a staged manifest
+  /// must travel to the target node's store with it).
+  void absorb(const Repository& other);
+
+  /// Generations currently live for `owner` (oldest first).
+  std::vector<int> live_generations(const std::string& owner) const;
+
+  const RepoStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    Chunk chunk;
+    int refs = 0;  // live generations referencing this chunk
+  };
+  struct GenRec {
+    std::vector<ChunkKey> keys;  // unique keys this generation pins
+    u64 logical_bytes = 0;
+  };
+
+  std::map<ChunkKey, Slot> chunks_;
+  std::map<std::string, std::map<int, GenRec>> generations_;
+  RepoStats stats_;
+};
+
+}  // namespace dsim::ckptstore

@@ -120,6 +120,24 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
   st->shared->ckpt_generation++;
   // Generate the restart script for this round (§3).
   const int round = st->current_round;
+  if (!st->shared->repos.empty()) {
+    // Snapshot the repositories after every manager committed + GC'd: the
+    // round's stats carry the store's live size and dedup ratio,
+    // aggregated across node-local stores.
+    u64 live = 0, reclaimed = 0, logical = 0;
+    for (const auto& [node, repo] : st->shared->repos) {
+      const auto& rs = repo->stats();
+      live += rs.live_stored_bytes;
+      reclaimed += rs.reclaimed_bytes;
+      logical += rs.live_logical_bytes;
+    }
+    auto& r = st->shared->stats.rounds.back();
+    r.store_live_bytes = live;
+    r.store_reclaimed_bytes = reclaimed;
+    r.dedup_ratio = live == 0 ? 1.0
+                              : static_cast<double>(logical) /
+                                    static_cast<double>(live);
+  }
   RestartPlan plan;
   plan.coord_node = st->shared->opts.coord_node;
   plan.coord_port = st->shared->opts.coord_port;
@@ -265,7 +283,16 @@ Task<void> client_handler(CoordState* st, sim::ProcessCtx* pctx, Fd fd) {
         r.procs++;
         r.total_uncompressed += m->ua;
         ByteReader br(m->blob);
-        r.total_compressed += br.get_u64();
+        const u64 written = br.get_u64();
+        r.total_compressed += written;
+        if (br.remaining() > 0) {
+          // Incremental manifest exchange: managers additionally report
+          // their delta against the chunk repository. The bytes written
+          // are the delta (new chunks + manifest).
+          r.store_new_bytes += written;
+          r.total_chunks += br.get_u64();
+          r.new_chunks += br.get_u64();
+        }
         st->round_images[round][m->b].push_back(m->s);
         break;
       }

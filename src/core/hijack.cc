@@ -510,10 +510,51 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
   mtcp::ProcessImage img = mtcp::capture(p_);
   img.virt_pid = vpid_;
   img.dmtcp_blob = table.encode();
-  mtcp::EncodedImage enc = mtcp::encode(img, shared_->opts.codec);
 
   const std::string path = ckpt_path();
   auto inode = k.fs_for(p_.node(), path).create(path);
+
+  if (shared_->opts.incremental) {
+    // Incremental mode: chunk the image against the content-addressed
+    // repository and write only the chunks no earlier generation stored,
+    // plus the generation manifest. The scan still walks the full image;
+    // the codec only runs over new chunk bytes.
+    ckptstore::Repository& repo = shared_->repo_for(p_.node());
+    mtcp::EncodedDelta delta = mtcp::encode_incremental(
+        img, shared_->opts.codec, shared_->opts.chunk_bytes,
+        std::to_string(vpid_), round, repo);
+    co_await ctx.cpu(delta.assemble_seconds + delta.compress_seconds);
+    inode->data = sim::ByteImage(delta.manifest_bytes.size());
+    inode->data.write(0, delta.manifest_bytes);
+    inode->charged_size = delta.submitted_bytes;
+    co_await k.charge_storage(ctx.thread(), p_.node(), path,
+                              delta.submitted_bytes, /*is_read=*/false);
+    if (shared_->opts.sync == SyncMode::kSyncAfter) {
+      co_await k.sync_storage(ctx.thread(), p_.node(), path);
+    }
+    // Retention: drop generations beyond the keep window and trim the
+    // reclaimed chunk bytes from the store device.
+    const u64 reclaimed =
+        repo.collect_garbage(shared_->opts.keep_generations);
+    if (reclaimed > 0) k.discard_storage(p_.node(), path, reclaimed);
+
+    Msg stats;
+    stats.type = MsgType::kImageStats;
+    stats.upid = upid_;
+    stats.a = round;
+    stats.b = p_.node();
+    stats.ua = delta.virtual_uncompressed;
+    stats.s = path;
+    ByteWriter bw;
+    bw.put_u64(delta.submitted_bytes);  // chunks + manifest actually written
+    bw.put_u64(delta.total_chunks);
+    bw.put_u64(delta.new_chunks);
+    stats.blob = bw.take();
+    co_await send_msg(k, ctx.thread(), *coord_sock(), stats);
+    co_return;
+  }
+
+  mtcp::EncodedImage enc = mtcp::encode(img, shared_->opts.codec);
 
   if (shared_->opts.forked_checkpointing) {
     // §5.3: fork a child; the child compresses and writes while the parent

@@ -10,6 +10,8 @@ namespace dsim::core {
 
 DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
     : k_(kernel), shared_(std::make_shared<DmtcpShared>()) {
+  const std::string err = opts.validate();
+  DSIM_CHECK_MSG(err.empty(), ("dmtcp_checkpoint: " + err).c_str());
   shared_->opts = opts;
   k_.programs().add(make_coordinator_program(shared_));
   k_.programs().add(make_command_program(shared_));
@@ -112,13 +114,20 @@ const RestartRun& DmtcpControl::restart(std::map<NodeId, NodeId> host_map) {
     // Migration with node-local images: stage the image files onto the
     // target node (the paper's cluster-to-laptop use case stages images
     // out-of-band; the SAN/NFS configuration shares them naturally).
-    if (target != host.host &&
-        shared_->opts.ckpt_dir.rfind("/shared", 0) != 0) {
+    if (target != host.host && !shared_->shared_ckpt_dir()) {
       for (const auto& img : host.images) {
         auto src = k_.node(host.host).fs().lookup(img);
         DSIM_CHECK(src != nullptr);
         auto dst = k_.node(target).fs().create(img);
         *dst = *src;
+      }
+      // Incremental images are manifests: stage the source node's chunk
+      // repository alongside them, as the images themselves are staged.
+      if (shared_->opts.incremental) {
+        if (auto it = shared_->repos.find(host.host);
+            it != shared_->repos.end()) {
+          shared_->repo_for(target).absorb(*it->second);
+        }
       }
     }
     std::vector<std::string> argv{

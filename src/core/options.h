@@ -1,7 +1,9 @@
 // DMTCP configuration knobs exposed by dmtcp_checkpoint's command line.
 #pragma once
 
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "compress/compressor.h"
 #include "util/types.h"
@@ -23,6 +25,68 @@ struct DmtcpOptions {
   SyncMode sync = SyncMode::kNone;
   std::string ckpt_dir = "/ckpt";     // "/shared/ckpt" → SAN/NFS (Fig. 5b)
   SimTime interval = 0;               // --interval: periodic checkpoints
+
+  // Incremental content-addressed checkpoint store (src/ckptstore/).
+  bool incremental = false;     // --incremental: write chunk deltas only
+  u64 chunk_bytes = 64 * 1024;  // --chunk-bytes: power-of-two chunk size
+  int keep_generations = 2;     // --keep-generations: GC retention window
+
+  /// Validate the option set; returns "" when consistent, else a
+  /// human-readable rejection (dmtcp_checkpoint refuses to launch on it).
+  std::string validate() const {
+    if (chunk_bytes == 0 || (chunk_bytes & (chunk_bytes - 1)) != 0) {
+      return "--chunk-bytes must be a non-zero power of two (got " +
+             std::to_string(chunk_bytes) + ")";
+    }
+    if (keep_generations < 1) {
+      return "--keep-generations must keep at least one generation (got " +
+             std::to_string(keep_generations) + ")";
+    }
+    if (incremental && forked_checkpointing) {
+      return "--incremental and forked checkpointing are mutually "
+             "exclusive (the chunk store serializes in-line)";
+    }
+    return "";
+  }
+
+  /// Apply dmtcp_checkpoint command-line flags. Recognized flags are
+  /// consumed in place; returns "" on success, else a parse error.
+  std::string apply_flags(std::vector<std::string>& argv) {
+    std::vector<std::string> rest;
+    std::string err;
+    for (size_t i = 0; i < argv.size(); ++i) {
+      const std::string& a = argv[i];
+      auto intval = [&](const char* flag) -> long {
+        if (i + 1 >= argv.size()) {
+          err = std::string(flag) + " requires a value";
+          return -1;
+        }
+        const std::string& v = argv[++i];
+        char* end = nullptr;
+        const long n = std::strtol(v.c_str(), &end, 10);
+        if (end == v.c_str() || *end != '\0' || n < 0) {
+          err = std::string(flag) + ": invalid value '" + v + "'";
+          return -1;
+        }
+        return n;
+      };
+      if (a == "--incremental") {
+        incremental = true;
+      } else if (a == "--chunk-bytes") {
+        const long n = intval("--chunk-bytes");
+        if (!err.empty()) return err;
+        chunk_bytes = static_cast<u64>(n);
+      } else if (a == "--keep-generations") {
+        const long n = intval("--keep-generations");
+        if (!err.empty()) return err;
+        keep_generations = static_cast<int>(n);
+      } else {
+        rest.push_back(a);
+      }
+    }
+    argv = std::move(rest);
+    return validate();
+  }
 };
 
 }  // namespace dsim::core

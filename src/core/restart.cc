@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "ckptstore/manifest.h"
 #include "core/hijack.h"
 #include "core/msg_io.h"
 #include "core/protocol.h"
@@ -91,10 +92,25 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
     auto container = inode->data.materialize(0, inode->data.size());
     double decode_seconds = 0;
     LoadedImage li;
-    li.img = mtcp::decode(container, shared->opts.codec, &decode_seconds);
+    if (ckptstore::Manifest::is_manifest(container)) {
+      // Delta restart: materialize the image from the generation manifest
+      // plus the chunk repository, verifying every chunk's CRC. The read
+      // cost is the manifest plus every referenced chunk — the full image
+      // worth of stored bytes, not just this generation's delta.
+      const auto mf = ckptstore::Manifest::decode(container);
+      std::string err;
+      u64 chunk_read_bytes = 0;
+      li.img = mtcp::decode_incremental(mf, shared->repo_for(self.node()),
+                                        &decode_seconds, &chunk_read_bytes,
+                                        &err);
+      DSIM_CHECK_MSG(err.empty(), err.c_str());
+      total_read_bytes += container.size() + chunk_read_bytes;
+    } else {
+      li.img = mtcp::decode(container, shared->opts.codec, &decode_seconds);
+      total_read_bytes += inode->charge_or_size();
+    }
     li.decode_seconds = decode_seconds;
     total_decode_seconds += decode_seconds;
-    total_read_bytes += inode->charge_or_size();
     li.table = ConnTable::decode(li.img.dmtcp_blob);
     loaded.push_back(std::move(li));
   }

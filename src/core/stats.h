@@ -7,10 +7,12 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "ckptstore/repository.h"
 #include "core/options.h"
 #include "util/types.h"
 
@@ -29,6 +31,14 @@ struct CkptRound {
   u64 total_compressed = 0;
   /// Forked mode: when the last background writer finished (image durable).
   SimTime background_done = 0;
+
+  // Incremental mode (the ckptstore subsystem): per-round repository view.
+  u64 store_new_bytes = 0;   // chunk+manifest bytes actually written
+  u64 store_live_bytes = 0;  // resident chunk bytes after this round's GC
+  u64 store_reclaimed_bytes = 0;  // cumulative bytes GC has freed
+  u64 total_chunks = 0;
+  u64 new_chunks = 0;
+  double dedup_ratio = 0;  // logical bytes per stored byte
 
   double total_seconds() const { return to_seconds(refilled - requested); }
   double suspend_seconds() const { return to_seconds(suspended - requested); }
@@ -66,6 +76,21 @@ struct DmtcpStats {
 struct DmtcpShared {
   DmtcpOptions opts;
   DmtcpStats stats;
+  /// Content-addressed chunk repositories backing ckpt_dir (incremental
+  /// mode only). A shared ckpt_dir (/shared/...) is one stdchk-style store
+  /// service for the whole computation; node-local directories get one
+  /// repository per node — dedup cannot span physically separate disks.
+  /// Keyed by node id, or kSharedRepo for the shared store.
+  static constexpr int kSharedRepo = -1;
+  std::map<int, std::shared_ptr<ckptstore::Repository>> repos;
+  bool shared_ckpt_dir() const {
+    return opts.ckpt_dir.rfind("/shared", 0) == 0;
+  }
+  ckptstore::Repository& repo_for(NodeId node) {
+    auto& r = repos[shared_ckpt_dir() ? kSharedRepo : node];
+    if (!r) r = std::make_shared<ckptstore::Repository>();
+    return *r;
+  }
   int ckpt_generation = 0;  // bumped per completed checkpoint
   /// Virtual pids in use across the computation (conflict detection, §4.5).
   std::set<Pid> active_vpids;

@@ -1,5 +1,8 @@
 #include "mtcp/image.h"
 
+#include "util/assertx.h"
+#include "util/crc32.h"
+
 namespace dsim::mtcp {
 
 u64 ProcessImage::memory_bytes() const {
@@ -8,7 +11,7 @@ u64 ProcessImage::memory_bytes() const {
   return acc;
 }
 
-void ProcessImage::serialize(ByteWriter& w) const {
+void ProcessImage::serialize_meta(ByteWriter& w) const {
   w.put_string(prog_name);
   w.put_u64(argv.size());
   for (const auto& a : argv) w.put_string(a);
@@ -25,15 +28,6 @@ void ProcessImage::serialize(ByteWriter& w) const {
   w.put_u32(signals.blocked_mask);
   w.put_i32(ctty);
 
-  w.put_u64(segments.size());
-  for (const auto& s : segments) {
-    w.put_string(s.name);
-    w.put_u8(static_cast<u8>(s.kind));
-    w.put_bool(s.shared);
-    w.put_string(s.backing_path);
-    s.data.serialize(w);
-  }
-
   w.put_u64(threads.size());
   for (const auto& t : threads) {
     w.put_u8(static_cast<u8>(t.kind));
@@ -45,7 +39,7 @@ void ProcessImage::serialize(ByteWriter& w) const {
   w.put_blob(dmtcp_blob);
 }
 
-ProcessImage ProcessImage::deserialize(ByteReader& r) {
+ProcessImage ProcessImage::deserialize_meta(ByteReader& r) {
   ProcessImage img;
   img.prog_name = r.get_string();
   const u64 nargv = r.get_u64();
@@ -63,17 +57,6 @@ ProcessImage ProcessImage::deserialize(ByteReader& r) {
   img.signals.blocked_mask = r.get_u32();
   img.ctty = r.get_i32();
 
-  const u64 nseg = r.get_u64();
-  for (u64 i = 0; i < nseg; ++i) {
-    SegmentImage s;
-    s.name = r.get_string();
-    s.kind = static_cast<sim::MemKind>(r.get_u8());
-    s.shared = r.get_bool();
-    s.backing_path = r.get_string();
-    s.data = sim::ByteImage::deserialize(r);
-    img.segments.push_back(std::move(s));
-  }
-
   const u64 nthr = r.get_u64();
   for (u64 i = 0; i < nthr; ++i) {
     ThreadImage t;
@@ -85,6 +68,45 @@ ProcessImage ProcessImage::deserialize(ByteReader& r) {
   }
 
   img.dmtcp_blob = r.get_blob();
+  return img;
+}
+
+void ProcessImage::serialize(ByteWriter& w) const {
+  const size_t start = w.size();
+  serialize_meta(w);
+
+  w.put_u64(segments.size());
+  for (const auto& s : segments) {
+    w.put_string(s.name);
+    w.put_u8(static_cast<u8>(s.kind));
+    w.put_bool(s.shared);
+    w.put_string(s.backing_path);
+    s.data.serialize(w);
+  }
+
+  w.put_u32(crc32(w.bytes().subspan(start)));
+}
+
+ProcessImage ProcessImage::deserialize(ByteReader& r) {
+  const size_t start = r.pos();
+  ProcessImage img = deserialize_meta(r);
+
+  const u64 nseg = r.get_u64();
+  for (u64 i = 0; i < nseg; ++i) {
+    SegmentImage s;
+    s.name = r.get_string();
+    s.kind = static_cast<sim::MemKind>(r.get_u8());
+    s.shared = r.get_bool();
+    s.backing_path = r.get_string();
+    s.data = sim::ByteImage::deserialize(r);
+    img.segments.push_back(std::move(s));
+  }
+
+  const u32 computed = crc32(r.window(start, r.pos() - start));
+  const u32 stored = r.get_u32();
+  DSIM_CHECK_MSG(computed == stored,
+                 "checkpoint image checksum mismatch: the image is corrupt "
+                 "or was truncated in transit");
   return img;
 }
 

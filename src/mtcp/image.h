@@ -53,8 +53,17 @@ struct ProcessImage {
   /// Sum of segment (virtual) sizes — the paper's "memory image" size.
   u64 memory_bytes() const;
 
+  /// Full image: metadata, segments with data, and a trailing CRC-32 of
+  /// the whole serialized stream. deserialize() verifies the checksum and
+  /// fails loudly on mismatch — images have end-to-end integrity.
   void serialize(ByteWriter& w) const;
   static ProcessImage deserialize(ByteReader& r);
+
+  /// Everything except segment contents (identity, signals, threads, the
+  /// DMTCP blob). Incremental checkpoints store this blob in the manifest
+  /// and reassemble segment data from the chunk repository.
+  void serialize_meta(ByteWriter& w) const;
+  static ProcessImage deserialize_meta(ByteReader& r);
 };
 
 }  // namespace dsim::mtcp

@@ -4,6 +4,7 @@
 
 #include "sim/model_params.h"
 #include "util/assertx.h"
+#include "util/crc32.h"
 
 namespace dsim::mtcp {
 namespace {
@@ -125,6 +126,176 @@ ProcessImage decode(std::span<const std::byte> container,
   auto serialized = compress::codec(codec).decompress(container);
   ByteReader r(serialized);
   ProcessImage img = ProcessImage::deserialize(r);
+  if (decode_seconds) {
+    const double virt = static_cast<double>(img.memory_bytes());
+    *decode_seconds =
+        codec == compress::CodecKind::kNone
+            ? virt / sim::params::kImageAssembleBw
+            : virt / sim::params::kGunzipOutBw;
+  }
+  return img;
+}
+
+EncodedDelta encode_incremental(const ProcessImage& img,
+                                compress::CodecKind codec, u64 chunk_bytes,
+                                const std::string& owner, int generation,
+                                ckptstore::Repository& repo) {
+  EncodedDelta out;
+  ckptstore::Manifest mf;
+  mf.owner = owner;
+  mf.generation = generation;
+  mf.chunk_bytes = chunk_bytes;
+  mf.codec = static_cast<u8>(codec);
+  {
+    ByteWriter mw;
+    img.serialize_meta(mw);
+    mf.meta_blob = mw.take();
+  }
+
+  // Codec CPU is charged for new chunk bytes only; the scan/hash pass still
+  // walks the full image (that is the price of finding the delta).
+  u64 new_zero_bytes = 0;
+  u64 new_other_bytes = 0;
+  for (const auto& seg : img.segments) {
+    ckptstore::SegmentManifest sm;
+    sm.name = seg.name;
+    sm.kind = static_cast<u8>(seg.kind);
+    sm.shared = seg.shared;
+    sm.backing_path = seg.backing_path;
+    sm.size = seg.data.size();
+    for (const auto& span : ckptstore::scan_chunks(seg.data, chunk_bytes)) {
+      // Real/mixed spans materialize exactly once; key, CRC and codec all
+      // reuse the same buffer. Pattern spans never materialize for keying.
+      std::vector<std::byte> content;
+      ckptstore::ChunkKey key;
+      if (span.kind == ExtentKind::kReal) {
+        content = seg.data.materialize(span.off, span.len);
+        key = ckptstore::content_key(content);
+      } else {
+        key = ckptstore::span_key(seg.data, span);
+      }
+      ckptstore::ChunkRef ref;
+      ref.key = key;
+      ref.len = span.len;
+      out.total_chunks++;
+      if (const ckptstore::Chunk* resident = repo.find(key)) {
+        ref.crc = resident->crc;
+        repo.note_hit();
+      } else {
+        ckptstore::Chunk c;
+        c.kind = span.kind;
+        c.len = span.len;
+        c.seed = span.seed;
+        c.pos = span.off;
+        if (span.kind == ExtentKind::kReal) {
+          c.crc = crc32(content);
+          auto container = compress::codec(codec).compress(content);
+          c.charged_bytes = container.size();
+          c.stored = std::make_shared<const std::vector<std::byte>>(
+              std::move(container));
+          new_other_bytes += span.len;
+        } else {
+          c.crc = ckptstore::span_crc(seg.data, span);
+          // Pattern chunk: stored as a descriptor; the device is charged at
+          // the measured codec ratio, as the full-image encoder charges
+          // ballast extents.
+          ByteImage::Extent ext;
+          ext.len = span.len;
+          ext.kind = span.kind;
+          ext.seed = span.seed;
+          const double ratio = codec == compress::CodecKind::kNone
+                                   ? 1.0
+                                   : pattern_ratio(codec, ext, span.off);
+          c.charged_bytes = std::max<u64>(
+              1, static_cast<u64>(static_cast<double>(span.len) * ratio));
+          if (span.kind == ExtentKind::kZero) new_zero_bytes += span.len;
+          else new_other_bytes += span.len;
+        }
+        ref.crc = c.crc;
+        out.new_chunk_bytes += c.charged_bytes;
+        out.new_chunks++;
+        repo.put(key, std::move(c));
+      }
+      sm.chunks.push_back(ref);
+    }
+    mf.segments.push_back(std::move(sm));
+  }
+
+  out.virtual_uncompressed = mf.meta_blob.size() + mf.full_bytes();
+  out.manifest_bytes = mf.encode();
+  out.submitted_bytes = out.new_chunk_bytes + out.manifest_bytes.size();
+  out.assemble_seconds = static_cast<double>(out.virtual_uncompressed) /
+                         sim::params::kMemcpyBw;
+  if (codec != compress::CodecKind::kNone) {
+    out.compress_seconds =
+        static_cast<double>(new_zero_bytes) / sim::params::kGzipZeroBw +
+        static_cast<double>(new_other_bytes) / sim::params::kGzipDataBw;
+  }
+  repo.commit_generation(owner, generation, mf.all_keys(), mf.full_bytes());
+  return out;
+}
+
+ProcessImage decode_incremental(const ckptstore::Manifest& mf,
+                                const ckptstore::Repository& repo,
+                                double* decode_seconds, u64* read_bytes,
+                                std::string* error) {
+  if (error) error->clear();
+  ProcessImage img;
+  {
+    ByteReader r(mf.meta_blob);
+    img = ProcessImage::deserialize_meta(r);
+  }
+  const auto codec = static_cast<compress::CodecKind>(mf.codec);
+  u64 reads = 0;  // chunk fetches; the caller adds the manifest file itself
+
+  auto fail = [&](std::string msg) {
+    if (error) *error = std::move(msg);
+    return ProcessImage{};
+  };
+
+  for (const auto& sm : mf.segments) {
+    SegmentImage si;
+    si.name = sm.name;
+    si.kind = static_cast<sim::MemKind>(sm.kind);
+    si.shared = sm.shared;
+    si.backing_path = sm.backing_path;
+    si.data = ByteImage(sm.size);
+    u64 off = 0;
+    for (const auto& ref : sm.chunks) {
+      const ckptstore::Chunk* c = repo.find(ref.key);
+      if (!c) {
+        return fail("restart: chunk " + ref.key.str() + " of segment '" +
+                    sm.name + "' @" + std::to_string(off) +
+                    " is missing from the repository (collected by an "
+                    "over-aggressive retention policy?)");
+      }
+      reads += c->charged_bytes;
+      if (c->kind == ExtentKind::kReal) {
+        auto content = c->materialize(codec);
+        if (content.size() != ref.len || crc32(content) != ref.crc) {
+          return fail("restart: corrupted chunk " + ref.key.str() +
+                      " in segment '" + sm.name + "' @" +
+                      std::to_string(off) + ": content CRC mismatch");
+        }
+        si.data.write(off, content);
+      } else {
+        // Rand keys bake the origin offset in (rand_key), so a matching
+        // chunk always refills at the position its content was generated
+        // at; a pos mismatch means the descriptor itself rotted.
+        if (c->crc != ref.crc || c->len != ref.len ||
+            (c->kind == ExtentKind::kRand && c->pos != off)) {
+          return fail("restart: corrupted pattern chunk " + ref.key.str() +
+                      " in segment '" + sm.name + "' @" +
+                      std::to_string(off) + ": descriptor mismatch");
+        }
+        si.data.fill(off, ref.len, c->kind, c->seed);
+      }
+      off += ref.len;
+    }
+    img.segments.push_back(std::move(si));
+  }
+
+  if (read_bytes) *read_bytes = reads;
   if (decode_seconds) {
     const double virt = static_cast<double>(img.memory_bytes());
     *decode_seconds =

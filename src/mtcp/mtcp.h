@@ -9,7 +9,10 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
+#include "ckptstore/manifest.h"
+#include "ckptstore/repository.h"
 #include "compress/compressor.h"
 #include "mtcp/image.h"
 #include "sim/process.h"
@@ -41,5 +44,41 @@ ProcessImage decode(std::span<const std::byte> container,
 /// Rebuild memory/signals/identity into `p` (threads are started by the
 /// restart driver; shared-memory §4.5 rules are applied by core::restart).
 void restore_memory(sim::Process& p, const ProcessImage& img);
+
+// --- incremental (content-addressed) encode path ----------------------------
+
+/// Accounting for one incremental checkpoint generation.
+struct EncodedDelta {
+  std::vector<std::byte> manifest_bytes;  // the file written to the VFS
+  u64 virtual_uncompressed = 0;  // full image size (same meaning as encode())
+  u64 new_chunk_bytes = 0;       // chunk bytes newly stored this generation
+  /// Bytes actually submitted to the storage device: new chunks + manifest.
+  u64 submitted_bytes = 0;
+  u64 total_chunks = 0;
+  u64 new_chunks = 0;
+  double assemble_seconds = 0;  // scan + hash cost over the full image
+  double compress_seconds = 0;  // codec cost over *new* chunk bytes only
+};
+
+/// Split the image's segments into `chunk_bytes`-sized chunks, store the
+/// ones not already resident in `repo`, and emit the generation manifest.
+/// Chunk containers are compressed once with `codec` and reused by every
+/// later generation that references the same content.
+EncodedDelta encode_incremental(const ProcessImage& img,
+                                compress::CodecKind codec, u64 chunk_bytes,
+                                const std::string& owner, int generation,
+                                ckptstore::Repository& repo);
+
+/// Materialize a full ProcessImage from a manifest and the chunk
+/// repository, verifying each chunk's CRC-32. On a missing or corrupted
+/// chunk, `error` receives a description (naming the segment, offset and
+/// chunk key) and an empty image is returned. `read_bytes` receives the
+/// device bytes a restart must fetch for every referenced chunk (the
+/// manifest file itself is charged by the caller); `decode_seconds` the
+/// decompression CPU cost, as with decode().
+ProcessImage decode_incremental(const ckptstore::Manifest& mf,
+                                const ckptstore::Repository& repo,
+                                double* decode_seconds, u64* read_bytes,
+                                std::string* error);
 
 }  // namespace dsim::mtcp

@@ -710,6 +710,15 @@ Task<void> Kernel::sync_storage(Thread& t, NodeId node_id,
   while (!sp->done) co_await sp->wq.wait(t);
 }
 
+void Kernel::discard_storage(NodeId node_id, const std::string& path,
+                             u64 bytes) {
+  if (backend_for(path) == StorageBackend::kLocalDisk) {
+    node(node_id).storage().discard(bytes);
+  } else {
+    shared_device_for(node_id).discard(bytes);
+  }
+}
+
 Task<u64> Kernel::file_read(Thread& t, OpenFile& of, std::span<std::byte> out) {
   auto& fv = static_cast<FileVNode&>(*of.vnode);
   Inode& inode = fv.inode();

@@ -16,10 +16,22 @@ SimTime StorageDevice::jittered(double seconds) {
 }
 
 void StorageDevice::submit(u64 bytes, std::function<void()> done) {
+  submitted_bytes_ += bytes;
   const SimTime start = std::max(loop_.now(), busy_until_);
   const SimTime xfer = jittered(static_cast<double>(bytes) / bw_);
   busy_until_ = start + xfer;
   loop_.post_at(busy_until_ + latency_, std::move(done));
+}
+
+void StorageDevice::discard(u64 bytes) {
+  // Dropping dead generations is a metadata operation (unlink / trim): it
+  // occupies the queue at a rate far above the transfer bandwidth, with no
+  // completion to wait on.
+  constexpr double kTrimSpeedup = 64.0;
+  discarded_bytes_ += bytes;
+  const SimTime start = std::max(loop_.now(), busy_until_);
+  busy_until_ =
+      start + from_seconds(static_cast<double>(bytes) / (bw_ * kTrimSpeedup));
 }
 
 LocalStorage::LocalStorage(EventLoop& loop, std::string name)
@@ -39,6 +51,13 @@ void LocalStorage::read(u64 bytes, std::function<void()> done) {
   const double scale = params::kPageCacheWriteBw / params::kPageCacheReadBw;
   cache_.submit(static_cast<u64>(static_cast<double>(bytes) * scale),
                 std::move(done));
+}
+
+void LocalStorage::discard(u64 bytes) {
+  // GC'd chunk files never need writeback; whatever part of them is still
+  // dirty in the page cache is simply dropped.
+  dirty_ -= std::min(dirty_, bytes);
+  disk_.discard(bytes);
 }
 
 void LocalStorage::sync(std::function<void()> done) {

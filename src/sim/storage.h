@@ -33,10 +33,19 @@ class StorageDevice {
   /// Enqueue a transfer of `bytes`; `done` fires when it completes.
   void submit(u64 bytes, std::function<void()> done);
 
+  /// Account garbage collection of dead checkpoint generations: the device
+  /// drops `bytes` of stored data at metadata (trim) rate — far cheaper
+  /// than a transfer, but it still occupies the queue briefly.
+  void discard(u64 bytes);
+
   /// Time at which the device queue drains (>= now).
   SimTime busy_until() const { return busy_until_; }
   const std::string& name() const { return name_; }
   double bandwidth() const { return bw_; }
+  /// Cumulative bytes transferred through submit().
+  u64 total_submitted_bytes() const { return submitted_bytes_; }
+  /// Cumulative bytes dropped through discard() (GC'd generations).
+  u64 total_discarded_bytes() const { return discarded_bytes_; }
 
   /// Multiplicative jitter hook (set once per experiment repetition).
   void set_jitter(Rng* rng, double sigma) {
@@ -52,6 +61,8 @@ class StorageDevice {
   double bw_;
   SimTime latency_;
   SimTime busy_until_ = 0;
+  u64 submitted_bytes_ = 0;
+  u64 discarded_bytes_ = 0;
   Rng* jitter_rng_ = nullptr;
   double jitter_sigma_ = 0;
 };
@@ -68,7 +79,12 @@ class LocalStorage {
   /// Flush dirty bytes to the physical disk (the §5.2 sync experiment).
   void sync(std::function<void()> done);
 
+  /// Drop `bytes` of stored data (checkpoint-store GC) at trim rate.
+  void discard(u64 bytes);
+
   u64 dirty_bytes() const { return dirty_; }
+  const StorageDevice& cache() const { return cache_; }
+  const StorageDevice& disk() const { return disk_; }
   /// Drop dirty accounting without cost (models writeback completing in the
   /// background between experiments).
   void writeback_complete() { dirty_ = 0; }

@@ -95,6 +95,13 @@ class ByteReader {
 
   size_t remaining() const { return data_.size() - pos_; }
   bool at_end() const { return remaining() == 0; }
+  /// Current read position (for checksumming consumed ranges).
+  size_t pos() const { return pos_; }
+  /// Borrowed view of [start, start+len) of the underlying buffer.
+  std::span<const std::byte> window(size_t start, size_t len) const {
+    DSIM_CHECK_MSG(start + len <= data_.size(), "window out of range");
+    return data_.subspan(start, len);
+  }
 
  private:
   std::span<const std::byte> take(size_t n) {

@@ -1,0 +1,431 @@
+// The incremental content-addressed checkpoint store: chunking, dedup
+// across generations, GC retention, corrupted-chunk detection, and full
+// delta-restart round trips through the DMTCP stack.
+#include <gtest/gtest.h>
+
+#include "ckptstore/chunk.h"
+#include "ckptstore/manifest.h"
+#include "ckptstore/repository.h"
+#include "core/launch.h"
+#include "mtcp/mtcp.h"
+#include "sim/cluster.h"
+#include "tests/testprogs.h"
+#include "util/crc32.h"
+
+namespace dsim::test {
+namespace {
+
+using core::DmtcpControl;
+using core::DmtcpOptions;
+using sim::ByteImage;
+using sim::ExtentKind;
+
+constexpr u64 kChunk = 4 * 1024;
+
+std::vector<std::byte> pseudo_bytes(u64 n, u64 seed) {
+  std::vector<std::byte> out(n);
+  u64 x = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (u64 i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    out[i] = static_cast<std::byte>(x >> 56);
+  }
+  return out;
+}
+
+/// A process image with one mixed segment: real content, a zero run, a
+/// pseudo-random (ballast) run.
+mtcp::ProcessImage make_image(u64 bytes, u64 content_seed) {
+  mtcp::ProcessImage img;
+  img.prog_name = "prog";
+  img.argv = {"arg0"};
+  img.env["HOME"] = "/";
+  img.virt_pid = 7;
+  img.virt_ppid = 1;
+  img.origin_node = 0;
+  mtcp::SegmentImage s;
+  s.name = "heap";
+  s.kind = sim::MemKind::kHeap;
+  s.data = ByteImage(bytes);
+  s.data.write(0, pseudo_bytes(bytes / 2, content_seed));
+  s.data.fill(bytes / 2, bytes / 4, ExtentKind::kZero);
+  s.data.fill(3 * bytes / 4, bytes / 4, ExtentKind::kRand, 0xBA11A57);
+  img.segments.push_back(std::move(s));
+  mtcp::ThreadImage t;
+  t.kind = sim::ThreadKind::kMain;
+  img.threads.push_back(t);
+  img.dmtcp_blob = {std::byte{0xAB}, std::byte{0xCD}};
+  return img;
+}
+
+void expect_images_equal(const mtcp::ProcessImage& a,
+                         const mtcp::ProcessImage& b) {
+  EXPECT_EQ(a.prog_name, b.prog_name);
+  EXPECT_EQ(a.argv, b.argv);
+  EXPECT_EQ(a.env, b.env);
+  EXPECT_EQ(a.virt_pid, b.virt_pid);
+  EXPECT_EQ(a.dmtcp_blob, b.dmtcp_blob);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].name, b.segments[i].name);
+    ASSERT_EQ(a.segments[i].data.size(), b.segments[i].data.size());
+    EXPECT_EQ(a.segments[i].data.content_crc(),
+              b.segments[i].data.content_crc());
+  }
+  ASSERT_EQ(a.threads.size(), b.threads.size());
+}
+
+// --- chunking ---------------------------------------------------------------
+
+TEST(Chunker, PatternSpansAvoidMaterialization) {
+  ByteImage img(16 * kChunk);
+  img.fill(0, 8 * kChunk, ExtentKind::kZero);
+  img.fill(8 * kChunk, 4 * kChunk, ExtentKind::kRand, 42);
+  img.write(12 * kChunk, pseudo_bytes(4 * kChunk, 1));
+  auto spans = ckptstore::scan_chunks(img, kChunk);
+  ASSERT_EQ(spans.size(), 16u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(spans[i].kind, ExtentKind::kZero);
+  for (size_t i = 8; i < 12; ++i) EXPECT_EQ(spans[i].kind, ExtentKind::kRand);
+  for (size_t i = 12; i < 16; ++i) EXPECT_EQ(spans[i].kind, ExtentKind::kReal);
+  // Identical zero chunks share one key; rand chunks differ by position.
+  EXPECT_EQ(ckptstore::span_key(img, spans[0]),
+            ckptstore::span_key(img, spans[1]));
+  EXPECT_FALSE(ckptstore::span_key(img, spans[8]) ==
+               ckptstore::span_key(img, spans[9]));
+}
+
+TEST(Chunker, KeysAreStableAcrossIdenticalImages) {
+  auto a = make_image(64 * kChunk, 7);
+  auto b = make_image(64 * kChunk, 7);
+  auto sa = ckptstore::scan_chunks(a.segments[0].data, kChunk);
+  auto sb = ckptstore::scan_chunks(b.segments[0].data, kChunk);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(ckptstore::span_key(a.segments[0].data, sa[i]),
+              ckptstore::span_key(b.segments[0].data, sb[i]));
+  }
+}
+
+TEST(Chunker, RejectsBadChunkSizes) {
+  ByteImage img(kChunk);
+  EXPECT_DEATH(ckptstore::scan_chunks(img, 0), "power of two");
+  EXPECT_DEATH(ckptstore::scan_chunks(img, 3000), "power of two");
+}
+
+// --- dedup across generations ----------------------------------------------
+
+TEST(CkptStore, UnchangedImageStoresOnlyTheManifest) {
+  ckptstore::Repository repo;
+  const auto img = make_image(256 * kChunk, 3);
+  const auto codec = compress::CodecKind::kNone;
+
+  auto g1 = mtcp::encode_incremental(img, codec, kChunk, "7", 0, repo);
+  EXPECT_EQ(g1.new_chunks + repo.stats().dedup_hits, g1.total_chunks);
+  EXPECT_GT(g1.new_chunk_bytes, 0u);
+
+  auto g2 = mtcp::encode_incremental(img, codec, kChunk, "7", 1, repo);
+  EXPECT_EQ(g2.new_chunks, 0u);
+  EXPECT_EQ(g2.new_chunk_bytes, 0u);
+  EXPECT_EQ(g2.submitted_bytes, g2.manifest_bytes.size());
+  // Dedup ratio: two generations of logical bytes, one of stored.
+  EXPECT_GT(repo.stats().dedup_ratio(), 1.8);
+}
+
+TEST(CkptStore, DirtyFractionBoundsNewBytes) {
+  ckptstore::Repository repo;
+  auto img = make_image(256 * kChunk, 3);
+  const auto codec = compress::CodecKind::kNone;
+  auto g1 = mtcp::encode_incremental(img, codec, kChunk, "7", 0, repo);
+
+  // Dirty ~10% of the segment (chunk-aligned, in the real-content half).
+  img.segments[0].data.write(4 * kChunk, pseudo_bytes(26 * kChunk, 999));
+  auto g2 = mtcp::encode_incremental(img, codec, kChunk, "7", 1, repo);
+  EXPECT_GT(g2.new_chunks, 0u);
+  EXPECT_LT(g2.submitted_bytes, g1.submitted_bytes / 4);
+}
+
+// --- round trip --------------------------------------------------------------
+
+TEST(CkptStore, DeltaDecodeEqualsFullDecode) {
+  ckptstore::Repository repo;
+  const auto img = make_image(64 * kChunk, 11);
+  const auto codec = compress::CodecKind::kGzipish;
+
+  // Full path.
+  auto enc = mtcp::encode(img, codec);
+  auto full = mtcp::decode(enc.bytes, codec, nullptr);
+
+  // Incremental path.
+  auto delta = mtcp::encode_incremental(img, codec, kChunk, "7", 0, repo);
+  auto mf = ckptstore::Manifest::decode(delta.manifest_bytes);
+  std::string err;
+  u64 reads = 0;
+  auto inc = mtcp::decode_incremental(mf, repo, nullptr, &reads, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_GT(reads, 0u);
+  expect_images_equal(full, inc);
+  expect_images_equal(img, inc);
+}
+
+// --- GC ----------------------------------------------------------------------
+
+TEST(CkptStore, GcReclaimsChunksOfDeadGenerations) {
+  ckptstore::Repository repo;
+  auto img = make_image(64 * kChunk, 5);
+  const auto codec = compress::CodecKind::kNone;
+
+  auto g0 = mtcp::encode_incremental(img, codec, kChunk, "7", 0, repo);
+  const auto mf0 = ckptstore::Manifest::decode(g0.manifest_bytes);
+  img.segments[0].data.write(0, pseudo_bytes(8 * kChunk, 77));
+  auto g1 = mtcp::encode_incremental(img, codec, kChunk, "7", 1, repo);
+  img.segments[0].data.write(0, pseudo_bytes(8 * kChunk, 78));
+  auto g2 = mtcp::encode_incremental(img, codec, kChunk, "7", 2, repo);
+  const auto mf2 = ckptstore::Manifest::decode(g2.manifest_bytes);
+
+  const u64 live_before = repo.stats().live_stored_bytes;
+  const u64 reclaimed = repo.collect_garbage(/*keep=*/1);
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(repo.stats().live_stored_bytes, live_before - reclaimed);
+  EXPECT_EQ(repo.stats().reclaimed_bytes, reclaimed);
+  EXPECT_EQ(repo.live_generations("7"), std::vector<int>{2});
+
+  // The surviving generation still materializes byte-identically...
+  std::string err;
+  auto restored = mtcp::decode_incremental(mf2, repo, nullptr, nullptr, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  expect_images_equal(img, restored);
+
+  // ...while a collected generation reports its missing chunks clearly.
+  auto gone = mtcp::decode_incremental(mf0, repo, nullptr, nullptr, &err);
+  EXPECT_FALSE(err.empty());
+  EXPECT_NE(err.find("missing from the repository"), std::string::npos);
+}
+
+// --- corruption detection ----------------------------------------------------
+
+TEST(CkptStore, CorruptedChunkIsDetectedOnRestore) {
+  ckptstore::Repository repo;
+  const auto img = make_image(64 * kChunk, 9);
+  const auto codec = compress::CodecKind::kNone;
+  auto delta = mtcp::encode_incremental(img, codec, kChunk, "7", 0, repo);
+  const auto mf = ckptstore::Manifest::decode(delta.manifest_bytes);
+
+  // Rot one real chunk: same length, wrong content.
+  const ckptstore::ChunkRef* victim = nullptr;
+  for (const auto& ref : mf.segments[0].chunks) {
+    const auto* c = repo.find(ref.key);
+    ASSERT_NE(c, nullptr);
+    if (c->kind == ExtentKind::kReal) {
+      victim = &ref;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  auto* chunk = repo.find_mutable(victim->key);
+  chunk->stored = std::make_shared<const std::vector<std::byte>>(
+      compress::codec(codec).compress(pseudo_bytes(victim->len, 0xBAD)));
+
+  std::string err;
+  auto out = mtcp::decode_incremental(mf, repo, nullptr, nullptr, &err);
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("corrupted chunk"), std::string::npos);
+  EXPECT_NE(err.find(victim->key.str()), std::string::npos);
+}
+
+TEST(ImageIntegrity, WholeImageCrcCatchesBitRot) {
+  const auto img = make_image(16 * kChunk, 2);
+  ByteWriter w;
+  img.serialize(w);
+  auto bytes = w.take();
+  // Round-trips clean...
+  {
+    ByteReader r(bytes);
+    auto back = mtcp::ProcessImage::deserialize(r);
+    expect_images_equal(img, back);
+  }
+  // ...and a single flipped byte in the segment data is fatal.
+  bytes[bytes.size() / 2] ^= std::byte{0x01};
+  ByteReader r(bytes);
+  EXPECT_DEATH(mtcp::ProcessImage::deserialize(r), "checksum mismatch");
+}
+
+// --- options -----------------------------------------------------------------
+
+TEST(Options, ValidationRejectsBadKnobs) {
+  DmtcpOptions o;
+  EXPECT_EQ(o.validate(), "");
+  o.chunk_bytes = 0;
+  EXPECT_NE(o.validate().find("power of two"), std::string::npos);
+  o.chunk_bytes = 12345;
+  EXPECT_NE(o.validate().find("power of two"), std::string::npos);
+  o.chunk_bytes = 4096;
+  o.keep_generations = 0;
+  EXPECT_NE(o.validate().find("at least one"), std::string::npos);
+  o.keep_generations = 2;
+  o.incremental = true;
+  o.forked_checkpointing = true;
+  EXPECT_NE(o.validate().find("mutually exclusive"), std::string::npos);
+}
+
+TEST(Options, FlagParsingConsumesKnownFlags) {
+  DmtcpOptions o;
+  std::vector<std::string> argv = {"--incremental", "--chunk-bytes", "8192",
+                                   "--keep-generations", "3", "prog"};
+  EXPECT_EQ(o.apply_flags(argv), "");
+  EXPECT_TRUE(o.incremental);
+  EXPECT_EQ(o.chunk_bytes, 8192u);
+  EXPECT_EQ(o.keep_generations, 3);
+  ASSERT_EQ(argv.size(), 1u);
+  EXPECT_EQ(argv[0], "prog");
+
+  std::vector<std::string> bad = {"--chunk-bytes", "banana"};
+  EXPECT_NE(o.apply_flags(bad).find("invalid value"), std::string::npos);
+  std::vector<std::string> zero = {"--chunk-bytes", "0"};
+  EXPECT_NE(o.apply_flags(zero).find("power of two"), std::string::npos);
+}
+
+// --- end to end through the DMTCP stack -------------------------------------
+
+struct World {
+  sim::Cluster cluster;
+  DmtcpControl ctl;
+  World(int nodes, DmtcpOptions opts = {}, u64 seed = 0x5eed)
+      : cluster([&] {
+          auto cfg = sim::Cluster::lab_cluster(nodes);
+          cfg.seed = seed;
+          return cfg;
+        }()),
+        ctl(cluster.kernel(), opts) {
+    register_test_programs(cluster.kernel());
+  }
+  sim::Kernel& k() { return cluster.kernel(); }
+  bool run_until_results(std::initializer_list<const char*> names,
+                         SimTime deadline = 300 * timeconst::kSecond) {
+    return ctl.run_until(
+        [&] {
+          for (const char* n : names) {
+            if (read_result(k(), n).empty()) return false;
+          }
+          return true;
+        },
+        k().loop().now() + deadline);
+  }
+};
+
+DmtcpOptions incremental_opts() {
+  DmtcpOptions o;
+  o.incremental = true;
+  o.chunk_bytes = 16 * 1024;
+  o.keep_generations = 2;
+  return o;
+}
+
+TEST(CkptStoreE2E, DeltaRestartCompletesIdenticallyToBaseline) {
+  auto baseline = [] {
+    sim::Cluster cluster(sim::Cluster::lab_cluster(4));
+    register_test_programs(cluster.kernel());
+    cluster.kernel().spawn_process(0, kPingServer, {"9000", "300", "1024",
+                                                    "srv"},
+                                   {});
+    cluster.kernel().spawn_process(1, kPingClient,
+                                   {"0", "9000", "300", "1024", "9", "cli"},
+                                   {});
+    cluster.kernel().loop().run_until(cluster.kernel().loop().now() +
+                                      300 * timeconst::kSecond);
+    std::map<std::string, std::string> out;
+    out["srv"] = read_result(cluster.kernel(), "srv");
+    out["cli"] = read_result(cluster.kernel(), "cli");
+    return out;
+  }();
+
+  World w(2, incremental_opts());
+  w.ctl.launch(0, kPingServer, {"9000", "300", "1024", "srv"});
+  w.ctl.launch(1, kPingClient, {"0", "9000", "300", "1024", "9", "cli"});
+  w.ctl.run_for(30 * timeconst::kMillisecond);
+  w.ctl.checkpoint_now();
+  w.ctl.run_for(10 * timeconst::kMillisecond);
+  // Second generation: the restart below materializes from a delta.
+  const auto& r2 = w.ctl.checkpoint_now();
+  EXPECT_GT(r2.total_chunks, 0u);
+  w.ctl.kill_computation();
+  EXPECT_TRUE(read_result(w.k(), "srv").empty());
+  const auto& rr = w.ctl.restart();
+  EXPECT_EQ(rr.procs, 2);
+  ASSERT_TRUE(w.run_until_results({"srv", "cli"}));
+  EXPECT_EQ(read_result(w.k(), "srv"), baseline["srv"]);
+  EXPECT_EQ(read_result(w.k(), "cli"), baseline["cli"]);
+}
+
+TEST(CkptStoreE2E, DeltaRestartWithMigrationStagesChunks) {
+  // Node-local checkpoint dirs mean per-node chunk repositories; migrating
+  // hosts must stage the chunks along with the manifests.
+  auto baseline = [] {
+    sim::Cluster cluster(sim::Cluster::lab_cluster(4));
+    register_test_programs(cluster.kernel());
+    cluster.kernel().spawn_process(0, kPingServer, {"9000", "200", "1024",
+                                                    "srv"},
+                                   {});
+    cluster.kernel().spawn_process(1, kPingClient,
+                                   {"0", "9000", "200", "1024", "3", "cli"},
+                                   {});
+    cluster.kernel().loop().run_until(cluster.kernel().loop().now() +
+                                      300 * timeconst::kSecond);
+    std::map<std::string, std::string> out;
+    out["srv"] = read_result(cluster.kernel(), "srv");
+    out["cli"] = read_result(cluster.kernel(), "cli");
+    return out;
+  }();
+
+  World w(4, incremental_opts());
+  w.ctl.launch(0, kPingServer, {"9000", "200", "1024", "srv"});
+  w.ctl.launch(1, kPingClient, {"0", "9000", "200", "1024", "3", "cli"});
+  w.ctl.run_for(25 * timeconst::kMillisecond);
+  w.ctl.checkpoint_now();
+  w.ctl.kill_computation();
+  const auto& rr = w.ctl.restart({{0, 2}, {1, 3}});
+  EXPECT_EQ(rr.procs, 2);
+  ASSERT_TRUE(w.run_until_results({"srv", "cli"}));
+  EXPECT_EQ(read_result(w.k(), "srv"), baseline["srv"]);
+  EXPECT_EQ(read_result(w.k(), "cli"), baseline["cli"]);
+}
+
+TEST(CkptStoreE2E, SecondGenerationWritesSmallFractionAndGcTrims) {
+  auto opts = incremental_opts();
+  opts.codec = compress::CodecKind::kNone;  // exact byte accounting
+  opts.chunk_bytes = 64 * 1024;
+  opts.keep_generations = 2;
+  World w(1, opts);
+  const Pid pid = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "cl"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+
+  // Give the process Fig.-6-style ballast: 8 MB of pseudo-random heap.
+  constexpr u64 kBallast = 8 * 1024 * 1024;
+  sim::Process* p = w.k().find_process(pid);
+  ASSERT_NE(p, nullptr);
+  auto& seg = p->mem().add("ballast", sim::MemKind::kHeap, kBallast);
+  seg.data.fill(0, kBallast, ExtentKind::kRand, 0xA0);
+
+  const auto r1 = w.ctl.checkpoint_now();
+  EXPECT_GT(r1.store_new_bytes, kBallast);  // everything is new
+
+  // Dirty ~10% of the ballast, checkpoint again: the delta must stay well
+  // under 25% of the full-image write (the acceptance bound).
+  seg.data.fill(0, kBallast / 10, ExtentKind::kRand, 0xA1);
+  const auto r2 = w.ctl.checkpoint_now();
+  EXPECT_GT(r2.store_new_bytes, 0u);
+  EXPECT_LT(r2.store_new_bytes, r1.store_new_bytes / 4);
+  EXPECT_GT(r2.dedup_ratio, 1.5);
+
+  // Third generation pushes generation 1 out of the retention window; its
+  // dirty chunks are reclaimed and trimmed from the device.
+  seg.data.fill(0, kBallast / 10, ExtentKind::kRand, 0xA2);
+  const auto r3 = w.ctl.checkpoint_now();
+  EXPECT_GT(r3.store_reclaimed_bytes, 0u);
+  EXPECT_GT(w.k().node(0).storage().disk().total_discarded_bytes(), 0u);
+
+  // The live store holds roughly one full image plus two deltas — far less
+  // than three full generations.
+  EXPECT_LT(r3.store_live_bytes, 2 * r1.store_new_bytes);
+}
+
+}  // namespace
+}  // namespace dsim::test
