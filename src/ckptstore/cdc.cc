@@ -1,0 +1,128 @@
+#include "ckptstore/cdc.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/assertx.h"
+
+namespace dsim::ckptstore {
+namespace {
+
+using sim::ByteImage;
+using sim::ExtentKind;
+
+/// 256 pseudo-random gear constants, generated once from splitmix64 so the
+/// cutpoints are stable across runs and builds (chunk keys must be).
+std::array<u64, 256> make_gear_table() {
+  std::array<u64, 256> t{};
+  u64 x = 0x9E3779B97F4A7C15ull;
+  for (auto& v : t) {
+    x += 0x9E3779B97F4A7C15ull;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    v = z ^ (z >> 31);
+  }
+  return t;
+}
+
+const std::array<u64, 256>& gear() {
+  static const std::array<u64, 256> t = make_gear_table();
+  return t;
+}
+
+void check_params(const ChunkingParams& p) {
+  DSIM_CHECK_MSG(p.min_bytes > 0 && p.min_bytes <= p.avg_bytes &&
+                     p.avg_bytes <= p.max_bytes,
+                 "CDC bounds must satisfy 0 < min <= avg <= max");
+  DSIM_CHECK_MSG((p.avg_bytes & (p.avg_bytes - 1)) == 0,
+                 "CDC average chunk size must be a power of two");
+}
+
+/// Cut a real/mixed run into content-defined spans. The gear hash
+/// `h = (h << 1) + gear[byte]` depends only on the last ~64 bytes, so a
+/// byte insertion perturbs cutpoints for at most one window before they
+/// resynchronize with the pre-insertion boundaries. The scan is strictly
+/// sequential, so the run is materialized in bounded windows — peak
+/// memory stays O(max_bytes) however large the run (the fixed scanner's
+/// property, preserved).
+void cut_real_run(const ByteImage& img, u64 run_off, u64 run_len,
+                  const ChunkingParams& p, std::vector<ChunkSpan>& out) {
+  const auto& g = gear();
+  const u64 mask = p.avg_bytes - 1;
+  const u64 window = std::max<u64>(4 * p.max_bytes, 256 * 1024);
+  std::vector<std::byte> buf;
+  u64 buf_base = 0;  // run-relative offset buf[0] corresponds to
+  u64 start = 0;
+  u64 h = 0;
+  for (u64 i = 0; i < run_len; ++i) {
+    if (i >= buf_base + buf.size()) {
+      buf_base = i;
+      buf = img.materialize(run_off + i, std::min(window, run_len - i));
+    }
+    h = (h << 1) + g[static_cast<u8>(buf[i - buf_base])];
+    const u64 len = i + 1 - start;
+    if (len >= p.max_bytes || (len >= p.min_bytes && (h & mask) == 0)) {
+      out.push_back(ChunkSpan{run_off + start, len, ExtentKind::kReal, 0});
+      start = i + 1;
+      h = 0;
+    }
+  }
+  if (start < run_len) {
+    out.push_back(
+        ChunkSpan{run_off + start, run_len - start, ExtentKind::kReal, 0});
+  }
+}
+
+}  // namespace
+
+std::vector<ChunkSpan> scan_chunks_cdc(const ByteImage& img,
+                                       const ChunkingParams& p) {
+  check_params(p);
+  struct ExtView {
+    u64 off, len;
+    ExtentKind kind;
+    u64 seed;
+  };
+  std::vector<ExtView> exts;
+  img.for_each_extent([&](u64 off, const ByteImage::Extent& e) {
+    exts.push_back({off, e.len, e.kind, e.seed});
+  });
+
+  std::vector<ChunkSpan> out;
+  // Pattern extents at least min_bytes long stand alone: their boundaries
+  // are content-determined by definition (the content *is* the descriptor),
+  // so cutting at the extent edge keeps them dedupable without
+  // materialization. Shorter pattern fragments fold into the surrounding
+  // real run.
+  u64 run_off = 0;   // start of the pending real/mixed run
+  u64 run_len = 0;
+  auto flush_run = [&] {
+    if (run_len > 0) cut_real_run(img, run_off, run_len, p, out);
+    run_len = 0;
+  };
+  for (const auto& e : exts) {
+    if (e.kind != ExtentKind::kReal && e.len >= p.min_bytes) {
+      flush_run();
+      // Descriptor spans, cut at max_bytes (tail may be short).
+      for (u64 done = 0; done < e.len; done += p.max_bytes) {
+        const u64 len = std::min<u64>(p.max_bytes, e.len - done);
+        out.push_back(ChunkSpan{e.off + done, len, e.kind, e.seed});
+      }
+      run_off = e.off + e.len;
+      continue;
+    }
+    if (run_len == 0) run_off = e.off;
+    run_len = e.off + e.len - run_off;
+  }
+  flush_run();
+  return out;
+}
+
+std::vector<ChunkSpan> scan_chunks_with(const ByteImage& img,
+                                        const ChunkingParams& p) {
+  return p.mode == ChunkingMode::kFixed ? scan_chunks(img, p.fixed_bytes)
+                                        : scan_chunks_cdc(img, p);
+}
+
+}  // namespace dsim::ckptstore

@@ -24,7 +24,7 @@ std::vector<std::byte> Manifest::encode() const {
   w.put_u32(kMagic);
   w.put_string(owner);
   w.put_i32(generation);
-  w.put_u64(chunk_bytes);
+  chunking.serialize(w);
   w.put_u8(codec);
   w.put_blob(meta_blob);
   w.put_u64(segments.size());
@@ -49,7 +49,7 @@ Manifest Manifest::decode(std::span<const std::byte> bytes) {
   DSIM_CHECK_MSG(r.get_u32() == kMagic, "not a checkpoint manifest");
   m.owner = r.get_string();
   m.generation = r.get_i32();
-  m.chunk_bytes = r.get_u64();
+  m.chunking = ChunkingParams::deserialize(r);
   m.codec = r.get_u8();
   m.meta_blob = r.get_blob();
   const u64 nseg = r.get_u64();

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ckptstore/cdc.h"
 #include "ckptstore/chunk.h"
 #include "util/serialize.h"
 #include "util/types.h"
@@ -32,7 +33,9 @@ struct Manifest {
 
   std::string owner;   // stable process identity (virtual pid)
   int generation = 0;  // checkpoint round the manifest belongs to
-  u64 chunk_bytes = 0;
+  /// How the segments were chunked (mode + fixed/CDC knobs). Restart
+  /// validates this against core::validate_chunking before trusting it.
+  ChunkingParams chunking;
   u8 codec = 0;  // compress::CodecKind the chunk containers use
   /// Opaque blob from the layer above (mtcp identity, threads, signals,
   /// DMTCP connection table).

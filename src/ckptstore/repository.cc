@@ -29,6 +29,22 @@ bool Repository::put(const ChunkKey& key, Chunk chunk) {
   return true;
 }
 
+void Repository::add_owner_ref(Slot& slot, const std::string& owner) {
+  slot.refs++;
+  const bool was_shared = slot.owner_refs.size() > 1;
+  slot.owner_refs[owner]++;
+  if (!was_shared && slot.owner_refs.size() > 1) shared_chunks_++;
+}
+
+bool Repository::drop_owner_ref(Slot& slot, const std::string& owner) {
+  const bool was_shared = slot.owner_refs.size() > 1;
+  auto oit = slot.owner_refs.find(owner);
+  DSIM_CHECK(oit != slot.owner_refs.end());
+  if (--oit->second == 0) slot.owner_refs.erase(oit);
+  if (was_shared && slot.owner_refs.size() <= 1) shared_chunks_--;
+  return --slot.refs == 0;
+}
+
 void Repository::commit_generation(const std::string& owner, int gen,
                                    const std::vector<ChunkKey>& keys,
                                    u64 logical_bytes) {
@@ -42,12 +58,29 @@ void Repository::commit_generation(const std::string& owner, int gen,
     auto it = chunks_.find(k);
     DSIM_CHECK_MSG(it != chunks_.end(),
                    "manifest references a chunk the repository never stored");
-    it->second.refs++;
+    add_owner_ref(it->second, owner);
   }
   stats_.live_logical_bytes += logical_bytes;
   auto [gi, fresh] = generations_[owner].try_emplace(gen, std::move(rec));
   DSIM_CHECK_MSG(fresh, "generation committed twice for one owner");
   (void)gi;
+}
+
+u64 Repository::release_generation(const std::string& owner,
+                                   const GenRec& rec) {
+  u64 reclaimed = 0;
+  for (const auto& k : rec.keys) {
+    auto it = chunks_.find(k);
+    DSIM_CHECK(it != chunks_.end());
+    if (drop_owner_ref(it->second, owner)) {
+      reclaimed += it->second.chunk.charged_bytes;
+      stats_.live_chunks--;
+      stats_.live_stored_bytes -= it->second.chunk.charged_bytes;
+      chunks_.erase(it);
+    }
+  }
+  stats_.live_logical_bytes -= rec.logical_bytes;
+  return reclaimed;
 }
 
 u64 Repository::collect_garbage(int keep) {
@@ -56,17 +89,7 @@ u64 Repository::collect_garbage(int keep) {
   for (auto& [owner, gens] : generations_) {
     while (static_cast<int>(gens.size()) > keep) {
       auto oldest = gens.begin();  // map is gen-ordered
-      for (const auto& k : oldest->second.keys) {
-        auto it = chunks_.find(k);
-        DSIM_CHECK(it != chunks_.end());
-        if (--it->second.refs == 0) {
-          reclaimed += it->second.chunk.charged_bytes;
-          stats_.live_chunks--;
-          stats_.live_stored_bytes -= it->second.chunk.charged_bytes;
-          chunks_.erase(it);
-        }
-      }
-      stats_.live_logical_bytes -= oldest->second.logical_bytes;
+      reclaimed += release_generation(owner, oldest->second);
       gens.erase(oldest);
     }
   }
@@ -74,22 +97,40 @@ u64 Repository::collect_garbage(int keep) {
   return reclaimed;
 }
 
-void Repository::absorb(const Repository& other) {
-  for (const auto& [key, slot] : other.chunks_) {
-    auto [it, inserted] = chunks_.try_emplace(key, slot);
-    if (inserted) {
-      stats_.live_chunks++;
-      stats_.live_stored_bytes += slot.chunk.charged_bytes;
-    } else {
-      // Referenced from both stores: the generations of both pin it.
-      it->second.refs += slot.refs;
-    }
+u64 Repository::drop_owner(const std::string& owner) {
+  auto oit = generations_.find(owner);
+  if (oit == generations_.end()) return 0;
+  u64 reclaimed = 0;
+  for (const auto& [gen, rec] : oit->second) {
+    reclaimed += release_generation(owner, rec);
   }
+  generations_.erase(oit);
+  stats_.reclaimed_bytes += reclaimed;
+  return reclaimed;
+}
+
+void Repository::absorb(const Repository& other) {
+  // Refcounts are derived from the generation records actually inserted
+  // (generations already present are skipped, and so are their refs), so
+  // absorbing the same store twice — a round-trip migration — cannot
+  // double-count. Chunks are pulled over lazily, only when an inserted
+  // generation references them.
   for (const auto& [owner, gens] : other.generations_) {
     auto& mine = generations_[owner];
     for (const auto& [gen, rec] : gens) {
-      if (mine.try_emplace(gen, rec).second) {
-        stats_.live_logical_bytes += rec.logical_bytes;
+      if (!mine.try_emplace(gen, rec).second) continue;
+      stats_.live_logical_bytes += rec.logical_bytes;
+      for (const auto& k : rec.keys) {
+        auto it = chunks_.find(k);
+        if (it == chunks_.end()) {
+          auto oit = other.chunks_.find(k);
+          DSIM_CHECK(oit != other.chunks_.end());
+          it = chunks_.try_emplace(k).first;
+          it->second.chunk = oit->second.chunk;
+          stats_.live_chunks++;
+          stats_.live_stored_bytes += it->second.chunk.charged_bytes;
+        }
+        add_owner_ref(it->second, owner);
       }
     }
   }

@@ -64,15 +64,34 @@ class Repository {
 
   /// Retention policy: keep only the newest `keep` generations per owner.
   /// Returns the stored bytes reclaimed from chunks that became dead.
+  /// Refcounts span owners: a chunk shared by several processes (the same
+  /// mapped library chunked to the same key) stays resident until the last
+  /// referencing generation of the last referencing owner dies.
   u64 collect_garbage(int keep);
 
-  /// Copy every chunk and generation of `other` into this repository
-  /// (checkpoint migration: the chunks referenced by a staged manifest
-  /// must travel to the target node's store with it).
+  /// Drop every generation of `owner` (the process left the computation
+  /// for good — exited without a pending restart, or its images were
+  /// migrated away). Chunks it shared with other owners survive; chunks
+  /// only it referenced are reclaimed. Returns the stored bytes reclaimed.
+  u64 drop_owner(const std::string& owner);
+
+  /// Copy `other`'s generations — and the chunks they reference — into
+  /// this repository (checkpoint migration: the chunks a staged manifest
+  /// references must travel to the target node's store with it).
+  /// Generations already present are skipped with their refs, so
+  /// re-absorbing after a round-trip migration never double-counts.
   void absorb(const Repository& other);
 
   /// Generations currently live for `owner` (oldest first).
   std::vector<int> live_generations(const std::string& owner) const;
+
+  /// Distinct owners with at least one live generation.
+  size_t owner_count() const { return generations_.size(); }
+
+  /// Chunks referenced by live generations of more than one owner — the
+  /// cross-process dedup the cluster-wide store exists for. Maintained
+  /// incrementally (commit/GC), so reading it per round is O(1).
+  u64 shared_chunk_count() const { return shared_chunks_; }
 
   const RepoStats& stats() const { return stats_; }
 
@@ -80,14 +99,30 @@ class Repository {
   struct Slot {
     Chunk chunk;
     int refs = 0;  // live generations referencing this chunk
+    /// Live generations per owner — tracks which chunks are shared across
+    /// processes without a per-round sweep. Size > 1 means shared.
+    std::map<std::string, int> owner_refs;
   };
   struct GenRec {
     std::vector<ChunkKey> keys;  // unique keys this generation pins
     u64 logical_bytes = 0;
   };
 
+  /// All shared_chunks_ bookkeeping lives in this pair: one reference
+  /// from `owner` is added to / dropped from `slot`, and the shared
+  /// counter is adjusted on the single-owner <-> multi-owner transitions.
+  /// drop_owner_ref returns true when the slot's last reference died.
+  void add_owner_ref(Slot& slot, const std::string& owner);
+  bool drop_owner_ref(Slot& slot, const std::string& owner);
+
+  /// Unpin one of `owner`'s generations, reclaiming chunks that reach zero
+  /// refs. Returns the stored bytes reclaimed (caller updates
+  /// reclaimed_bytes).
+  u64 release_generation(const std::string& owner, const GenRec& rec);
+
   std::map<ChunkKey, Slot> chunks_;
   std::map<std::string, std::map<int, GenRec>> generations_;
+  u64 shared_chunks_ = 0;  // slots with owner_refs from > 1 owner
   RepoStats stats_;
 };
 

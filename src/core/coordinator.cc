@@ -124,15 +124,17 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
     // Snapshot the repositories after every manager committed + GC'd: the
     // round's stats carry the store's live size and dedup ratio,
     // aggregated across node-local stores.
-    u64 live = 0, reclaimed = 0, logical = 0;
+    u64 live = 0, reclaimed = 0, logical = 0, shared_chunks = 0;
     for (const auto& [node, repo] : st->shared->repos) {
       const auto& rs = repo->stats();
       live += rs.live_stored_bytes;
       reclaimed += rs.reclaimed_bytes;
       logical += rs.live_logical_bytes;
+      shared_chunks += repo->shared_chunk_count();
     }
     auto& r = st->shared->stats.rounds.back();
     r.store_live_bytes = live;
+    r.store_shared_chunks = shared_chunks;
     r.store_reclaimed_bytes = reclaimed;
     r.dedup_ratio = live == 0 ? 1.0
                               : static_cast<double>(logical) /
@@ -292,6 +294,7 @@ Task<void> client_handler(CoordState* st, sim::ProcessCtx* pctx, Fd fd) {
           r.store_new_bytes += written;
           r.total_chunks += br.get_u64();
           r.new_chunks += br.get_u64();
+          r.store_dup_bytes += br.get_u64();
         }
         st->round_images[round][m->b].push_back(m->s);
         break;

@@ -521,7 +521,7 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     // the codec only runs over new chunk bytes.
     ckptstore::Repository& repo = shared_->repo_for(p_.node());
     mtcp::EncodedDelta delta = mtcp::encode_incremental(
-        img, shared_->opts.codec, shared_->opts.chunk_bytes,
+        img, shared_->opts.codec, shared_->opts.chunking_params(),
         std::to_string(vpid_), round, repo);
     co_await ctx.cpu(delta.assemble_seconds + delta.compress_seconds);
     inode->data = sim::ByteImage(delta.manifest_bytes.size());
@@ -533,7 +533,11 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
       co_await k.sync_storage(ctx.thread(), p_.node(), path);
     }
     // Retention: drop generations beyond the keep window and trim the
-    // reclaimed chunk bytes from the store device.
+    // reclaimed chunk bytes from the store device. Under --dedup-scope
+    // cluster the trim lands on the GC-triggering node's device even when
+    // the chunk was first written elsewhere — the repository does not
+    // track chunk placement (a named follow-on); aggregate discard
+    // accounting is exact, the per-node split is approximate.
     const u64 reclaimed =
         repo.collect_garbage(shared_->opts.keep_generations);
     if (reclaimed > 0) k.discard_storage(p_.node(), path, reclaimed);
@@ -549,6 +553,7 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     bw.put_u64(delta.submitted_bytes);  // chunks + manifest actually written
     bw.put_u64(delta.total_chunks);
     bw.put_u64(delta.new_chunks);
+    bw.put_u64(delta.dup_chunk_bytes);  // logical bytes dedup answered
     stats.blob = bw.take();
     co_await send_msg(k, ctx.thread(), *coord_sock(), stats);
     co_return;

@@ -1,5 +1,6 @@
 #include "core/launch.h"
 
+#include "ckptstore/manifest.h"
 #include "core/coordinator.h"
 #include "core/hijack.h"
 #include "core/restart.h"
@@ -123,10 +124,28 @@ const RestartRun& DmtcpControl::restart(std::map<NodeId, NodeId> host_map) {
       }
       // Incremental images are manifests: stage the source node's chunk
       // repository alongside them, as the images themselves are staged.
+      // The migrated processes' generations then leave the source store —
+      // otherwise the cluster-wide live-bytes aggregation keeps counting
+      // the stranded copies forever (chunks other owners still reference
+      // survive the drop, refcounted as usual).
       if (shared_->opts.incremental) {
         if (auto it = shared_->repos.find(host.host);
             it != shared_->repos.end()) {
           shared_->repo_for(target).absorb(*it->second);
+          u64 reclaimed = 0;
+          for (const auto& img : host.images) {
+            auto inode = k_.node(host.host).fs().lookup(img);
+            auto bytes = inode->data.materialize(0, inode->data.size());
+            if (ckptstore::Manifest::is_manifest(bytes)) {
+              reclaimed += it->second->drop_owner(
+                  ckptstore::Manifest::decode(bytes).owner);
+            }
+          }
+          // Trim the reclaimed chunk bytes from the source device, as the
+          // GC path does — reclaim and trim stay paired everywhere.
+          if (reclaimed > 0) {
+            k_.discard_storage(host.host, host.images.front(), reclaimed);
+          }
         }
       }
     }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "ckptstore/cdc.h"
 #include "compress/compressor.h"
 #include "util/types.h"
 
@@ -16,6 +17,44 @@ enum class SyncMode : u8 {
   kSyncAfter = 1,     // sync() before resuming user threads (+0.79 s)
   kSyncPrevious = 2,  // sync the *previous* checkpoint instead
 };
+
+/// How far chunk dedup reaches in incremental mode.
+enum class DedupScope : u8 {
+  kNode = 0,     // one repository per node-local checkpoint directory
+  kCluster = 1,  // one computation-wide repository (stdchk-style store
+                 // service): identical chunks from different processes on
+                 // different nodes are stored exactly once
+};
+
+/// Validate a chunking configuration with a user-facing message ("" when
+/// consistent). The single source of truth for the `--chunk-bytes` and CDC
+/// min<=avg<=max bounds: dmtcp_checkpoint rejects bad flags through it at
+/// launch, and dmtcp_restart rejects corrupt or hand-edited manifests
+/// through it before trusting their recorded parameters.
+inline std::string validate_chunking(const ckptstore::ChunkingParams& p) {
+  if (p.mode != ckptstore::ChunkingMode::kFixed &&
+      p.mode != ckptstore::ChunkingMode::kCdc) {
+    return "--chunking must be 'fixed' or 'cdc'";
+  }
+  if (p.fixed_bytes == 0 || (p.fixed_bytes & (p.fixed_bytes - 1)) != 0) {
+    return "--chunk-bytes must be a non-zero power of two (got " +
+           std::to_string(p.fixed_bytes) + ")";
+  }
+  if (p.mode == ckptstore::ChunkingMode::kCdc) {
+    if (p.avg_bytes == 0 || (p.avg_bytes & (p.avg_bytes - 1)) != 0) {
+      return "--cdc-avg-bytes must be a non-zero power of two (got " +
+             std::to_string(p.avg_bytes) + ")";
+    }
+    if (p.min_bytes == 0 || p.min_bytes > p.avg_bytes ||
+        p.avg_bytes > p.max_bytes) {
+      return "CDC chunk bounds must satisfy 0 < min <= avg <= max (got "
+             "min=" + std::to_string(p.min_bytes) +
+             " avg=" + std::to_string(p.avg_bytes) +
+             " max=" + std::to_string(p.max_bytes) + ")";
+    }
+  }
+  return "";
+}
 
 struct DmtcpOptions {
   NodeId coord_node = 0;
@@ -30,13 +69,32 @@ struct DmtcpOptions {
   bool incremental = false;     // --incremental: write chunk deltas only
   u64 chunk_bytes = 64 * 1024;  // --chunk-bytes: power-of-two chunk size
   int keep_generations = 2;     // --keep-generations: GC retention window
+  /// --chunking: fixed-size spans or content-defined cutpoints.
+  ckptstore::ChunkingMode chunking = ckptstore::ChunkingMode::kFixed;
+  u64 cdc_min_bytes = 16 * 1024;   // --cdc-min-bytes: CDC chunk floor
+  u64 cdc_avg_bytes = 64 * 1024;   // --cdc-avg-bytes: target (power of two)
+  u64 cdc_max_bytes = 256 * 1024;  // --cdc-max-bytes: CDC chunk ceiling
+  /// --dedup-scope: node-local repositories or one computation-wide store.
+  DedupScope dedup_scope = DedupScope::kNode;
+
+  /// The chunking configuration the encoder consumes and the manifest
+  /// records.
+  ckptstore::ChunkingParams chunking_params() const {
+    ckptstore::ChunkingParams p;
+    p.mode = chunking;
+    p.fixed_bytes = chunk_bytes;
+    p.min_bytes = cdc_min_bytes;
+    p.avg_bytes = cdc_avg_bytes;
+    p.max_bytes = cdc_max_bytes;
+    return p;
+  }
 
   /// Validate the option set; returns "" when consistent, else a
   /// human-readable rejection (dmtcp_checkpoint refuses to launch on it).
   std::string validate() const {
-    if (chunk_bytes == 0 || (chunk_bytes & (chunk_bytes - 1)) != 0) {
-      return "--chunk-bytes must be a non-zero power of two (got " +
-             std::to_string(chunk_bytes) + ")";
+    if (const std::string err = validate_chunking(chunking_params());
+        !err.empty()) {
+      return err;
     }
     if (keep_generations < 1) {
       return "--keep-generations must keep at least one generation (got " +
@@ -70,6 +128,13 @@ struct DmtcpOptions {
         }
         return n;
       };
+      auto strval = [&](const char* flag) -> std::string {
+        if (i + 1 >= argv.size()) {
+          err = std::string(flag) + " requires a value";
+          return "";
+        }
+        return argv[++i];
+      };
       if (a == "--incremental") {
         incremental = true;
       } else if (a == "--chunk-bytes") {
@@ -80,6 +145,32 @@ struct DmtcpOptions {
         const long n = intval("--keep-generations");
         if (!err.empty()) return err;
         keep_generations = static_cast<int>(n);
+      } else if (a == "--chunking") {
+        const std::string v = strval("--chunking");
+        if (!err.empty()) return err;
+        if (v == "fixed") chunking = ckptstore::ChunkingMode::kFixed;
+        else if (v == "cdc") chunking = ckptstore::ChunkingMode::kCdc;
+        else return "--chunking: expected 'fixed' or 'cdc', got '" + v + "'";
+      } else if (a == "--cdc-min-bytes") {
+        const long n = intval("--cdc-min-bytes");
+        if (!err.empty()) return err;
+        cdc_min_bytes = static_cast<u64>(n);
+      } else if (a == "--cdc-avg-bytes") {
+        const long n = intval("--cdc-avg-bytes");
+        if (!err.empty()) return err;
+        cdc_avg_bytes = static_cast<u64>(n);
+      } else if (a == "--cdc-max-bytes") {
+        const long n = intval("--cdc-max-bytes");
+        if (!err.empty()) return err;
+        cdc_max_bytes = static_cast<u64>(n);
+      } else if (a == "--dedup-scope") {
+        const std::string v = strval("--dedup-scope");
+        if (!err.empty()) return err;
+        if (v == "node") dedup_scope = DedupScope::kNode;
+        else if (v == "cluster") dedup_scope = DedupScope::kCluster;
+        else
+          return "--dedup-scope: expected 'node' or 'cluster', got '" + v +
+                 "'";
       } else {
         rest.push_back(a);
       }

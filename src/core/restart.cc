@@ -98,6 +98,15 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
       // cost is the manifest plus every referenced chunk — the full image
       // worth of stored bytes, not just this generation's delta.
       const auto mf = ckptstore::Manifest::decode(container);
+      // Same helper dmtcp_checkpoint validates its flags with: a manifest
+      // recording impossible chunking parameters is corrupt, and failing
+      // here beats feeding it to the chunk scanner's asserts.
+      const std::string cfg_err = validate_chunking(mf.chunking);
+      DSIM_CHECK_MSG(cfg_err.empty(),
+                     ("dmtcp_restart: manifest has invalid chunking "
+                      "parameters: " +
+                      cfg_err)
+                         .c_str());
       std::string err;
       u64 chunk_read_bytes = 0;
       li.img = mtcp::decode_incremental(mf, shared->repo_for(self.node()),

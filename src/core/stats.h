@@ -36,6 +36,12 @@ struct CkptRound {
   u64 store_new_bytes = 0;   // chunk+manifest bytes actually written
   u64 store_live_bytes = 0;  // resident chunk bytes after this round's GC
   u64 store_reclaimed_bytes = 0;  // cumulative bytes GC has freed
+  /// Logical image bytes this round answered by already-resident chunks
+  /// (earlier generations or other processes sharing the store).
+  u64 store_dup_bytes = 0;
+  /// Chunks referenced by more than one process after this round — the
+  /// shared mapped libraries a cluster-wide store stores exactly once.
+  u64 store_shared_chunks = 0;
   u64 total_chunks = 0;
   u64 new_chunks = 0;
   double dedup_ratio = 0;  // logical bytes per stored byte
@@ -78,16 +84,22 @@ struct DmtcpShared {
   DmtcpStats stats;
   /// Content-addressed chunk repositories backing ckpt_dir (incremental
   /// mode only). A shared ckpt_dir (/shared/...) is one stdchk-style store
-  /// service for the whole computation; node-local directories get one
-  /// repository per node — dedup cannot span physically separate disks.
+  /// service for the whole computation, as is --dedup-scope cluster (a
+  /// computation-wide dedup index over node-local disks: a chunk another
+  /// node already stored is referenced, not rewritten). Plain node-local
+  /// directories get one repository per node — without the cluster index,
+  /// dedup cannot span physically separate disks.
   /// Keyed by node id, or kSharedRepo for the shared store.
   static constexpr int kSharedRepo = -1;
   std::map<int, std::shared_ptr<ckptstore::Repository>> repos;
   bool shared_ckpt_dir() const {
     return opts.ckpt_dir.rfind("/shared", 0) == 0;
   }
+  bool cluster_wide_store() const {
+    return shared_ckpt_dir() || opts.dedup_scope == DedupScope::kCluster;
+  }
   ckptstore::Repository& repo_for(NodeId node) {
-    auto& r = repos[shared_ckpt_dir() ? kSharedRepo : node];
+    auto& r = repos[cluster_wide_store() ? kSharedRepo : node];
     if (!r) r = std::make_shared<ckptstore::Repository>();
     return *r;
   }

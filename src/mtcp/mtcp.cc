@@ -137,14 +137,15 @@ ProcessImage decode(std::span<const std::byte> container,
 }
 
 EncodedDelta encode_incremental(const ProcessImage& img,
-                                compress::CodecKind codec, u64 chunk_bytes,
+                                compress::CodecKind codec,
+                                const ckptstore::ChunkingParams& chunking,
                                 const std::string& owner, int generation,
                                 ckptstore::Repository& repo) {
   EncodedDelta out;
   ckptstore::Manifest mf;
   mf.owner = owner;
   mf.generation = generation;
-  mf.chunk_bytes = chunk_bytes;
+  mf.chunking = chunking;
   mf.codec = static_cast<u8>(codec);
   {
     ByteWriter mw;
@@ -153,9 +154,12 @@ EncodedDelta encode_incremental(const ProcessImage& img,
   }
 
   // Codec CPU is charged for new chunk bytes only; the scan/hash pass still
-  // walks the full image (that is the price of finding the delta).
+  // walks the full image (that is the price of finding the delta). CDC
+  // additionally pays a gear rolling-hash pass over every real byte to
+  // find the cutpoints — the observable CPU cost of preferring CDC.
   u64 new_zero_bytes = 0;
   u64 new_other_bytes = 0;
+  u64 real_scanned_bytes = 0;
   for (const auto& seg : img.segments) {
     ckptstore::SegmentManifest sm;
     sm.name = seg.name;
@@ -163,14 +167,17 @@ EncodedDelta encode_incremental(const ProcessImage& img,
     sm.shared = seg.shared;
     sm.backing_path = seg.backing_path;
     sm.size = seg.data.size();
-    for (const auto& span : ckptstore::scan_chunks(seg.data, chunk_bytes)) {
-      // Real/mixed spans materialize exactly once; key, CRC and codec all
-      // reuse the same buffer. Pattern spans never materialize for keying.
+    for (const auto& span : ckptstore::scan_chunks_with(seg.data, chunking)) {
+      // Real/mixed spans materialize once here; key, CRC and codec all
+      // reuse the same buffer. (The CDC scanner walks real bytes again in
+      // its own bounded windows to place cutpoints — charged below as the
+      // gear pass.) Pattern spans never materialize for keying.
       std::vector<std::byte> content;
       ckptstore::ChunkKey key;
       if (span.kind == ExtentKind::kReal) {
         content = seg.data.materialize(span.off, span.len);
         key = ckptstore::content_key(content);
+        real_scanned_bytes += span.len;
       } else {
         key = ckptstore::span_key(seg.data, span);
       }
@@ -180,6 +187,7 @@ EncodedDelta encode_incremental(const ProcessImage& img,
       out.total_chunks++;
       if (const ckptstore::Chunk* resident = repo.find(key)) {
         ref.crc = resident->crc;
+        out.dup_chunk_bytes += span.len;
         repo.note_hit();
       } else {
         ckptstore::Chunk c;
@@ -226,6 +234,10 @@ EncodedDelta encode_incremental(const ProcessImage& img,
   out.submitted_bytes = out.new_chunk_bytes + out.manifest_bytes.size();
   out.assemble_seconds = static_cast<double>(out.virtual_uncompressed) /
                          sim::params::kMemcpyBw;
+  if (chunking.mode == ckptstore::ChunkingMode::kCdc) {
+    out.assemble_seconds += static_cast<double>(real_scanned_bytes) /
+                            sim::params::kGearHashBw;
+  }
   if (codec != compress::CodecKind::kNone) {
     out.compress_seconds =
         static_cast<double>(new_zero_bytes) / sim::params::kGzipZeroBw +

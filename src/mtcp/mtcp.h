@@ -54,18 +54,24 @@ struct EncodedDelta {
   u64 new_chunk_bytes = 0;       // chunk bytes newly stored this generation
   /// Bytes actually submitted to the storage device: new chunks + manifest.
   u64 submitted_bytes = 0;
+  /// Logical image bytes answered by chunks already resident in the
+  /// repository — stored by an earlier generation of this process *or by
+  /// another process* (shared libraries in a cluster-wide store).
+  u64 dup_chunk_bytes = 0;
   u64 total_chunks = 0;
   u64 new_chunks = 0;
   double assemble_seconds = 0;  // scan + hash cost over the full image
   double compress_seconds = 0;  // codec cost over *new* chunk bytes only
 };
 
-/// Split the image's segments into `chunk_bytes`-sized chunks, store the
-/// ones not already resident in `repo`, and emit the generation manifest.
-/// Chunk containers are compressed once with `codec` and reused by every
-/// later generation that references the same content.
+/// Split the image's segments into chunks per `chunking` (fixed-size spans
+/// or content-defined cutpoints), store the ones not already resident in
+/// `repo`, and emit the generation manifest. Chunk containers are
+/// compressed once with `codec` and reused by every later generation — of
+/// any process sharing the repository — that references the same content.
 EncodedDelta encode_incremental(const ProcessImage& img,
-                                compress::CodecKind codec, u64 chunk_bytes,
+                                compress::CodecKind codec,
+                                const ckptstore::ChunkingParams& chunking,
                                 const std::string& owner, int generation,
                                 ckptstore::Repository& repo);
 

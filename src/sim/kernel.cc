@@ -679,7 +679,8 @@ Task<void> Kernel::charge_storage(Thread& t, NodeId node_id,
       st.write(bytes, [sp] { sp->complete(); });
     }
   } else {
-    shared_device_for(node_id).submit(bytes, [sp] { sp->complete(); });
+    shared_device_for(node_id).submit(bytes, [sp] { sp->complete(); },
+                                      is_read);
   }
   while (!sp->done) co_await sp->wq.wait(t);
 }
@@ -695,7 +696,7 @@ void Kernel::charge_storage_bg(NodeId node_id, const std::string& path,
       st.write(bytes, std::move(done));
     }
   } else {
-    shared_device_for(node_id).submit(bytes, std::move(done));
+    shared_device_for(node_id).submit(bytes, std::move(done), is_read);
   }
 }
 

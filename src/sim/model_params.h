@@ -73,6 +73,11 @@ inline constexpr SimTime kDrainFlushBase = 95 * timeconst::kMillisecond;
 inline constexpr double kImageAssembleBw = 200e6;
 // Raw memcpy rate (image assembly when the data is piped through gzip).
 inline constexpr double kMemcpyBw = 2.4e9;
+// Gear rolling-hash scan rate over real content (content-defined
+// chunking's extra cutpoint-search pass; fixed chunking skips it). Gear
+// is one shift+add+table-lookup per byte — slower than memcpy, far
+// faster than gzip.
+inline constexpr double kGearHashBw = 1.2e9;
 // fork() for forked checkpointing: page-table copy cost per MB of RSS.
 inline constexpr SimTime kForkPerMb = 600 * timeconst::kMicrosecond;
 inline constexpr SimTime kForkBase = 300 * timeconst::kMicrosecond;

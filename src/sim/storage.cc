@@ -15,8 +15,11 @@ SimTime StorageDevice::jittered(double seconds) {
   return from_seconds(s);
 }
 
-void StorageDevice::submit(u64 bytes, std::function<void()> done) {
-  submitted_bytes_ += bytes;
+void StorageDevice::submit(u64 bytes, std::function<void()> done,
+                           bool is_read, u64 logical_bytes) {
+  const u64 acc = logical_bytes != 0 ? logical_bytes : bytes;
+  submitted_bytes_ += acc;
+  if (is_read) read_bytes_ += acc;
   const SimTime start = std::max(loop_.now(), busy_until_);
   const SimTime xfer = jittered(static_cast<double>(bytes) / bw_);
   busy_until_ = start + xfer;
@@ -50,7 +53,7 @@ void LocalStorage::read(u64 bytes, std::function<void()> done) {
   // one device with write bandwidth models both directions.
   const double scale = params::kPageCacheWriteBw / params::kPageCacheReadBw;
   cache_.submit(static_cast<u64>(static_cast<double>(bytes) * scale),
-                std::move(done));
+                std::move(done), /*is_read=*/true, /*logical_bytes=*/bytes);
 }
 
 void LocalStorage::discard(u64 bytes) {

@@ -31,7 +31,15 @@ class StorageDevice {
         latency_(latency) {}
 
   /// Enqueue a transfer of `bytes`; `done` fires when it completes.
-  void submit(u64 bytes, std::function<void()> done);
+  /// `is_read` only affects accounting (reads and writes share the queue),
+  /// so benches can attribute device traffic: a dedup'd cluster round
+  /// writes shared chunks once but every restart still reads them.
+  /// `logical_bytes` (0 = same as `bytes`) is what the counters record
+  /// when the transfer size was rescaled for timing — LocalStorage models
+  /// its faster read path by shrinking the request against the write-rate
+  /// device, but the counters must stay in un-scaled bytes.
+  void submit(u64 bytes, std::function<void()> done, bool is_read = false,
+              u64 logical_bytes = 0);
 
   /// Account garbage collection of dead checkpoint generations: the device
   /// drops `bytes` of stored data at metadata (trim) rate — far cheaper
@@ -44,6 +52,9 @@ class StorageDevice {
   double bandwidth() const { return bw_; }
   /// Cumulative bytes transferred through submit().
   u64 total_submitted_bytes() const { return submitted_bytes_; }
+  /// Read/write split of total_submitted_bytes().
+  u64 total_read_bytes() const { return read_bytes_; }
+  u64 total_written_bytes() const { return submitted_bytes_ - read_bytes_; }
   /// Cumulative bytes dropped through discard() (GC'd generations).
   u64 total_discarded_bytes() const { return discarded_bytes_; }
 
@@ -62,6 +73,7 @@ class StorageDevice {
   SimTime latency_;
   SimTime busy_until_ = 0;
   u64 submitted_bytes_ = 0;
+  u64 read_bytes_ = 0;
   u64 discarded_bytes_ = 0;
   Rng* jitter_rng_ = nullptr;
   double jitter_sigma_ = 0;

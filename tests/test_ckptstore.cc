@@ -3,6 +3,10 @@
 // delta-restart round trips through the DMTCP stack.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
+#include "ckptstore/cdc.h"
 #include "ckptstore/chunk.h"
 #include "ckptstore/manifest.h"
 #include "ckptstore/repository.h"
@@ -21,6 +25,22 @@ using sim::ByteImage;
 using sim::ExtentKind;
 
 constexpr u64 kChunk = 4 * 1024;
+
+ckptstore::ChunkingParams fixed_params(u64 chunk_bytes) {
+  ckptstore::ChunkingParams p;
+  p.mode = ckptstore::ChunkingMode::kFixed;
+  p.fixed_bytes = chunk_bytes;
+  return p;
+}
+
+ckptstore::ChunkingParams cdc_params(u64 min, u64 avg, u64 max) {
+  ckptstore::ChunkingParams p;
+  p.mode = ckptstore::ChunkingMode::kCdc;
+  p.min_bytes = min;
+  p.avg_bytes = avg;
+  p.max_bytes = max;
+  return p;
+}
 
 std::vector<std::byte> pseudo_bytes(u64 n, u64 seed) {
   std::vector<std::byte> out(n);
@@ -111,6 +131,121 @@ TEST(Chunker, RejectsBadChunkSizes) {
   EXPECT_DEATH(ckptstore::scan_chunks(img, 3000), "power of two");
 }
 
+// --- content-defined chunking ------------------------------------------------
+
+std::set<ckptstore::ChunkKey> key_set(const ByteImage& img,
+                                      const std::vector<ckptstore::ChunkSpan>&
+                                          spans) {
+  std::set<ckptstore::ChunkKey> keys;
+  for (const auto& s : spans) keys.insert(ckptstore::span_key(img, s));
+  return keys;
+}
+
+size_t count_new_keys(const std::set<ckptstore::ChunkKey>& before,
+                      const ByteImage& img,
+                      const std::vector<ckptstore::ChunkSpan>& spans) {
+  size_t fresh = 0;
+  for (const auto& s : spans) {
+    if (!before.count(ckptstore::span_key(img, s))) fresh++;
+  }
+  return fresh;
+}
+
+TEST(Cdc, SpansRespectBoundsAndCoverTheImage) {
+  const auto p = cdc_params(1024, 4096, 16 * 1024);
+  ByteImage img(300 * 1024);
+  img.write(0, pseudo_bytes(300 * 1024, 21));
+  const auto spans = ckptstore::scan_chunks_cdc(img, p);
+  u64 off = 0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].off, off);
+    EXPECT_LE(spans[i].len, p.max_bytes);
+    if (i + 1 < spans.size()) {
+      EXPECT_GE(spans[i].len, p.min_bytes);
+    }
+    off += spans[i].len;
+  }
+  EXPECT_EQ(off, img.size());
+  // The cutpoint mask should give chunks in the right ballpark: well more
+  // than size/max of them, well fewer than size/min.
+  EXPECT_GT(spans.size(), img.size() / p.max_bytes);
+  EXPECT_LT(spans.size(), img.size() / p.min_bytes + 1);
+}
+
+TEST(Cdc, CutpointsAreStableAcrossIdenticalContent) {
+  const auto p = cdc_params(1024, 4096, 16 * 1024);
+  ByteImage a(64 * kChunk), b(64 * kChunk);
+  a.write(0, pseudo_bytes(64 * kChunk, 9));
+  b.write(0, pseudo_bytes(64 * kChunk, 9));
+  EXPECT_EQ(key_set(a, ckptstore::scan_chunks_cdc(a, p)),
+            key_set(b, ckptstore::scan_chunks_cdc(b, p)));
+}
+
+TEST(Cdc, InsertionResynchronizesAtTheNextCutpoint) {
+  // Insert K bytes near the front of a 1 MiB real-content image. Fixed
+  // chunking invalidates every downstream chunk (O(image/chunk) new keys);
+  // CDC cutpoints resynchronize within one chunk, so only O(1) change.
+  const u64 kImage = 1024 * 1024;
+  const u64 kInsertAt = 1000;
+  const auto content = pseudo_bytes(kImage, 33);
+  const auto inserted = pseudo_bytes(16, 0xF00D);
+
+  ByteImage before(kImage);
+  before.write(0, content);
+  std::vector<std::byte> shifted;
+  shifted.insert(shifted.end(), content.begin(),
+                 content.begin() + kInsertAt);
+  shifted.insert(shifted.end(), inserted.begin(), inserted.end());
+  shifted.insert(shifted.end(), content.begin() + kInsertAt, content.end());
+  ByteImage after(shifted.size());
+  after.write(0, shifted);
+
+  const auto p = cdc_params(1024, 4096, 16 * 1024);
+  const auto cdc_before = key_set(before, ckptstore::scan_chunks_cdc(before,
+                                                                     p));
+  const auto cdc_spans = ckptstore::scan_chunks_cdc(after, p);
+  const size_t cdc_new = count_new_keys(cdc_before, after, cdc_spans);
+  EXPECT_LE(cdc_new, 4u);  // O(1): the chunk(s) spanning the insertion
+
+  const auto fix_before = key_set(before, ckptstore::scan_chunks(before,
+                                                                 kChunk));
+  const auto fix_spans = ckptstore::scan_chunks(after, kChunk);
+  const size_t fix_new = count_new_keys(fix_before, after, fix_spans);
+  EXPECT_GE(fix_new, fix_spans.size() * 9 / 10);  // O(image/chunk)
+}
+
+TEST(Cdc, PatternExtentsStayDescriptorsAndCutAtTheirEdges) {
+  const auto p = cdc_params(1024, 4096, 16 * 1024);
+  ByteImage img(64 * kChunk);
+  img.write(0, pseudo_bytes(10 * kChunk, 5));
+  img.fill(10 * kChunk, 30 * kChunk, ExtentKind::kZero);
+  img.fill(40 * kChunk, 8 * kChunk, ExtentKind::kRand, 0xABC);
+  img.write(48 * kChunk, pseudo_bytes(16 * kChunk, 6));
+  const auto spans = ckptstore::scan_chunks_cdc(img, p);
+  u64 zero_bytes = 0, rand_bytes = 0, real_bytes = 0;
+  for (const auto& s : spans) {
+    switch (s.kind) {
+      case ExtentKind::kZero: zero_bytes += s.len; break;
+      case ExtentKind::kRand: rand_bytes += s.len; break;
+      case ExtentKind::kReal: real_bytes += s.len; break;
+    }
+    EXPECT_LE(s.len, p.max_bytes);
+  }
+  // Pattern runs are cut exactly at their extent edges: no pattern byte is
+  // ever materialized into a real span, and vice versa.
+  EXPECT_EQ(zero_bytes, 30 * kChunk);
+  EXPECT_EQ(rand_bytes, 8 * kChunk);
+  EXPECT_EQ(real_bytes, 26 * kChunk);
+}
+
+TEST(Cdc, RejectsInconsistentBounds) {
+  ByteImage img(kChunk);
+  EXPECT_DEATH(ckptstore::scan_chunks_cdc(img, cdc_params(8192, 4096, 16384)),
+               "min <= avg <= max");
+  EXPECT_DEATH(ckptstore::scan_chunks_cdc(img, cdc_params(1024, 3000, 16384)),
+               "power of two");
+}
+
 // --- dedup across generations ----------------------------------------------
 
 TEST(CkptStore, UnchangedImageStoresOnlyTheManifest) {
@@ -118,11 +253,13 @@ TEST(CkptStore, UnchangedImageStoresOnlyTheManifest) {
   const auto img = make_image(256 * kChunk, 3);
   const auto codec = compress::CodecKind::kNone;
 
-  auto g1 = mtcp::encode_incremental(img, codec, kChunk, "7", 0, repo);
+  auto g1 =
+      mtcp::encode_incremental(img, codec, fixed_params(kChunk), "7", 0, repo);
   EXPECT_EQ(g1.new_chunks + repo.stats().dedup_hits, g1.total_chunks);
   EXPECT_GT(g1.new_chunk_bytes, 0u);
 
-  auto g2 = mtcp::encode_incremental(img, codec, kChunk, "7", 1, repo);
+  auto g2 =
+      mtcp::encode_incremental(img, codec, fixed_params(kChunk), "7", 1, repo);
   EXPECT_EQ(g2.new_chunks, 0u);
   EXPECT_EQ(g2.new_chunk_bytes, 0u);
   EXPECT_EQ(g2.submitted_bytes, g2.manifest_bytes.size());
@@ -134,11 +271,13 @@ TEST(CkptStore, DirtyFractionBoundsNewBytes) {
   ckptstore::Repository repo;
   auto img = make_image(256 * kChunk, 3);
   const auto codec = compress::CodecKind::kNone;
-  auto g1 = mtcp::encode_incremental(img, codec, kChunk, "7", 0, repo);
+  auto g1 =
+      mtcp::encode_incremental(img, codec, fixed_params(kChunk), "7", 0, repo);
 
   // Dirty ~10% of the segment (chunk-aligned, in the real-content half).
   img.segments[0].data.write(4 * kChunk, pseudo_bytes(26 * kChunk, 999));
-  auto g2 = mtcp::encode_incremental(img, codec, kChunk, "7", 1, repo);
+  auto g2 =
+      mtcp::encode_incremental(img, codec, fixed_params(kChunk), "7", 1, repo);
   EXPECT_GT(g2.new_chunks, 0u);
   EXPECT_LT(g2.submitted_bytes, g1.submitted_bytes / 4);
 }
@@ -155,7 +294,8 @@ TEST(CkptStore, DeltaDecodeEqualsFullDecode) {
   auto full = mtcp::decode(enc.bytes, codec, nullptr);
 
   // Incremental path.
-  auto delta = mtcp::encode_incremental(img, codec, kChunk, "7", 0, repo);
+  auto delta = mtcp::encode_incremental(img, codec, fixed_params(kChunk),
+                                        "7", 0, repo);
   auto mf = ckptstore::Manifest::decode(delta.manifest_bytes);
   std::string err;
   u64 reads = 0;
@@ -173,12 +313,15 @@ TEST(CkptStore, GcReclaimsChunksOfDeadGenerations) {
   auto img = make_image(64 * kChunk, 5);
   const auto codec = compress::CodecKind::kNone;
 
-  auto g0 = mtcp::encode_incremental(img, codec, kChunk, "7", 0, repo);
+  auto g0 =
+      mtcp::encode_incremental(img, codec, fixed_params(kChunk), "7", 0, repo);
   const auto mf0 = ckptstore::Manifest::decode(g0.manifest_bytes);
   img.segments[0].data.write(0, pseudo_bytes(8 * kChunk, 77));
-  auto g1 = mtcp::encode_incremental(img, codec, kChunk, "7", 1, repo);
+  auto g1 =
+      mtcp::encode_incremental(img, codec, fixed_params(kChunk), "7", 1, repo);
   img.segments[0].data.write(0, pseudo_bytes(8 * kChunk, 78));
-  auto g2 = mtcp::encode_incremental(img, codec, kChunk, "7", 2, repo);
+  auto g2 =
+      mtcp::encode_incremental(img, codec, fixed_params(kChunk), "7", 2, repo);
   const auto mf2 = ckptstore::Manifest::decode(g2.manifest_bytes);
 
   const u64 live_before = repo.stats().live_stored_bytes;
@@ -200,13 +343,107 @@ TEST(CkptStore, GcReclaimsChunksOfDeadGenerations) {
   EXPECT_NE(err.find("missing from the repository"), std::string::npos);
 }
 
+// --- cross-process dedup -----------------------------------------------------
+
+/// Image with a "mapped library" segment every process shares byte-for-byte
+/// plus a private heap distinct per process.
+mtcp::ProcessImage make_cluster_image(u64 lib_bytes, u64 heap_bytes,
+                                      u64 heap_seed, Pid vpid) {
+  mtcp::ProcessImage img;
+  img.prog_name = "rank";
+  img.virt_pid = vpid;
+  img.virt_ppid = 1;
+  img.origin_node = 0;
+  mtcp::SegmentImage lib;
+  lib.name = "libmpi.so";
+  lib.kind = sim::MemKind::kLib;
+  lib.data = ByteImage(lib_bytes);
+  lib.data.write(0, pseudo_bytes(lib_bytes, 0x11B));  // identical everywhere
+  img.segments.push_back(std::move(lib));
+  mtcp::SegmentImage heap;
+  heap.name = "heap";
+  heap.kind = sim::MemKind::kHeap;
+  heap.data = ByteImage(heap_bytes);
+  heap.data.write(0, pseudo_bytes(heap_bytes, heap_seed));
+  img.segments.push_back(std::move(heap));
+  mtcp::ThreadImage t;
+  t.kind = sim::ThreadKind::kMain;
+  img.threads.push_back(t);
+  return img;
+}
+
+TEST(CkptStore, CrossProcessSharedLibraryIsStoredOnce) {
+  ckptstore::Repository repo;
+  const auto codec = compress::CodecKind::kNone;  // exact byte accounting
+  const auto p = cdc_params(1024, 4096, 16 * 1024);
+  constexpr u64 kLib = 256 * 1024;
+  constexpr u64 kHeap = 64 * 1024;
+
+  const auto a = make_cluster_image(kLib, kHeap, /*heap_seed=*/1, 101);
+  const auto da = mtcp::encode_incremental(a, codec, p, "101", 0, repo);
+  const u64 stored_after_a = repo.stats().live_stored_bytes;
+  EXPECT_GE(stored_after_a, kLib + kHeap);
+
+  // A second process on (conceptually) another node submits the same
+  // library: every library chunk is answered by the resident copy, and
+  // only its private heap adds stored bytes.
+  const auto b = make_cluster_image(kLib, kHeap, /*heap_seed=*/2, 102);
+  const auto db = mtcp::encode_incremental(b, codec, p, "102", 0, repo);
+  EXPECT_GE(db.dup_chunk_bytes, kLib);  // the whole library dedup'd
+  const u64 added = repo.stats().live_stored_bytes - stored_after_a;
+  EXPECT_LT(added, kHeap + kHeap / 2);  // heap only, no second library
+  EXPECT_EQ(repo.owner_count(), 2u);
+  EXPECT_GT(repo.shared_chunk_count(), 0u);
+}
+
+TEST(CkptStore, GcIsRefcountCorrectAcrossProcesses) {
+  ckptstore::Repository repo;
+  const auto codec = compress::CodecKind::kNone;
+  const auto p = cdc_params(1024, 4096, 16 * 1024);
+  constexpr u64 kLib = 128 * 1024;
+  constexpr u64 kHeap = 64 * 1024;
+
+  // Owner A writes three generations with churning heap; owner B one.
+  auto imga = make_cluster_image(kLib, kHeap, 1, 101);
+  mtcp::encode_incremental(imga, codec, p, "101", 0, repo);
+  const auto b = make_cluster_image(kLib, kHeap, 9, 102);
+  const auto db = mtcp::encode_incremental(b, codec, p, "102", 0, repo);
+  const auto mfb = ckptstore::Manifest::decode(db.manifest_bytes);
+  for (int gen = 1; gen <= 2; ++gen) {
+    imga.segments[1].data.write(0, pseudo_bytes(kHeap, 100 + gen));
+    mtcp::encode_incremental(imga, codec, p, "101", gen, repo);
+  }
+
+  // keep=1 drops A's two dead generations. Their private heap chunks die,
+  // but the library chunks stay: B's live generation still references
+  // them. B must restore byte-identically afterwards.
+  const u64 reclaimed = repo.collect_garbage(/*keep=*/1);
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_LT(reclaimed, 3 * kHeap);  // never the shared library
+  std::string err;
+  auto back = mtcp::decode_incremental(mfb, repo, nullptr, nullptr, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  expect_images_equal(b, back);
+
+  // Owner A leaves the computation for good: only chunks B doesn't also
+  // reference are reclaimed. Then B leaves and the store drains to zero.
+  repo.drop_owner("101");
+  EXPECT_EQ(repo.owner_count(), 1u);
+  auto still = mtcp::decode_incremental(mfb, repo, nullptr, nullptr, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  repo.drop_owner("102");
+  EXPECT_EQ(repo.stats().live_chunks, 0u);
+  EXPECT_EQ(repo.stats().live_stored_bytes, 0u);
+}
+
 // --- corruption detection ----------------------------------------------------
 
 TEST(CkptStore, CorruptedChunkIsDetectedOnRestore) {
   ckptstore::Repository repo;
   const auto img = make_image(64 * kChunk, 9);
   const auto codec = compress::CodecKind::kNone;
-  auto delta = mtcp::encode_incremental(img, codec, kChunk, "7", 0, repo);
+  auto delta = mtcp::encode_incremental(img, codec, fixed_params(kChunk),
+                                        "7", 0, repo);
   const auto mf = ckptstore::Manifest::decode(delta.manifest_bytes);
 
   // Rot one real chunk: same length, wrong content.
@@ -281,6 +518,60 @@ TEST(Options, FlagParsingConsumesKnownFlags) {
   EXPECT_NE(o.apply_flags(bad).find("invalid value"), std::string::npos);
   std::vector<std::string> zero = {"--chunk-bytes", "0"};
   EXPECT_NE(o.apply_flags(zero).find("power of two"), std::string::npos);
+}
+
+TEST(Options, SharedChunkingValidatorCoversFixedAndCdc) {
+  // One helper validates launch flags and restart-time manifests alike.
+  auto fixed = fixed_params(4096);
+  EXPECT_EQ(core::validate_chunking(fixed), "");
+  fixed.fixed_bytes = 3000;
+  EXPECT_NE(core::validate_chunking(fixed).find("power of two"),
+            std::string::npos);
+
+  auto cdc = cdc_params(1024, 4096, 16 * 1024);
+  EXPECT_EQ(core::validate_chunking(cdc), "");
+  cdc.min_bytes = 8192;  // min > avg
+  EXPECT_NE(core::validate_chunking(cdc).find("min <= avg <= max"),
+            std::string::npos);
+  cdc = cdc_params(1024, 4096, 2048);  // max < avg
+  EXPECT_NE(core::validate_chunking(cdc).find("min <= avg <= max"),
+            std::string::npos);
+  cdc = cdc_params(1024, 5000, 16 * 1024);  // avg not a power of two
+  EXPECT_NE(core::validate_chunking(cdc).find("power of two"),
+            std::string::npos);
+
+  // DmtcpOptions::validate routes through the same helper.
+  DmtcpOptions o;
+  o.chunking = ckptstore::ChunkingMode::kCdc;
+  o.cdc_min_bytes = 1 << 20;
+  EXPECT_NE(o.validate().find("min <= avg <= max"), std::string::npos);
+}
+
+TEST(Options, ChunkingAndDedupScopeFlagsParse) {
+  DmtcpOptions o;
+  std::vector<std::string> argv = {
+      "--chunking",      "cdc",   "--cdc-min-bytes", "1024",
+      "--cdc-avg-bytes", "4096",  "--cdc-max-bytes", "16384",
+      "--dedup-scope",   "cluster", "prog"};
+  EXPECT_EQ(o.apply_flags(argv), "");
+  EXPECT_EQ(o.chunking, ckptstore::ChunkingMode::kCdc);
+  EXPECT_EQ(o.cdc_min_bytes, 1024u);
+  EXPECT_EQ(o.cdc_avg_bytes, 4096u);
+  EXPECT_EQ(o.cdc_max_bytes, 16384u);
+  EXPECT_EQ(o.dedup_scope, core::DedupScope::kCluster);
+  ASSERT_EQ(argv.size(), 1u);
+  EXPECT_EQ(argv[0], "prog");
+
+  std::vector<std::string> bad_mode = {"--chunking", "rolling"};
+  EXPECT_NE(o.apply_flags(bad_mode).find("'fixed' or 'cdc'"),
+            std::string::npos);
+  std::vector<std::string> bad_scope = {"--dedup-scope", "rack"};
+  EXPECT_NE(o.apply_flags(bad_scope).find("'node' or 'cluster'"),
+            std::string::npos);
+  std::vector<std::string> bad_bounds = {"--chunking", "cdc",
+                                         "--cdc-min-bytes", "999999999"};
+  EXPECT_NE(o.apply_flags(bad_bounds).find("min <= avg <= max"),
+            std::string::npos);
 }
 
 // --- end to end through the DMTCP stack -------------------------------------
@@ -425,6 +716,59 @@ TEST(CkptStoreE2E, SecondGenerationWritesSmallFractionAndGcTrims) {
   // The live store holds roughly one full image plus two deltas — far less
   // than three full generations.
   EXPECT_LT(r3.store_live_bytes, 2 * r1.store_new_bytes);
+}
+
+TEST(CkptStoreE2E, ClusterScopeStoresSharedBallastOnce) {
+  // Two processes on two nodes carry an identical 4 MiB "shared library"
+  // ballast. With node-scope dedup each node's repository stores its own
+  // copy; with the computation-wide store the second process's chunks are
+  // answered by the first's and only one copy is ever written.
+  constexpr u64 kBallast = 4 * 1024 * 1024;
+  struct RunResult {
+    core::CkptRound round;
+    u64 min_node_written = 0;  // device write accounting, lighter node
+  };
+  auto run = [&](core::DedupScope scope) {
+    auto opts = incremental_opts();
+    opts.codec = compress::CodecKind::kNone;  // exact byte accounting
+    opts.chunking = ckptstore::ChunkingMode::kCdc;
+    opts.dedup_scope = scope;
+    World w(2, opts);
+    const Pid p0 = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+    const Pid p1 = w.ctl.launch(1, kComputeLoop, {"1000000", "200", "b"});
+    w.ctl.run_for(20 * timeconst::kMillisecond);
+    for (Pid pid : {p0, p1}) {
+      sim::Process* p = w.k().find_process(pid);
+      EXPECT_NE(p, nullptr);
+      auto& seg = p->mem().add("libshared", sim::MemKind::kLib, kBallast);
+      seg.data.fill(0, kBallast, ExtentKind::kRand, 0x11B);  // same seed
+    }
+    RunResult r;
+    r.round = w.ctl.checkpoint_now();
+    r.min_node_written =
+        std::min(w.k().node(0).storage().cache().total_written_bytes(),
+                 w.k().node(1).storage().cache().total_written_bytes());
+    return r;
+  };
+
+  const auto node_run = run(core::DedupScope::kNode);
+  const auto cluster_run = run(core::DedupScope::kCluster);
+  const auto& node_round = node_run.round;
+  const auto& cluster_round = cluster_run.round;
+  // Node scope stores the ballast twice, cluster scope once: the saving is
+  // at least one full ballast copy.
+  EXPECT_GT(node_round.store_new_bytes,
+            cluster_round.store_new_bytes + kBallast / 2);
+  // The second process's ballast was answered by resident chunks...
+  EXPECT_GE(cluster_round.store_dup_bytes, kBallast);
+  // ...and the shared chunks are visible in the round's stats.
+  EXPECT_GT(cluster_round.store_shared_chunks, 0u);
+  EXPECT_EQ(node_round.store_shared_chunks, 0u);
+  // Device-level view (StorageDevice write accounting): under node scope
+  // both nodes write their full ballast copy; under cluster scope whichever
+  // process checkpoints second writes almost nothing.
+  EXPECT_GT(node_run.min_node_written, kBallast / 2);
+  EXPECT_LT(cluster_run.min_node_written, kBallast / 2);
 }
 
 }  // namespace

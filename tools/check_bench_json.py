@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Sanity-check the JSON emitted by the bench binaries.
+
+Used by the CI bench-smoke job: after running bench_incremental and
+bench_cdc with tiny parameters, this script asserts the emitted files are
+well-formed and that the headline numbers are in the physically sensible
+range (dedup actually happened, CDC actually resynchronized, the cluster
+store actually stored shared chunks once). Stdlib only.
+
+Usage: check_bench_json.py BENCH_incremental.json BENCH_cdc.json ...
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"FAIL {path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def require(data, path, dotted):
+    """Fetch data[a][b]... for dotted key 'a.b...', raising KeyError."""
+    cur = data
+    for part in dotted.split("."):
+        cur = cur[part]
+    return cur
+
+
+def check_incremental(path, data):
+    rc = 0
+    for key in ("config", "generations", "summary"):
+        if key not in data:
+            rc |= fail(path, f"missing top-level key '{key}'")
+    if rc:
+        return rc
+    gens = data["generations"]
+    if not gens:
+        return fail(path, "no generations recorded")
+    for key in ("gen", "full_bytes", "incremental_bytes", "dedup_ratio"):
+        if key not in gens[0]:
+            rc |= fail(path, f"generation record missing '{key}'")
+    if rc:
+        return rc
+    try:
+        ratio = require(data, path, "summary.stored_bytes_ratio")
+    except (KeyError, TypeError):
+        return fail(path, "missing key 'summary.stored_bytes_ratio'")
+    if not 0.0 < ratio < 1.0:
+        rc |= fail(
+            path,
+            f"stored_bytes_ratio={ratio}: incremental mode should store "
+            "strictly less than full checkpointing",
+        )
+    # After the first generation the dedup ratio must exceed 1 (later
+    # generations reference resident chunks).
+    final_ratio = gens[-1].get("dedup_ratio", 0)
+    if len(gens) > 1 and final_ratio <= 1.0:
+        rc |= fail(path, f"final dedup_ratio={final_ratio} <= 1")
+    return rc
+
+
+def check_cdc(path, data):
+    rc = 0
+    for key in (
+        "config",
+        "insertion.fixed.dedup_retained",
+        "insertion.cdc.dedup_retained",
+        "cluster.stored_ratio",
+        "cluster.shared_stored_once",
+        "summary",
+    ):
+        try:
+            require(data, path, key)
+        except (KeyError, TypeError):
+            rc |= fail(path, f"missing key '{key}'")
+    if rc:
+        return rc
+    fixed = data["insertion"]["fixed"]["dedup_retained"]
+    cdc = data["insertion"]["cdc"]["dedup_retained"]
+    if cdc < 0.8:
+        rc |= fail(path, f"cdc dedup_retained={cdc} < 0.8 after insertion")
+    if fixed > 0.2:
+        rc |= fail(
+            path,
+            f"fixed dedup_retained={fixed} > 0.2: the insertion offset no "
+            "longer defeats fixed chunking (bench misconfigured?)",
+        )
+    ratio = data["cluster"]["stored_ratio"]
+    if not 0.0 < ratio < 1.0:
+        rc |= fail(path, f"cluster stored_ratio={ratio} not in (0, 1)")
+    if data["cluster"]["shared_stored_once"] is not True:
+        rc |= fail(path, "shared library chunks were not stored exactly once")
+    return rc
+
+
+CHECKERS = {
+    "BENCH_incremental.json": check_incremental,
+    "BENCH_cdc.json": check_cdc,
+}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        name = path.rsplit("/", 1)[-1]
+        checker = CHECKERS.get(name)
+        if checker is None:
+            rc |= fail(path, f"no checker registered for '{name}'")
+            continue
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            rc |= fail(path, str(e))
+            continue
+        this_rc = checker(path, data)
+        rc |= this_rc
+        if not this_rc:
+            print(f"OK   {path}")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
