@@ -24,21 +24,13 @@
 #include "bench/bench_util.h"
 #include "ckptstore/cdc.h"
 #include "mtcp/mtcp.h"
+#include "tests/testutil.h"
 
 using namespace dsim;
 using namespace dsim::bench;
+using dsim::test::pseudo_bytes;
 
 namespace {
-
-std::vector<std::byte> pseudo_bytes(u64 n, u64 seed) {
-  std::vector<std::byte> out(n);
-  u64 x = seed * 0x9E3779B97F4A7C15ull + 1;
-  for (u64 i = 0; i < n; ++i) {
-    x = x * 6364136223846793005ull + 1442695040888963407ull;
-    out[i] = static_cast<std::byte>(x >> 56);
-  }
-  return out;
-}
 
 mtcp::ProcessImage image_of(std::span<const std::byte> content) {
   mtcp::ProcessImage img;

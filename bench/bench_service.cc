@@ -1,0 +1,226 @@
+// The remote chunk-store service under load: queued dedup lookups, replica
+// placement, and failover.
+//
+// Part A (contention sweep): N ranks on N nodes checkpoint into the
+// cluster-scope store through the ChunkStoreService request queue, sweeping
+// ranks x replicas. Each rank carries a private ballast (unique chunks —
+// every submission is a queued Lookup and most are Stores) plus a shared
+// library ballast (dedup'd through the same queue). The headline curve is
+// per-lookup wait vs rank count: with one request queue serving everyone,
+// the wait grows with ranks — the Fig.-5b contention shape moved from the
+// SAN to the store service. Replicas multiply device writes, not queue
+// traffic.
+//
+// Part B (failover): a 4-rank world checkpoints, node 1 fails, and the
+// computation restarts with host 1 migrated. With --chunk-replicas=2 the
+// restart succeeds reading only surviving replicas; with 1 the pre-flight
+// reports the forced re-store (needs_restore) instead of restarting into
+// missing chunks.
+//
+// Emits BENCH_service.json (checked by the CI bench-smoke job).
+//
+// Knobs: DSIM_SVC_MAX_RANKS (16), DSIM_SVC_LIB_MB (4), DSIM_SVC_PRIV_MB (1).
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ckptstore/service.h"
+
+using namespace dsim;
+using namespace dsim::bench;
+
+namespace {
+
+core::DmtcpOptions service_opts(int replicas) {
+  core::DmtcpOptions opts;
+  opts.incremental = true;
+  opts.codec = compress::CodecKind::kNone;  // exact byte accounting
+  opts.chunking = ckptstore::ChunkingMode::kCdc;
+  opts.dedup_scope = core::DedupScope::kCluster;
+  opts.chunk_replicas = replicas;
+  return opts;
+}
+
+/// Launch `ranks` desktop processes, one per node, with a shared library
+/// ballast (identical chunks everywhere) and a private per-rank ballast.
+std::vector<Pid> launch_ranks(World& w, int ranks, u64 lib_bytes,
+                              u64 priv_bytes) {
+  const std::string prof = apps::desktop_profiles().front().name;
+  std::vector<Pid> pids;
+  for (int n = 0; n < ranks; ++n) {
+    pids.push_back(w.ctl->launch(n, "desktop_app",
+                                 {prof, "0", "p" + std::to_string(n)}));
+  }
+  w.ctl->run_for(50 * timeconst::kMillisecond);
+  for (int n = 0; n < ranks; ++n) {
+    sim::Process* p = w.k().find_process(pids[static_cast<size_t>(n)]);
+    auto& lib = p->mem().add("libshared", sim::MemKind::kLib, lib_bytes);
+    lib.data.fill(0, lib_bytes, sim::ExtentKind::kRand, 0x11B);
+    auto& priv = p->mem().add("private", sim::MemKind::kHeap, priv_bytes);
+    priv.data.fill(0, priv_bytes, sim::ExtentKind::kRand,
+                   0xB0 + static_cast<u64>(n));
+  }
+  return pids;
+}
+
+u64 cluster_written_bytes(World& w, int ranks) {
+  u64 total = 0;
+  for (int n = 0; n < ranks; ++n) {
+    total += w.k().node(n).storage().cache().total_written_bytes();
+  }
+  return total;
+}
+
+struct SweepPoint {
+  int ranks = 0;
+  int replicas = 0;
+  u64 lookups = 0;
+  double avg_wait_ms = 0;
+  double max_wait_ms = 0;
+  double ckpt_seconds = 0;
+  u64 stored_bytes = 0;         // new chunks + manifests (one copy)
+  u64 device_written_bytes = 0; // replica copies included
+};
+
+SweepPoint run_point(int ranks, int replicas, u64 lib_bytes, u64 priv_bytes) {
+  World w(ranks, service_opts(replicas), 0x5e21 + static_cast<u64>(ranks));
+  launch_ranks(w, ranks, lib_bytes, priv_bytes);
+  const core::CkptRound round = w.ctl->checkpoint_now();
+  SweepPoint pt;
+  pt.ranks = ranks;
+  pt.replicas = replicas;
+  pt.lookups = round.store_lookups;
+  pt.avg_wait_ms = round.avg_lookup_wait_seconds() * 1e3;
+  pt.max_wait_ms = round.max_lookup_wait_seconds * 1e3;
+  pt.ckpt_seconds = round.total_seconds();
+  pt.stored_bytes = round.store_new_bytes;
+  pt.device_written_bytes = cluster_written_bytes(w, ranks);
+  return pt;
+}
+
+struct FailoverResult {
+  bool r2_restart_ok = false;
+  double r2_restart_seconds = 0;
+  bool r1_needs_restore = false;
+  u64 r1_lost_chunks = 0;
+};
+
+FailoverResult run_failover(u64 lib_bytes, u64 priv_bytes) {
+  FailoverResult fr;
+  {
+    World w(4, service_opts(/*replicas=*/2), 0xfa11);
+    launch_ranks(w, 4, lib_bytes, priv_bytes);
+    w.ctl->checkpoint_now();
+    w.ctl->shared().store_service->fail_node(1);
+    w.ctl->kill_computation();
+    const auto& rr = w.ctl->restart({{1, 2}});
+    fr.r2_restart_ok = !rr.needs_restore && rr.procs == 4;
+    fr.r2_restart_seconds = rr.total_seconds();
+  }
+  {
+    World w(4, service_opts(/*replicas=*/1), 0xfa11);
+    launch_ranks(w, 4, lib_bytes, priv_bytes);
+    w.ctl->checkpoint_now();
+    w.ctl->shared().store_service->fail_node(1);
+    w.ctl->kill_computation();
+    const auto& rr = w.ctl->restart({{1, 2}});
+    fr.r1_needs_restore = rr.needs_restore;
+    fr.r1_lost_chunks = rr.lost_chunks;
+  }
+  return fr;
+}
+
+}  // namespace
+
+int main() {
+  const int max_ranks = env_int("DSIM_SVC_MAX_RANKS", 16);
+  const u64 lib_bytes =
+      static_cast<u64>(env_int("DSIM_SVC_LIB_MB", 4)) * 1024 * 1024;
+  const u64 priv_bytes =
+      static_cast<u64>(env_int("DSIM_SVC_PRIV_MB", 1)) * 1024 * 1024;
+
+  std::vector<int> rank_points;
+  for (int r = 2; r <= max_ranks; r *= 2) rank_points.push_back(r);
+  if (rank_points.empty()) {
+    // DSIM_SVC_MAX_RANKS=1: a single-point run (no growth ratio, so the
+    // knee summary degenerates — useful only for eyeballing one config).
+    rank_points.push_back(std::max(1, max_ranks));
+  }
+
+  Table t({"ranks", "replicas", "lookups", "avg_wait_ms", "max_wait_ms",
+           "ckpt_s", "stored_MB", "dev_written_MB"});
+  std::vector<SweepPoint> sweep;
+  for (int ranks : rank_points) {
+    for (int replicas : {1, 2}) {
+      const SweepPoint pt = run_point(ranks, replicas, lib_bytes, priv_bytes);
+      sweep.push_back(pt);
+      t.add_row({Table::fmt(ranks, 0), Table::fmt(replicas, 0),
+                 Table::fmt(static_cast<double>(pt.lookups), 0),
+                 Table::fmt(pt.avg_wait_ms, 3), Table::fmt(pt.max_wait_ms, 3),
+                 Table::fmt(pt.ckpt_seconds), mb(pt.stored_bytes),
+                 mb(pt.device_written_bytes)});
+    }
+  }
+  t.print("Chunk-store service: lookup contention vs ranks x replicas");
+
+  const FailoverResult fr = run_failover(lib_bytes, priv_bytes);
+  std::printf("failover: R=2 restart %s (%.3f s); R=1 needs_restore=%s "
+              "(%llu chunks lost)\n",
+              fr.r2_restart_ok ? "ok" : "FAILED", fr.r2_restart_seconds,
+              fr.r1_needs_restore ? "true" : "false",
+              static_cast<unsigned long long>(fr.r1_lost_chunks));
+
+  // The knee: per-lookup wait at max ranks vs min ranks, replicas=1.
+  double wait_min_ranks = 0, wait_max_ranks = 0;
+  u64 dev_r1 = 0, dev_r2 = 0;
+  for (const auto& pt : sweep) {
+    if (pt.replicas != 1) continue;
+    if (pt.ranks == rank_points.front()) wait_min_ranks = pt.avg_wait_ms;
+    if (pt.ranks == rank_points.back()) wait_max_ranks = pt.avg_wait_ms;
+  }
+  for (const auto& pt : sweep) {
+    if (pt.ranks != rank_points.back()) continue;
+    if (pt.replicas == 1) dev_r1 = pt.device_written_bytes;
+    if (pt.replicas == 2) dev_r2 = pt.device_written_bytes;
+  }
+  const double wait_growth =
+      wait_min_ranks > 0 ? wait_max_ranks / wait_min_ranks : 0;
+  const double write_amplification =
+      dev_r1 > 0 ? static_cast<double>(dev_r2) / static_cast<double>(dev_r1)
+                 : 0;
+
+  std::ofstream json("BENCH_service.json");
+  json << "{\n  \"config\": {\"max_ranks\": " << max_ranks
+       << ", \"lib_bytes\": " << lib_bytes
+       << ", \"priv_bytes\": " << priv_bytes << "},\n  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const auto& pt = sweep[i];
+    json << "    {\"ranks\": " << pt.ranks
+         << ", \"replicas\": " << pt.replicas
+         << ", \"lookups\": " << pt.lookups
+         << ", \"avg_lookup_wait_ms\": " << pt.avg_wait_ms
+         << ", \"max_lookup_wait_ms\": " << pt.max_wait_ms
+         << ", \"ckpt_seconds\": " << pt.ckpt_seconds
+         << ", \"stored_bytes\": " << pt.stored_bytes
+         << ", \"device_written_bytes\": " << pt.device_written_bytes << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"failover\": {\"r2_restart_ok\": "
+       << (fr.r2_restart_ok ? "true" : "false")
+       << ", \"r2_restart_seconds\": " << fr.r2_restart_seconds
+       << ", \"r1_needs_restore\": "
+       << (fr.r1_needs_restore ? "true" : "false")
+       << ", \"r1_lost_chunks\": " << fr.r1_lost_chunks
+       << "},\n  \"summary\": {\"wait_ms_at_min_ranks\": " << wait_min_ranks
+       << ", \"wait_ms_at_max_ranks\": " << wait_max_ranks
+       << ", \"wait_growth\": " << wait_growth
+       << ", \"contention_knee_visible\": "
+       << (wait_growth > 1.5 ? "true" : "false")
+       << ", \"replica_write_amplification\": " << write_amplification
+       << ", \"r2_restart_ok\": " << (fr.r2_restart_ok ? "true" : "false")
+       << ", \"r1_needs_restore\": "
+       << (fr.r1_needs_restore ? "true" : "false") << "}\n}\n";
+
+  std::printf("wrote BENCH_service.json\n");
+  return 0;
+}

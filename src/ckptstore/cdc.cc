@@ -32,6 +32,9 @@ const std::array<u64, 256>& gear() {
 }
 
 void check_params(const ChunkingParams& p) {
+  DSIM_CHECK_MSG(p.mode == ChunkingMode::kCdc ||
+                     p.mode == ChunkingMode::kFastCdc,
+                 "CDC scanner handed a non-CDC chunking mode");
   DSIM_CHECK_MSG(p.min_bytes > 0 && p.min_bytes <= p.avg_bytes &&
                      p.avg_bytes <= p.max_bytes,
                  "CDC bounds must satisfy 0 < min <= avg <= max");
@@ -46,10 +49,22 @@ void check_params(const ChunkingParams& p) {
 /// sequential, so the run is materialized in bounded windows — peak
 /// memory stays O(max_bytes) however large the run (the fixed scanner's
 /// property, preserved).
+///
+/// Plain CDC tests one mask (avg - 1). FastCDC mode normalizes the size
+/// distribution with two: below the target a stricter mask (two extra
+/// bits → cuts 4x rarer) suppresses small chunks, above it a looser mask
+/// (two fewer bits → cuts 4x likelier) pulls the tail in before the hard
+/// max cut. Both masks are functions of window content and distance from
+/// the last cut only, so resynchronization is preserved.
 void cut_real_run(const ByteImage& img, u64 run_off, u64 run_len,
                   const ChunkingParams& p, std::vector<ChunkSpan>& out) {
   const auto& g = gear();
-  const u64 mask = p.avg_bytes - 1;
+  const bool normalized = p.mode == ChunkingMode::kFastCdc;
+  const u64 mask_pre =
+      normalized ? (p.avg_bytes * 4 - 1) : (p.avg_bytes - 1);
+  const u64 mask_post =
+      normalized ? (std::max<u64>(p.avg_bytes / 4, 1) - 1)
+                 : (p.avg_bytes - 1);
   const u64 window = std::max<u64>(4 * p.max_bytes, 256 * 1024);
   std::vector<std::byte> buf;
   u64 buf_base = 0;  // run-relative offset buf[0] corresponds to
@@ -62,6 +77,7 @@ void cut_real_run(const ByteImage& img, u64 run_off, u64 run_len,
     }
     h = (h << 1) + g[static_cast<u8>(buf[i - buf_base])];
     const u64 len = i + 1 - start;
+    const u64 mask = len < p.avg_bytes ? mask_pre : mask_post;
     if (len >= p.max_bytes || (len >= p.min_bytes && (h & mask) == 0)) {
       out.push_back(ChunkSpan{run_off + start, len, ExtentKind::kReal, 0});
       start = i + 1;
@@ -121,6 +137,7 @@ std::vector<ChunkSpan> scan_chunks_cdc(const ByteImage& img,
 
 std::vector<ChunkSpan> scan_chunks_with(const ByteImage& img,
                                         const ChunkingParams& p) {
+  // kCdc and kFastCdc share the scanner; the mode picks the mask scheme.
   return p.mode == ChunkingMode::kFixed ? scan_chunks(img, p.fixed_bytes)
                                         : scan_chunks_cdc(img, p);
 }

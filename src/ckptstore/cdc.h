@@ -26,8 +26,10 @@ namespace dsim::ckptstore {
 
 /// How a segment is split into chunks.
 enum class ChunkingMode : u8 {
-  kFixed = 0,  // chunk_bytes-sized spans (PR-1 behavior)
-  kCdc = 1,    // variable-size content-defined spans
+  kFixed = 0,    // chunk_bytes-sized spans (PR-1 behavior)
+  kCdc = 1,      // variable-size content-defined spans
+  kFastCdc = 2,  // FastCDC-style normalized CDC: two gear masks around the
+                 // target size tighten the chunk-size distribution
 };
 
 /// The full chunking configuration a manifest records and the encoder
@@ -68,10 +70,19 @@ struct ChunkingParams {
 /// a real run ends at a pattern-extent boundary. Aborts (DSIM_CHECK) on
 /// inconsistent params; user-facing validation lives in
 /// core::validate_chunking.
+///
+/// kFastCdc normalizes the size distribution with two masks around the
+/// target (FastCDC's NC-2 scheme): before `avg_bytes` a *stricter* mask
+/// (avg*4 - 1, two extra bits) makes cuts rare, after it a *looser* mask
+/// (avg/4 - 1) makes them likely, squeezing spans toward avg without
+/// losing content-determinism — cutpoints still resynchronize after an
+/// insertion because both masks depend only on window content and span
+/// length relative to the last cut.
 std::vector<ChunkSpan> scan_chunks_cdc(const sim::ByteImage& img,
                                        const ChunkingParams& p);
 
-/// Dispatch on `p.mode` (fixed → scan_chunks, cdc → scan_chunks_cdc).
+/// Dispatch on `p.mode` (fixed → scan_chunks, cdc/fastcdc →
+/// scan_chunks_cdc).
 std::vector<ChunkSpan> scan_chunks_with(const sim::ByteImage& img,
                                         const ChunkingParams& p);
 

@@ -5,6 +5,7 @@
 
 #include "util/assertx.h"
 #include "util/crc32.h"
+#include "util/rng.h"
 
 namespace dsim::ckptstore {
 namespace {
@@ -20,14 +21,6 @@ u64 fnv1a64(std::span<const std::byte> data, u64 h) {
     h *= kPrime;
   }
   return h;
-}
-
-u64 mix64(u64 x) {
-  // splitmix64 finalizer.
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
 }
 
 }  // namespace

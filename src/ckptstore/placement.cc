@@ -1,0 +1,138 @@
+#include "ckptstore/placement.h"
+
+#include <algorithm>
+
+#include "util/assertx.h"
+#include "util/rng.h"
+
+namespace dsim::ckptstore {
+
+ChunkPlacement::ChunkPlacement(int num_nodes, int replicas)
+    : replicas_(replicas), alive_(static_cast<size_t>(num_nodes), true) {
+  DSIM_CHECK_MSG(num_nodes >= 1, "placement needs at least one node");
+  DSIM_CHECK_MSG(replicas >= 1, "placement needs at least one replica");
+}
+
+u64 ChunkPlacement::score(const ChunkKey& key, NodeId node) {
+  // Chained mix64 over (node, key.lo, key.hi): an independent uniform
+  // draw per (key, node) pair — the highest-random-weight (rendezvous)
+  // construction. Each input passes through a full avalanche round, so
+  // structured keys (the store's tagged synthetic zero/rand keys, or a
+  // test's sequential ones) spread as well as content hashes do.
+  return mix64(key.hi ^ mix64(key.lo ^ mix64(static_cast<u64>(node))));
+}
+
+std::vector<NodeId> ChunkPlacement::place(const ChunkKey& key) const {
+  std::vector<std::pair<u64, NodeId>> scored;
+  for (size_t n = 0; n < alive_.size(); ++n) {
+    if (!alive_[n]) continue;
+    scored.emplace_back(score(key, static_cast<NodeId>(n)),
+                        static_cast<NodeId>(n));
+  }
+  const size_t want = std::min<size_t>(static_cast<size_t>(replicas_),
+                                       scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<ptrdiff_t>(want),
+                    scored.end(), std::greater<>());
+  std::vector<NodeId> out;
+  out.reserve(want);
+  for (size_t i = 0; i < want; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+std::vector<NodeId> ChunkPlacement::record_store(const ChunkKey& key,
+                                                 u64 charged_bytes) {
+  auto [it, fresh] = entries_.try_emplace(key);
+  if (!fresh) return {};  // dedup hit: the copies are already placed
+  it->second.homes = place(key);
+  it->second.bytes = charged_bytes;
+  DSIM_CHECK_MSG(!it->second.homes.empty(),
+                 "chunk store has no alive node to place on");
+  return it->second.homes;
+}
+
+i32 ChunkPlacement::holder(const ChunkKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return kNoHolder;
+  for (NodeId n : it->second.homes) {
+    if (node_alive(n)) return n;
+  }
+  return kNoHolder;
+}
+
+bool ChunkPlacement::lost(const ChunkKey& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && entry_lost(it->second);
+}
+
+std::vector<NodeId> ChunkPlacement::forget(const ChunkKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  std::vector<NodeId> alive_homes;
+  for (NodeId n : it->second.homes) {
+    if (node_alive(n)) alive_homes.push_back(n);
+  }
+  entries_.erase(it);
+  return alive_homes;
+}
+
+std::vector<NodeId> ChunkPlacement::re_place(const ChunkKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  it->second.homes = place(key);
+  DSIM_CHECK_MSG(!it->second.homes.empty(),
+                 "chunk store has no alive node to re-place on");
+  return it->second.homes;
+}
+
+void ChunkPlacement::fail_node(NodeId node) {
+  DSIM_CHECK(node >= 0 && static_cast<size_t>(node) < alive_.size());
+  alive_[static_cast<size_t>(node)] = false;
+}
+
+void ChunkPlacement::revive_node(NodeId node) {
+  DSIM_CHECK(node >= 0 && static_cast<size_t>(node) < alive_.size());
+  // Revival restores the *node*, not the chunk bytes it lost: chunks whose
+  // homes all died stay lost until re-stored by a future generation.
+  alive_[static_cast<size_t>(node)] = true;
+}
+
+bool ChunkPlacement::node_alive(NodeId node) const {
+  return node >= 0 && static_cast<size_t>(node) < alive_.size() &&
+         alive_[static_cast<size_t>(node)];
+}
+
+bool ChunkPlacement::any_dead() const {
+  return std::find(alive_.begin(), alive_.end(), false) != alive_.end();
+}
+
+bool ChunkPlacement::entry_lost(const Entry& e) const {
+  return std::none_of(e.homes.begin(), e.homes.end(),
+                      [&](NodeId n) { return node_alive(n); });
+}
+
+u64 ChunkPlacement::lost_chunks() const {
+  u64 lost = 0;
+  for (const auto& [key, e] : entries_) {
+    if (entry_lost(e)) ++lost;
+  }
+  return lost;
+}
+
+u64 ChunkPlacement::lost_bytes() const {
+  u64 lost = 0;
+  for (const auto& [key, e] : entries_) {
+    if (entry_lost(e)) lost += e.bytes;
+  }
+  return lost;
+}
+
+std::vector<u64> ChunkPlacement::bytes_per_node() const {
+  std::vector<u64> out(alive_.size(), 0);
+  for (const auto& [key, e] : entries_) {
+    for (NodeId n : e.homes) out[static_cast<size_t>(n)] += e.bytes;
+  }
+  return out;
+}
+
+}  // namespace dsim::ckptstore

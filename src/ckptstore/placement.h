@@ -1,0 +1,92 @@
+// Per-node chunk placement and replication for the cluster-wide store.
+//
+// The cluster-scope repository answers *what* is stored; this layer answers
+// *where*. Every stored chunk is rendezvous-hashed onto `replicas` distinct
+// node-local devices (highest-random-weight over (key, node)), so:
+//   - restart reads are charged to the device of the node that actually
+//     holds each chunk, not the restarting node's;
+//   - assignments are stable — a node failure moves nothing that survives,
+//     it only removes the failed node from every preference list;
+//   - with replicas > 1 a single node failure leaves every chunk readable
+//     from a surviving home, while replicas == 1 turns the failure into
+//     data loss the restart pre-flight must report as a forced re-store.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ckptstore/chunk.h"
+#include "util/types.h"
+
+namespace dsim::ckptstore {
+
+class ChunkPlacement {
+ public:
+  ChunkPlacement(int num_nodes, int replicas);
+
+  int num_nodes() const { return static_cast<int>(alive_.size()); }
+  int replicas() const { return replicas_; }
+
+  /// The min(replicas, alive nodes) highest-scoring *alive* nodes for
+  /// `key`, best first. Pure function of (key, alive set).
+  std::vector<NodeId> place(const ChunkKey& key) const;
+
+  /// Record a chunk stored on its current placement. Returns the homes the
+  /// caller must charge the write to (one copy per home). Re-recording an
+  /// already-placed key is a no-op returning no homes (dedup hit: the
+  /// bytes are already on disk).
+  std::vector<NodeId> record_store(const ChunkKey& key, u64 charged_bytes);
+
+  /// The preferred surviving home holding `key`, or kNoHolder when every
+  /// replica died with its node (or the key was never recorded).
+  static constexpr i32 kNoHolder = -1;
+  i32 holder(const ChunkKey& key) const;
+  bool available(const ChunkKey& key) const { return holder(key) >= 0; }
+  /// True only for a *recorded* chunk whose every home is dead — the heal
+  /// trigger. Distinct from !available(): an unrecorded key is not lost,
+  /// its Store is simply still in flight somewhere this round.
+  bool lost(const ChunkKey& key) const;
+
+  /// Drop the chunk's placement record (GC reclaimed it). Returns the
+  /// *alive* homes whose devices the caller should trim; dead homes are
+  /// gone with their node.
+  std::vector<NodeId> forget(const ChunkKey& key);
+
+  /// Recompute an existing entry's homes over the currently-alive nodes
+  /// (healing a chunk whose every replica died with its node). Returns
+  /// the new homes — the copies the caller must write — or empty when the
+  /// key was never recorded.
+  std::vector<NodeId> re_place(const ChunkKey& key);
+
+  /// Simulated node failure / recovery. Failure does not touch the
+  /// repository (content survives in the index) — it makes the bytes on
+  /// that node unreachable, which is exactly what placement models.
+  void fail_node(NodeId node);
+  void revive_node(NodeId node);
+  bool node_alive(NodeId node) const;
+  /// Any node currently failed? The cheap guard in front of
+  /// O(chunk-refs) loss scans: with every node alive nothing can be lost.
+  bool any_dead() const;
+
+  /// Chunks / stored bytes with no surviving replica (the replicas == 1
+  /// data-loss path). O(placed chunks); called from pre-flight and tests.
+  u64 lost_chunks() const;
+  u64 lost_bytes() const;
+  u64 placed_chunks() const { return entries_.size(); }
+  /// Stored bytes currently resident per node (replica copies included).
+  std::vector<u64> bytes_per_node() const;
+
+ private:
+  struct Entry {
+    std::vector<NodeId> homes;  // best-first at store time
+    u64 bytes = 0;              // device-charged bytes of one copy
+  };
+  static u64 score(const ChunkKey& key, NodeId node);
+  bool entry_lost(const Entry& e) const;
+
+  int replicas_;
+  std::vector<bool> alive_;
+  std::map<ChunkKey, Entry> entries_;
+};
+
+}  // namespace dsim::ckptstore

@@ -66,14 +66,18 @@ void Repository::commit_generation(const std::string& owner, int gen,
   (void)gi;
 }
 
-u64 Repository::release_generation(const std::string& owner,
-                                   const GenRec& rec) {
+u64 Repository::release_generation(
+    const std::string& owner, const GenRec& rec,
+    std::vector<ReclaimedChunk>* reclaimed_out) {
   u64 reclaimed = 0;
   for (const auto& k : rec.keys) {
     auto it = chunks_.find(k);
     DSIM_CHECK(it != chunks_.end());
     if (drop_owner_ref(it->second, owner)) {
       reclaimed += it->second.chunk.charged_bytes;
+      if (reclaimed_out) {
+        reclaimed_out->push_back({k, it->second.chunk.charged_bytes});
+      }
       stats_.live_chunks--;
       stats_.live_stored_bytes -= it->second.chunk.charged_bytes;
       chunks_.erase(it);
@@ -83,13 +87,14 @@ u64 Repository::release_generation(const std::string& owner,
   return reclaimed;
 }
 
-u64 Repository::collect_garbage(int keep) {
+u64 Repository::collect_garbage(int keep,
+                                std::vector<ReclaimedChunk>* reclaimed_out) {
   DSIM_CHECK_MSG(keep >= 1, "retention must keep at least one generation");
   u64 reclaimed = 0;
   for (auto& [owner, gens] : generations_) {
     while (static_cast<int>(gens.size()) > keep) {
       auto oldest = gens.begin();  // map is gen-ordered
-      reclaimed += release_generation(owner, oldest->second);
+      reclaimed += release_generation(owner, oldest->second, reclaimed_out);
       gens.erase(oldest);
     }
   }
@@ -97,12 +102,13 @@ u64 Repository::collect_garbage(int keep) {
   return reclaimed;
 }
 
-u64 Repository::drop_owner(const std::string& owner) {
+u64 Repository::drop_owner(const std::string& owner,
+                           std::vector<ReclaimedChunk>* reclaimed_out) {
   auto oit = generations_.find(owner);
   if (oit == generations_.end()) return 0;
   u64 reclaimed = 0;
   for (const auto& [gen, rec] : oit->second) {
-    reclaimed += release_generation(owner, rec);
+    reclaimed += release_generation(owner, rec, reclaimed_out);
   }
   generations_.erase(oit);
   stats_.reclaimed_bytes += reclaimed;

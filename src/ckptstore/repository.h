@@ -62,18 +62,29 @@ class Repository {
                          const std::vector<ChunkKey>& keys,
                          u64 logical_bytes);
 
+  /// A chunk GC reclaimed: its key and the device bytes it occupied. The
+  /// placement layer uses these to trim the right node devices.
+  struct ReclaimedChunk {
+    ChunkKey key;
+    u64 bytes = 0;
+  };
+
   /// Retention policy: keep only the newest `keep` generations per owner.
   /// Returns the stored bytes reclaimed from chunks that became dead.
   /// Refcounts span owners: a chunk shared by several processes (the same
   /// mapped library chunked to the same key) stays resident until the last
-  /// referencing generation of the last referencing owner dies.
-  u64 collect_garbage(int keep);
+  /// referencing generation of the last referencing owner dies. When
+  /// `reclaimed_out` is given, every reclaimed chunk is appended to it
+  /// (the chunk-store service trims each one from its placement homes).
+  u64 collect_garbage(int keep,
+                      std::vector<ReclaimedChunk>* reclaimed_out = nullptr);
 
   /// Drop every generation of `owner` (the process left the computation
   /// for good — exited without a pending restart, or its images were
   /// migrated away). Chunks it shared with other owners survive; chunks
   /// only it referenced are reclaimed. Returns the stored bytes reclaimed.
-  u64 drop_owner(const std::string& owner);
+  u64 drop_owner(const std::string& owner,
+                 std::vector<ReclaimedChunk>* reclaimed_out = nullptr);
 
   /// Copy `other`'s generations — and the chunks they reference — into
   /// this repository (checkpoint migration: the chunks a staged manifest
@@ -117,8 +128,10 @@ class Repository {
 
   /// Unpin one of `owner`'s generations, reclaiming chunks that reach zero
   /// refs. Returns the stored bytes reclaimed (caller updates
-  /// reclaimed_bytes).
-  u64 release_generation(const std::string& owner, const GenRec& rec);
+  /// reclaimed_bytes) and appends each dead chunk to `reclaimed_out` when
+  /// given.
+  u64 release_generation(const std::string& owner, const GenRec& rec,
+                         std::vector<ReclaimedChunk>* reclaimed_out);
 
   std::map<ChunkKey, Slot> chunks_;
   std::map<std::string, std::map<int, GenRec>> generations_;

@@ -1,0 +1,71 @@
+#include "ckptstore/service.h"
+
+#include "sim/model_params.h"
+#include "util/assertx.h"
+
+namespace dsim::ckptstore {
+
+ChunkStoreService::ChunkStoreService(sim::EventLoop& loop, int num_nodes,
+                                     int replicas)
+    : loop_(loop),
+      dev_(loop, "chunkstore", sim::params::kStoreServiceBw,
+           sim::params::kStoreServiceLatency),
+      repo_(std::make_shared<Repository>()),
+      placement_(num_nodes, replicas) {}
+
+void ChunkStoreService::submit_lookups(u64 n, std::function<void()> done) {
+  if (n == 0) {
+    loop_.post_now(std::move(done));
+    return;
+  }
+  // One queue entry per probe: a rank's lookups interleave with every other
+  // rank's in FIFO order, and each records its own submit -> served wait.
+  auto remaining = std::make_shared<u64>(n);
+  for (u64 i = 0; i < n; ++i) {
+    const SimTime submitted = loop_.now();
+    const bool last = (i + 1 == n);
+    dev_.submit(sim::params::kStoreLookupBytes,
+                [this, submitted, remaining, last, done] {
+                  const double wait = to_seconds(loop_.now() - submitted);
+                  stats_.lookup_wait_seconds += wait;
+                  if (wait > stats_.max_lookup_wait_seconds) {
+                    stats_.max_lookup_wait_seconds = wait;
+                  }
+                  if (--*remaining == 0) {
+                    DSIM_CHECK(last);
+                    done();
+                  }
+                },
+                /*is_read=*/true);
+  }
+  stats_.lookup_requests += n;
+}
+
+std::vector<NodeId> ChunkStoreService::submit_store(
+    const ChunkKey& key, u64 charged_bytes, std::function<void()> done) {
+  stats_.store_requests++;
+  stats_.store_bytes += charged_bytes;
+  dev_.submit(charged_bytes, std::move(done), /*is_read=*/false);
+  return placement_.record_store(key, charged_bytes);
+}
+
+std::vector<NodeId> ChunkStoreService::submit_restore(
+    const ChunkKey& key, u64 charged_bytes, std::function<void()> done) {
+  stats_.store_requests++;
+  stats_.store_bytes += charged_bytes;
+  dev_.submit(charged_bytes, std::move(done), /*is_read=*/false);
+  return placement_.re_place(key);
+}
+
+void ChunkStoreService::submit_fetch(u64 bytes, std::function<void()> done) {
+  stats_.fetch_requests++;
+  stats_.fetch_bytes += bytes;
+  dev_.submit(bytes, std::move(done), /*is_read=*/true);
+}
+
+void ChunkStoreService::submit_drop(u64 bytes) {
+  stats_.drop_requests++;
+  dev_.discard(bytes);
+}
+
+}  // namespace dsim::ckptstore

@@ -1,0 +1,126 @@
+// The remote chunk-store service (stdchk-style storage service).
+//
+// PR 2's `--dedup-scope cluster` kept one computation-wide Repository that
+// answered every dedup lookup for free — no queueing, no contention, none
+// of the storage funneling that dominates the paper's Fig. 5b. This class
+// turns the cluster-scope store into a *service*: it owns the shared
+// Repository and the per-node ChunkPlacement, and funnels every request —
+//
+//   Lookup    one dedup probe per submitted chunk (hit or miss),
+//   Store     a new chunk accepted and placed on `replicas` node devices,
+//   Fetch     a restart reading a chunk's bytes back,
+//   DropOwner / GC trim for reclaimed chunks,
+//
+// — through one FIFO sim::StorageDevice queue. N ranks checkpointing
+// concurrently serialize on that queue, so per-lookup latency grows with
+// rank count (bench_service's contention knee) exactly as shared-storage
+// writes do in Fig. 5b.
+//
+// The service charges only its own request queue. Physical bytes land on
+// node-local devices: the caller charges each placement home for Store
+// copies and each holding node for Fetch reads (the kernel owns node
+// devices; this layer names the nodes, core does the charging).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ckptstore/placement.h"
+#include "ckptstore/repository.h"
+#include "sim/storage.h"
+#include "util/types.h"
+
+namespace dsim::ckptstore {
+
+/// Request-queue statistics, cumulative over the computation. The
+/// coordinator snapshots deltas into each CkptRound.
+struct ServiceStats {
+  u64 lookup_requests = 0;
+  u64 store_requests = 0;
+  u64 fetch_requests = 0;
+  u64 drop_requests = 0;
+  u64 store_bytes = 0;  // accepted chunk bytes (one copy; replicas multiply
+                        // on the node devices, not the service queue)
+  u64 fetch_bytes = 0;
+  /// Cumulative submit -> completion wait across lookups; the per-lookup
+  /// average is the headline contention metric.
+  double lookup_wait_seconds = 0;
+  /// Max single-lookup wait since construction or the last
+  /// take_max_lookup_wait() (the coordinator drains it per round).
+  double max_lookup_wait_seconds = 0;
+  double avg_lookup_wait_seconds() const {
+    return lookup_requests == 0 ? 0.0
+                                : lookup_wait_seconds /
+                                      static_cast<double>(lookup_requests);
+  }
+};
+
+class ChunkStoreService {
+ public:
+  /// `replicas` copies of each chunk across `num_nodes` node devices.
+  ChunkStoreService(sim::EventLoop& loop, int num_nodes, int replicas);
+
+  /// Endpoint setup (done by the coordinator at startup: the service runs
+  /// where the coordinator says it runs, as dmtcp_coordinator itself does).
+  void set_endpoint(NodeId node) { endpoint_ = node; }
+  NodeId endpoint() const { return endpoint_; }
+
+  /// The cluster-scope repository (shared so DmtcpShared::repos can alias
+  /// it — stats aggregation and migration keep working unchanged).
+  const std::shared_ptr<Repository>& repo_ptr() const { return repo_; }
+  Repository& repo() { return *repo_; }
+  ChunkPlacement& placement() { return placement_; }
+  const ChunkPlacement& placement() const { return placement_; }
+
+  /// Queue `n` Lookup requests; `done` fires when the last one completes.
+  /// Each lookup is its own queue entry so waits are measured per request
+  /// and ranks' probes interleave FIFO, not rank-at-a-time.
+  void submit_lookups(u64 n, std::function<void()> done);
+
+  /// Queue a Store of one chunk. Returns the placement homes the caller
+  /// must charge one copy of `charged_bytes` to (empty on a placement
+  /// dedup hit); `done` fires when the service has accepted the write.
+  std::vector<NodeId> submit_store(const ChunkKey& key, u64 charged_bytes,
+                                   std::function<void()> done);
+
+  /// Queue a re-Store of a dedup-hit chunk whose every replica died with
+  /// its node: the write costs a fresh Store on the queue and the copies
+  /// are re-placed over the surviving nodes (returned for the caller to
+  /// charge). The caller checks placement().available() first — healthy
+  /// dedup hits must not queue stores.
+  std::vector<NodeId> submit_restore(const ChunkKey& key, u64 charged_bytes,
+                                     std::function<void()> done);
+
+  /// Queue a Fetch of `bytes` of chunk data (restart path); the caller
+  /// additionally charges the holding node's device for the read.
+  void submit_fetch(u64 bytes, std::function<void()> done);
+
+  /// DropOwner / GC trim: drop `bytes` of reclaimed data at metadata rate
+  /// (queue occupancy only, no completion to wait on).
+  void submit_drop(u64 bytes);
+
+  /// Simulated node failure: the node's chunk copies become unreachable.
+  void fail_node(NodeId node) { placement_.fail_node(node); }
+
+  sim::StorageDevice& device() { return dev_; }
+  const ServiceStats& stats() const { return stats_; }
+  /// Return the max single-lookup wait observed since the last call and
+  /// reset it, so each CkptRound records its own round's max rather than
+  /// the run-global one.
+  double take_max_lookup_wait() {
+    const double m = stats_.max_lookup_wait_seconds;
+    stats_.max_lookup_wait_seconds = 0;
+    return m;
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  sim::StorageDevice dev_;
+  std::shared_ptr<Repository> repo_;
+  ChunkPlacement placement_;
+  ServiceStats stats_;
+  NodeId endpoint_ = -1;
+};
+
+}  // namespace dsim::ckptstore

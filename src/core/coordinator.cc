@@ -43,6 +43,9 @@ struct CoordState {
   // Discovery entries are valid for one restart only; stale addresses from
   // a previous restart point at rendezvous listeners that no longer exist.
   size_t discovery_epoch = 0;
+  // Chunk-store service stats at the previous round's close, so each
+  // CkptRound records this round's delta (lookups served, wait time).
+  ckptstore::ServiceStats svc_last;
 };
 
 void refresh_discovery_epoch(CoordState* st) {
@@ -139,6 +142,17 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
     r.dedup_ratio = live == 0 ? 1.0
                               : static_cast<double>(logical) /
                                     static_cast<double>(live);
+  }
+  if (auto* svc = st->shared->store_service.get()) {
+    // Request-queue view of the round: the lookups this round's managers
+    // queued and how long they waited in line behind every other rank's.
+    const ckptstore::ServiceStats& ss = svc->stats();
+    auto& r = st->shared->stats.rounds.back();
+    r.store_lookups = ss.lookup_requests - st->svc_last.lookup_requests;
+    r.lookup_wait_seconds =
+        ss.lookup_wait_seconds - st->svc_last.lookup_wait_seconds;
+    r.max_lookup_wait_seconds = svc->take_max_lookup_wait();
+    st->svc_last = ss;
   }
   RestartPlan plan;
   plan.coord_node = st->shared->opts.coord_node;
@@ -352,6 +366,27 @@ Task<int> coordinator_main(sim::ProcessCtx& ctx,
   const bool ok = co_await ctx.bind_raw(lfd, shared->opts.coord_port);
   DSIM_CHECK_MSG(ok, "coordinator: port already in use");
   co_await ctx.listen_raw(lfd);
+
+  if (shared->store_service) {
+    // Endpoint setup: the chunk-store service runs where --store-node says
+    // (default: alongside the coordinator, as dmtcp's helper daemons do).
+    // Managers reach it through its request queue from here on. Today the
+    // endpoint is identity only — the queue itself is the service model;
+    // charging the NIC hop to the endpoint node is a named follow-on
+    // (docs/ckptstore.md) — but an out-of-range node is still a config
+    // error worth refusing.
+    const NodeId ep =
+        shared->opts.store_node >= 0
+            ? static_cast<NodeId>(shared->opts.store_node)
+            : ctx.process().node();
+    DSIM_CHECK_MSG(ep >= 0 && ep < ctx.kernel().num_nodes(),
+                   "dmtcp_coordinator: --store-node names a node outside "
+                   "the cluster");
+    shared->store_service->set_endpoint(ep);
+    LOG_INFO("coordinator: chunk-store service endpoint on node %d "
+             "(%d replica(s) per chunk)",
+             ep, shared->opts.chunk_replicas);
+  }
 
   {
     sim::Thread& t =

@@ -1,10 +1,12 @@
 #include "core/hijack.h"
 
 #include <algorithm>
+#include <set>
 
 #include "core/msg_io.h"
 #include "mtcp/mtcp.h"
 #include "sim/model_params.h"
+#include "sim/sync.h"
 #include "util/assertx.h"
 #include "util/logging.h"
 
@@ -527,20 +529,94 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     inode->data = sim::ByteImage(delta.manifest_bytes.size());
     inode->data.write(0, delta.manifest_bytes);
     inode->charged_size = delta.submitted_bytes;
-    co_await k.charge_storage(ctx.thread(), p_.node(), path,
-                              delta.submitted_bytes, /*is_read=*/false);
+    ckptstore::ChunkStoreService* svc = shared_->store_service.get();
+    if (svc) {
+      // Remote chunk-store service: every chunk submission is a queued
+      // Lookup (hit or miss alike), so N ranks' probes serialize on the
+      // service's request queue — the contention the free index hid.
+      {
+        auto lk = std::make_shared<sim::CountLatch>(1);
+        svc->submit_lookups(delta.total_chunks, [lk] { lk->done_one(); });
+        while (lk->remaining > 0) co_await lk->wq.wait(ctx.thread());
+      }
+      // Store phase: new chunks go through the service queue and land as
+      // R copies on their rendezvous-placement homes' devices (restart
+      // reads will charge whichever home survives). Dedup hits normally
+      // cost nothing — but a hit on a chunk whose every replica died with
+      // its node would pin permanently unrestorable data into this
+      // generation's manifest, so those are re-stored over the survivors:
+      // the store heals forward as generations land.
+      std::map<NodeId, u64> home_bytes;
+      const size_t fresh = delta.stored_chunks.size();
+      auto to_store = std::move(delta.stored_chunks);
+      if (svc->placement().any_dead()) {  // nothing can be lost otherwise
+        std::set<ckptstore::ChunkKey> healed;
+        for (const auto& [key, bytes] : delta.dup_chunks) {
+          // lost(), not !available(): a dup hit on a key some rank's
+          // Store is still carrying this round is merely unrecorded, not
+          // lost. dup_chunks holds one entry per *reference* (shared zero
+          // chunks recur across segments) — heal each lost key once.
+          if (svc->placement().lost(key) && healed.insert(key).second) {
+            to_store.emplace_back(key, bytes);
+          }
+        }
+      }
+      if (!to_store.empty()) {
+        auto st = std::make_shared<sim::CountLatch>(
+            static_cast<int>(to_store.size()));
+        for (size_t i = 0; i < to_store.size(); ++i) {
+          const auto& [key, bytes] = to_store[i];
+          const auto homes =
+              i < fresh
+                  ? svc->submit_store(key, bytes, [st] { st->done_one(); })
+                  : svc->submit_restore(key, bytes,
+                                        [st] { st->done_one(); });
+          for (NodeId home : homes) home_bytes[home] += bytes;
+        }
+        while (st->remaining > 0) co_await st->wq.wait(ctx.thread());
+      }
+      if (!home_bytes.empty()) {
+        auto wr = std::make_shared<sim::CountLatch>(
+            static_cast<int>(home_bytes.size()));
+        for (const auto& [home, bytes] : home_bytes) {
+          k.charge_storage_bg(home, path, bytes, /*is_read=*/false,
+                              [wr] { wr->done_one(); });
+        }
+        while (wr->remaining > 0) co_await wr->wq.wait(ctx.thread());
+      }
+      // The manifest itself stays a file in this process's ckpt_dir.
+      co_await k.charge_storage(ctx.thread(), p_.node(), path,
+                                delta.manifest_bytes.size(),
+                                /*is_read=*/false);
+    } else {
+      co_await k.charge_storage(ctx.thread(), p_.node(), path,
+                                delta.submitted_bytes, /*is_read=*/false);
+    }
     if (shared_->opts.sync == SyncMode::kSyncAfter) {
       co_await k.sync_storage(ctx.thread(), p_.node(), path);
     }
     // Retention: drop generations beyond the keep window and trim the
-    // reclaimed chunk bytes from the store device. Under --dedup-scope
-    // cluster the trim lands on the GC-triggering node's device even when
-    // the chunk was first written elsewhere — the repository does not
-    // track chunk placement (a named follow-on); aggregate discard
-    // accounting is exact, the per-node split is approximate.
-    const u64 reclaimed =
-        repo.collect_garbage(shared_->opts.keep_generations);
-    if (reclaimed > 0) k.discard_storage(p_.node(), path, reclaimed);
+    // reclaimed chunk bytes from the store device. The service trims each
+    // dead chunk from the placement homes that actually hold it (one
+    // DropOwner-style metadata request through its queue); without the
+    // service the trim lands on the GC-triggering node's device.
+    if (svc) {
+      std::vector<ckptstore::Repository::ReclaimedChunk> dead;
+      const u64 reclaimed =
+          repo.collect_garbage(shared_->opts.keep_generations, &dead);
+      if (reclaimed > 0) {
+        svc->submit_drop(reclaimed);
+        for (const auto& rc : dead) {
+          for (NodeId home : svc->placement().forget(rc.key)) {
+            k.discard_storage(home, path, rc.bytes);
+          }
+        }
+      }
+    } else {
+      const u64 reclaimed =
+          repo.collect_garbage(shared_->opts.keep_generations);
+      if (reclaimed > 0) k.discard_storage(p_.node(), path, reclaimed);
+    }
 
     Msg stats;
     stats.type = MsgType::kImageStats;

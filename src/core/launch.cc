@@ -1,5 +1,7 @@
 #include "core/launch.h"
 
+#include <set>
+
 #include "ckptstore/manifest.h"
 #include "core/coordinator.h"
 #include "core/hijack.h"
@@ -14,6 +16,16 @@ DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
   const std::string err = opts.validate();
   DSIM_CHECK_MSG(err.empty(), ("dmtcp_checkpoint: " + err).c_str());
   shared_->opts = opts;
+  if (opts.incremental && shared_->cluster_wide_store()) {
+    // The cluster-wide store is a *service* with a request queue, not a
+    // free index: it owns the shared repository (repos[kSharedRepo]
+    // aliases it so stats aggregation and migration are unchanged) and
+    // the replica placement map. The coordinator sets its endpoint.
+    shared_->store_service = std::make_shared<ckptstore::ChunkStoreService>(
+        k_.loop(), k_.num_nodes(), opts.chunk_replicas);
+    shared_->repos[DmtcpShared::kSharedRepo] =
+        shared_->store_service->repo_ptr();
+  }
   k_.programs().add(make_coordinator_program(shared_));
   k_.programs().add(make_command_program(shared_));
   k_.programs().add(make_restart_program(shared_));
@@ -102,6 +114,49 @@ RestartPlan DmtcpControl::read_restart_plan() const {
 
 const RestartRun& DmtcpControl::restart(std::map<NodeId, NodeId> host_map) {
   RestartPlan plan = read_restart_plan();
+
+  // Pre-flight under the chunk-store service: every chunk the plan's
+  // manifests reference must have a surviving replica. With
+  // --chunk-replicas=1 a node failure makes its chunks unrecoverable —
+  // report the forced re-store instead of restarting into missing data;
+  // with R > 1 the surviving replicas carry the restart.
+  if (const auto* svc = shared_->store_service.get();
+      svc != nullptr && svc->placement().any_dead()) {
+    // Every node alive means nothing can be lost — the O(chunk-refs)
+    // manifest walk below only runs after an actual failure. One set
+    // across every manifest: a shared chunk referenced by all ranks
+    // counts as one lost chunk, not once per referencing image.
+    std::set<ckptstore::ChunkKey> seen;
+    u64 lost = 0;
+    for (const auto& host : plan.hosts) {
+      for (const auto& img : host.images) {
+        auto inode = k_.fs_for(host.host, img).lookup(img);
+        if (!inode) continue;
+        auto bytes = inode->data.materialize(0, inode->data.size());
+        if (!ckptstore::Manifest::is_manifest(bytes)) continue;
+        for (const auto& key :
+             ckptstore::Manifest::decode(bytes).all_keys()) {
+          if (seen.insert(key).second && !svc->placement().available(key)) {
+            ++lost;
+          }
+        }
+      }
+    }
+    if (lost > 0) {
+      LOG_INFO(
+          "restart pre-flight: %llu chunks have no surviving replica; "
+          "full re-store required",
+          static_cast<unsigned long long>(lost));
+      RestartRun failed;
+      failed.script_started = k_.loop().now();
+      failed.refilled = k_.loop().now();
+      failed.needs_restore = true;
+      failed.lost_chunks = lost;
+      shared_->stats.restarts.push_back(failed);
+      return shared_->stats.restarts.back();
+    }
+  }
+
   RestartRun run;
   run.script_started = k_.loop().now();
   shared_->stats.restarts.push_back(run);

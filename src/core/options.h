@@ -33,14 +33,15 @@ enum class DedupScope : u8 {
 /// through it before trusting their recorded parameters.
 inline std::string validate_chunking(const ckptstore::ChunkingParams& p) {
   if (p.mode != ckptstore::ChunkingMode::kFixed &&
-      p.mode != ckptstore::ChunkingMode::kCdc) {
-    return "--chunking must be 'fixed' or 'cdc'";
+      p.mode != ckptstore::ChunkingMode::kCdc &&
+      p.mode != ckptstore::ChunkingMode::kFastCdc) {
+    return "--chunking must be 'fixed', 'cdc' or 'fastcdc'";
   }
   if (p.fixed_bytes == 0 || (p.fixed_bytes & (p.fixed_bytes - 1)) != 0) {
     return "--chunk-bytes must be a non-zero power of two (got " +
            std::to_string(p.fixed_bytes) + ")";
   }
-  if (p.mode == ckptstore::ChunkingMode::kCdc) {
+  if (p.mode != ckptstore::ChunkingMode::kFixed) {
     if (p.avg_bytes == 0 || (p.avg_bytes & (p.avg_bytes - 1)) != 0) {
       return "--cdc-avg-bytes must be a non-zero power of two (got " +
              std::to_string(p.avg_bytes) + ")";
@@ -76,6 +77,27 @@ struct DmtcpOptions {
   u64 cdc_max_bytes = 256 * 1024;  // --cdc-max-bytes: CDC chunk ceiling
   /// --dedup-scope: node-local repositories or one computation-wide store.
   DedupScope dedup_scope = DedupScope::kNode;
+  /// --chunk-replicas: copies of each chunk across node-local devices
+  /// under the cluster-wide chunk-store service. 1 = no redundancy (a
+  /// node failure loses its chunks and forces a full re-store); R > 1
+  /// survives R-1 node failures per chunk at R× write amplification.
+  int chunk_replicas = 1;
+  /// --store-node: node hosting the chunk-store service endpoint
+  /// (kStoreNodeCoord = wherever the coordinator runs). Range-checked by
+  /// the coordinator at endpoint setup. Identity/observability only for
+  /// now: the service's request queue is the cost model, and charging the
+  /// endpoint node's NIC for request transport is a named follow-on.
+  static constexpr i32 kStoreNodeCoord = -1;
+  i32 store_node = kStoreNodeCoord;
+
+  /// One cluster-wide store backs the computation when the checkpoint
+  /// directory is explicitly shared (/shared/...) or dedup scope is
+  /// cluster. The single source of truth for the predicate — DmtcpShared
+  /// and validate() both key on it.
+  bool cluster_wide_store() const {
+    return ckpt_dir.rfind("/shared", 0) == 0 ||
+           dedup_scope == DedupScope::kCluster;
+  }
 
   /// The chunking configuration the encoder consumes and the manifest
   /// records.
@@ -99,6 +121,19 @@ struct DmtcpOptions {
     if (keep_generations < 1) {
       return "--keep-generations must keep at least one generation (got " +
              std::to_string(keep_generations) + ")";
+    }
+    if (chunk_replicas < 1) {
+      return "--chunk-replicas must place at least one copy (got " +
+             std::to_string(chunk_replicas) + ")";
+    }
+    if (chunk_replicas > 1 && !cluster_wide_store()) {
+      return "--chunk-replicas > 1 requires a cluster-wide store "
+             "(--dedup-scope cluster or a /shared checkpoint directory): "
+             "replica placement is a property of the store service";
+    }
+    if (!incremental && (chunk_replicas > 1 || store_node >= 0)) {
+      return "--chunk-replicas/--store-node require --incremental: the "
+             "chunk-store service only exists for the incremental store";
     }
     if (incremental && forked_checkpointing) {
       return "--incremental and forked checkpointing are mutually "
@@ -150,7 +185,10 @@ struct DmtcpOptions {
         if (!err.empty()) return err;
         if (v == "fixed") chunking = ckptstore::ChunkingMode::kFixed;
         else if (v == "cdc") chunking = ckptstore::ChunkingMode::kCdc;
-        else return "--chunking: expected 'fixed' or 'cdc', got '" + v + "'";
+        else if (v == "fastcdc") chunking = ckptstore::ChunkingMode::kFastCdc;
+        else
+          return "--chunking: expected 'fixed', 'cdc' or 'fastcdc', got '" +
+                 v + "'";
       } else if (a == "--cdc-min-bytes") {
         const long n = intval("--cdc-min-bytes");
         if (!err.empty()) return err;
@@ -171,6 +209,14 @@ struct DmtcpOptions {
         else
           return "--dedup-scope: expected 'node' or 'cluster', got '" + v +
                  "'";
+      } else if (a == "--chunk-replicas") {
+        const long n = intval("--chunk-replicas");
+        if (!err.empty()) return err;
+        chunk_replicas = static_cast<int>(n);
+      } else if (a == "--store-node") {
+        const long n = intval("--store-node");
+        if (!err.empty()) return err;
+        store_node = static_cast<i32>(n);
       } else {
         rest.push_back(a);
       }

@@ -11,6 +11,7 @@
 #include "mtcp/mtcp.h"
 #include "sim/model_params.h"
 #include "sim/pctx.h"
+#include "sim/sync.h"
 #include "util/assertx.h"
 #include "util/logging.h"
 
@@ -86,6 +87,11 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
   std::vector<LoadedImage> loaded;
   double total_decode_seconds = 0;
   u64 total_read_bytes = 0;
+  // Chunk-store service mode: reads are charged to the node holding each
+  // chunk (first surviving replica), and every chunk read is one queued
+  // Fetch on the service.
+  std::map<NodeId, u64> fetch_by_node;
+  std::vector<u64> fetch_chunk_bytes;
   for (const auto& path : args.images) {
     auto inode = k.fs_for(self.node(), path).lookup(path);
     DSIM_CHECK_MSG(inode != nullptr, "dmtcp_restart: image not found");
@@ -109,11 +115,28 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
                          .c_str());
       std::string err;
       u64 chunk_read_bytes = 0;
-      li.img = mtcp::decode_incremental(mf, shared->repo_for(self.node()),
-                                        &decode_seconds, &chunk_read_bytes,
-                                        &err);
+      const ckptstore::Repository& repo = shared->repo_for(self.node());
+      li.img = mtcp::decode_incremental(mf, repo, &decode_seconds,
+                                        &chunk_read_bytes, &err);
       DSIM_CHECK_MSG(err.empty(), err.c_str());
-      total_read_bytes += container.size() + chunk_read_bytes;
+      if (const auto* svc = shared->store_service.get()) {
+        // Placement-aware fetch plan. decode_incremental succeeded, so
+        // every referenced chunk is resident; the pre-flight in
+        // DmtcpControl::restart guarantees a surviving holder.
+        for (const auto& sm : mf.segments) {
+          for (const auto& ref : sm.chunks) {
+            const ckptstore::Chunk* c = repo.find(ref.key);
+            DSIM_CHECK(c != nullptr);
+            const i32 holder = svc->placement().holder(ref.key);
+            fetch_by_node[holder >= 0 ? holder : self.node()] +=
+                c->charged_bytes;
+            fetch_chunk_bytes.push_back(c->charged_bytes);
+          }
+        }
+        total_read_bytes += container.size();
+      } else {
+        total_read_bytes += container.size() + chunk_read_bytes;
+      }
     } else {
       li.img = mtcp::decode(container, shared->opts.codec, &decode_seconds);
       total_read_bytes += inode->charge_or_size();
@@ -316,20 +339,38 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
   // decompress costs run concurrently (one core each, fluid-shared).
   const SimTime t_mem = ctx.now();
   {
-    // Device: one sequential read stream per restart process.
+    if (auto* svc = shared->store_service.get();
+        svc != nullptr && !fetch_chunk_bytes.empty()) {
+      // Chunk fetches queue on the store service (contending with any
+      // other host restarting concurrently)...
+      auto fq = std::make_shared<sim::CountLatch>(
+          static_cast<int>(fetch_chunk_bytes.size()));
+      for (const u64 b : fetch_chunk_bytes) {
+        svc->submit_fetch(b, [fq] { fq->done_one(); });
+      }
+      while (fq->remaining > 0) co_await fq->wq.wait(ctx.thread());
+      // ...and the bytes stream off the holding nodes' devices,
+      // concurrently across holders. These are *reads*: delta restart
+      // must never inflate the write counters (the split the device
+      // accounting regression test pins).
+      auto rd = std::make_shared<sim::CountLatch>(
+          static_cast<int>(fetch_by_node.size()));
+      for (const auto& [holder, bytes] : fetch_by_node) {
+        k.charge_storage_bg(holder, args.images[0], bytes, /*is_read=*/true,
+                            [rd] { rd->done_one(); });
+      }
+      while (rd->remaining > 0) co_await rd->wq.wait(ctx.thread());
+    }
+    // Device: one sequential read stream per restart process (manifests
+    // and full images on this node).
     co_await k.charge_storage(ctx.thread(), self.node(), args.images[0],
                               total_read_bytes, /*is_read=*/true);
     // CPU: per-image gunzip/copy jobs in parallel on this node's cores.
-    struct SyncCnt {
-      int remaining = 0;
-      sim::WaitQueue wq;
-    };
-    auto sync = std::make_shared<SyncCnt>();
-    sync->remaining = static_cast<int>(loaded.size());
+    auto sync = std::make_shared<sim::CountLatch>(
+        static_cast<int>(loaded.size()));
     for (auto& li : loaded) {
-      k.node(self.node()).cpu().submit(li.decode_seconds, [sync] {
-        if (--sync->remaining == 0) sync->wq.wake_all();
-      });
+      k.node(self.node()).cpu().submit(li.decode_seconds,
+                                       [sync] { sync->done_one(); });
     }
     while (sync->remaining > 0) co_await sync->wq.wait(ctx.thread());
   }

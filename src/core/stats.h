@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ckptstore/repository.h"
+#include "ckptstore/service.h"
 #include "core/options.h"
 #include "util/types.h"
 
@@ -46,6 +47,18 @@ struct CkptRound {
   u64 new_chunks = 0;
   double dedup_ratio = 0;  // logical bytes per stored byte
 
+  // Chunk-store service (cluster scope): this round's view of the request
+  // queue. Lookups contend across ranks, so the per-lookup average wait is
+  // the Fig.-5b-style contention metric bench_service sweeps.
+  u64 store_lookups = 0;           // dedup lookups served this round
+  double lookup_wait_seconds = 0;  // cumulative submit -> served wait
+  double max_lookup_wait_seconds = 0;
+  double avg_lookup_wait_seconds() const {
+    return store_lookups == 0
+               ? 0.0
+               : lookup_wait_seconds / static_cast<double>(store_lookups);
+  }
+
   double total_seconds() const { return to_seconds(refilled - requested); }
   double suspend_seconds() const { return to_seconds(suspended - requested); }
   double elect_seconds() const { return to_seconds(elected - suspended); }
@@ -68,6 +81,13 @@ struct RestartRun {
 
   double total_seconds() const { return to_seconds(refilled - script_started); }
   double refill_seconds = 0;  // duration between restart B5 and B6
+
+  // Chunk-store service placement view: set by the pre-flight availability
+  // check. `needs_restore` means some referenced chunk has no surviving
+  // replica (a node died under --chunk-replicas=1) — the computation must
+  // be re-run and re-stored, nothing was restarted.
+  bool needs_restore = false;
+  u64 lost_chunks = 0;  // referenced chunks with every replica gone
 };
 
 struct DmtcpStats {
@@ -95,14 +115,17 @@ struct DmtcpShared {
   bool shared_ckpt_dir() const {
     return opts.ckpt_dir.rfind("/shared", 0) == 0;
   }
-  bool cluster_wide_store() const {
-    return shared_ckpt_dir() || opts.dedup_scope == DedupScope::kCluster;
-  }
+  bool cluster_wide_store() const { return opts.cluster_wide_store(); }
   ckptstore::Repository& repo_for(NodeId node) {
     auto& r = repos[cluster_wide_store() ? kSharedRepo : node];
     if (!r) r = std::make_shared<ckptstore::Repository>();
     return *r;
   }
+  /// The remote chunk-store service (incremental + cluster scope only):
+  /// owns the shared repository (repos[kSharedRepo] aliases it), queues
+  /// Lookup/Store/Fetch/Drop requests, and tracks chunk placement.
+  /// Created by DmtcpControl; its endpoint is set by the coordinator.
+  std::shared_ptr<ckptstore::ChunkStoreService> store_service;
   int ckpt_generation = 0;  // bumped per completed checkpoint
   /// Virtual pids in use across the computation (conflict detection, §4.5).
   std::set<Pid> active_vpids;

@@ -188,6 +188,7 @@ EncodedDelta encode_incremental(const ProcessImage& img,
       if (const ckptstore::Chunk* resident = repo.find(key)) {
         ref.crc = resident->crc;
         out.dup_chunk_bytes += span.len;
+        out.dup_chunks.emplace_back(key, resident->charged_bytes);
         repo.note_hit();
       } else {
         ckptstore::Chunk c;
@@ -222,6 +223,7 @@ EncodedDelta encode_incremental(const ProcessImage& img,
         ref.crc = c.crc;
         out.new_chunk_bytes += c.charged_bytes;
         out.new_chunks++;
+        out.stored_chunks.emplace_back(key, c.charged_bytes);
         repo.put(key, std::move(c));
       }
       sm.chunks.push_back(ref);
@@ -234,7 +236,9 @@ EncodedDelta encode_incremental(const ProcessImage& img,
   out.submitted_bytes = out.new_chunk_bytes + out.manifest_bytes.size();
   out.assemble_seconds = static_cast<double>(out.virtual_uncompressed) /
                          sim::params::kMemcpyBw;
-  if (chunking.mode == ckptstore::ChunkingMode::kCdc) {
+  if (chunking.mode != ckptstore::ChunkingMode::kFixed) {
+    // Both CDC variants pay the gear pass over real bytes; FastCDC's
+    // second mask costs one extra compare per byte, lost in the noise.
     out.assemble_seconds += static_cast<double>(real_scanned_bytes) /
                             sim::params::kGearHashBw;
   }

@@ -62,6 +62,16 @@ struct EncodedDelta {
   u64 new_chunks = 0;
   double assemble_seconds = 0;  // scan + hash cost over the full image
   double compress_seconds = 0;  // codec cost over *new* chunk bytes only
+  /// The chunks stored this generation (key, device-charged bytes), in
+  /// store order. The chunk-store service places each one on its replica
+  /// nodes and charges their devices; sums to new_chunk_bytes.
+  std::vector<std::pair<ckptstore::ChunkKey, u64>> stored_chunks;
+  /// Chunks answered by already-resident content (key, resident
+  /// device-charged bytes). The service checks these against placement:
+  /// a dedup hit whose every replica died with its node must be
+  /// re-stored, or this generation's manifest would pin permanently
+  /// unrestorable data.
+  std::vector<std::pair<ckptstore::ChunkKey, u64>> dup_chunks;
 };
 
 /// Split the image's segments into chunks per `chunking` (fixed-size spans

@@ -84,6 +84,19 @@ inline constexpr SimTime kForkBase = 300 * timeconst::kMicrosecond;
 // Copy-on-write slowdown while a forked checkpoint is in flight is emergent:
 // the writer child occupies a core in the fluid-share CPU model.
 
+// --- Chunk-store service (stdchk-style remote store) ------------------------
+// The cluster-scope store is a *service* with one FIFO request queue, not a
+// free in-memory index: every dedup Lookup, chunk Store, restart Fetch and
+// GC Drop occupies the queue, so N ranks' requests serialize the way Fig.-5b
+// storage traffic does. The request-processing rate is GigE-server class
+// (one store node answering the whole computation); each Lookup costs an
+// index probe's worth of queue occupancy, and Store/Fetch cost their chunk
+// bytes. Per-request RPC latency is pipelined (it delays completion, not the
+// queue), so the contention knee comes from queue occupancy alone.
+inline constexpr double kStoreServiceBw = 180e6;
+inline constexpr SimTime kStoreServiceLatency = 250 * timeconst::kMicrosecond;
+inline constexpr u64 kStoreLookupBytes = 4 * 1024;
+
 // --- Coordinator protocol ---------------------------------------------------
 inline constexpr SimTime kCoordMsgCpu = 6 * timeconst::kMicrosecond;
 

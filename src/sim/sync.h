@@ -1,0 +1,25 @@
+// Coroutine-side completion latches for callback-style device APIs.
+//
+// StorageDevice, CpuModel and the chunk-store service all complete through
+// plain callbacks; coroutines bridge them with a countdown latch held by
+// shared_ptr (so a killed waiter cannot dangle under a late callback):
+//
+//   auto latch = std::make_shared<CountLatch>(n);
+//   for (...) dev.submit(bytes, [latch] { latch->done_one(); });
+//   while (latch->remaining > 0) co_await latch->wq.wait(ctx.thread());
+#pragma once
+
+#include "sim/thread.h"
+
+namespace dsim::sim {
+
+struct CountLatch {
+  explicit CountLatch(int n) : remaining(n) {}
+  int remaining = 0;
+  WaitQueue wq;
+  void done_one() {
+    if (--remaining == 0) wq.wake_all();
+  }
+};
+
+}  // namespace dsim::sim

@@ -21,6 +21,12 @@ constexpr u64 splitmix64(u64& state) {
   return z ^ (z >> 31);
 }
 
+/// Pure splitmix64 finalizer over one value (stateless hash of a u64).
+constexpr u64 mix64(u64 x) {
+  u64 s = x;
+  return splitmix64(s);
+}
+
 /// Mix several integers into a single 64-bit hash (for derived seeds).
 constexpr u64 mix_seed(u64 a, u64 b = 0, u64 c = 0) {
   u64 s = a;

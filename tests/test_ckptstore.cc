@@ -14,6 +14,7 @@
 #include "mtcp/mtcp.h"
 #include "sim/cluster.h"
 #include "tests/testprogs.h"
+#include "tests/testutil.h"
 #include "util/crc32.h"
 
 namespace dsim::test {
@@ -25,32 +26,7 @@ using sim::ByteImage;
 using sim::ExtentKind;
 
 constexpr u64 kChunk = 4 * 1024;
-
-ckptstore::ChunkingParams fixed_params(u64 chunk_bytes) {
-  ckptstore::ChunkingParams p;
-  p.mode = ckptstore::ChunkingMode::kFixed;
-  p.fixed_bytes = chunk_bytes;
-  return p;
-}
-
-ckptstore::ChunkingParams cdc_params(u64 min, u64 avg, u64 max) {
-  ckptstore::ChunkingParams p;
-  p.mode = ckptstore::ChunkingMode::kCdc;
-  p.min_bytes = min;
-  p.avg_bytes = avg;
-  p.max_bytes = max;
-  return p;
-}
-
-std::vector<std::byte> pseudo_bytes(u64 n, u64 seed) {
-  std::vector<std::byte> out(n);
-  u64 x = seed * 0x9E3779B97F4A7C15ull + 1;
-  for (u64 i = 0; i < n; ++i) {
-    x = x * 6364136223846793005ull + 1442695040888963407ull;
-    out[i] = static_cast<std::byte>(x >> 56);
-  }
-  return out;
-}
+// pseudo_bytes / fixed_params / cdc_params come from tests/testutil.h.
 
 /// A process image with one mixed segment: real content, a zero run, a
 /// pseudo-random (ballast) run.
@@ -562,9 +538,42 @@ TEST(Options, ChunkingAndDedupScopeFlagsParse) {
   ASSERT_EQ(argv.size(), 1u);
   EXPECT_EQ(argv[0], "prog");
 
+  std::vector<std::string> fast = {"--incremental",
+                                   "--chunking", "fastcdc",
+                                   "--chunk-replicas", "2",
+                                   "--dedup-scope", "cluster",
+                                   "--store-node", "3"};
+  EXPECT_EQ(o.apply_flags(fast), "");
+  EXPECT_EQ(o.chunking, ckptstore::ChunkingMode::kFastCdc);
+  EXPECT_EQ(o.chunk_replicas, 2);
+  EXPECT_EQ(o.store_node, 3);
+
   std::vector<std::string> bad_mode = {"--chunking", "rolling"};
-  EXPECT_NE(o.apply_flags(bad_mode).find("'fixed' or 'cdc'"),
+  EXPECT_NE(o.apply_flags(bad_mode).find("'fixed', 'cdc' or 'fastcdc'"),
             std::string::npos);
+  std::vector<std::string> bad_replicas = {"--chunk-replicas", "0"};
+  EXPECT_NE(o.apply_flags(bad_replicas).find("at least one copy"),
+            std::string::npos);
+  o.chunk_replicas = 2;
+  o.dedup_scope = core::DedupScope::kNode;
+  EXPECT_NE(o.validate().find("requires a cluster-wide store"),
+            std::string::npos);
+  // Both routes to a cluster-wide store satisfy the replica gate: cluster
+  // dedup scope, or an explicitly shared checkpoint directory.
+  o.ckpt_dir = "/shared/ckpt";
+  EXPECT_EQ(o.validate(), "");
+  o.ckpt_dir = "/ckpt";
+  o.dedup_scope = core::DedupScope::kCluster;
+  EXPECT_EQ(o.validate(), "");
+  // Service knobs without --incremental would be silently inert (the
+  // service only exists for the incremental store): rejected instead.
+  o.incremental = false;
+  EXPECT_NE(o.validate().find("require --incremental"), std::string::npos);
+  o.chunk_replicas = 1;
+  o.store_node = 0;
+  EXPECT_NE(o.validate().find("require --incremental"), std::string::npos);
+  o.incremental = true;
+  EXPECT_EQ(o.validate(), "");
   std::vector<std::string> bad_scope = {"--dedup-scope", "rack"};
   EXPECT_NE(o.apply_flags(bad_scope).find("'node' or 'cluster'"),
             std::string::npos);
@@ -716,6 +725,38 @@ TEST(CkptStoreE2E, SecondGenerationWritesSmallFractionAndGcTrims) {
   // The live store holds roughly one full image plus two deltas — far less
   // than three full generations.
   EXPECT_LT(r3.store_live_bytes, 2 * r1.store_new_bytes);
+}
+
+TEST(CkptStoreE2E, DeltaRestartFetchesAreChargedAsReadsNotWrites) {
+  // Regression pin for the StorageDevice read/write split: a delta restart
+  // fetches the manifest plus every referenced chunk — all of it must land
+  // in the device's *read* counter, and none of it in the write counter.
+  auto opts = incremental_opts();
+  opts.codec = compress::CodecKind::kNone;  // exact byte accounting
+  World w(1, opts);
+  const Pid pid = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "rw"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  sim::Process* p = w.k().find_process(pid);
+  ASSERT_NE(p, nullptr);
+  constexpr u64 kBallast = 4 * 1024 * 1024;
+  auto& seg = p->mem().add("ballast", sim::MemKind::kHeap, kBallast);
+  seg.data.fill(0, kBallast, ExtentKind::kRand, 0xA0);
+
+  const auto r1 = w.ctl.checkpoint_now();
+  ASSERT_GT(r1.store_live_bytes, kBallast);
+  w.ctl.kill_computation();
+
+  const auto& dev = w.k().node(0).storage().cache();
+  const u64 reads_before = dev.total_read_bytes();
+  const u64 writes_before = dev.total_written_bytes();
+  w.ctl.restart();
+  const u64 read_delta = dev.total_read_bytes() - reads_before;
+  const u64 write_delta = dev.total_written_bytes() - writes_before;
+
+  // The fetch side reads at least the full live store (manifest + chunks)...
+  EXPECT_GE(read_delta, r1.store_live_bytes);
+  // ...and writes exactly nothing: restoring is not storing.
+  EXPECT_EQ(write_delta, 0u);
 }
 
 TEST(CkptStoreE2E, ClusterScopeStoresSharedBallastOnce) {

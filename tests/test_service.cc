@@ -1,0 +1,435 @@
+// The remote chunk-store service: rendezvous placement and replication,
+// queued dedup lookups contending across ranks, replica failover on node
+// failure, the R=1 data-loss path, and FastCDC normalized chunking.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "ckptstore/cdc.h"
+#include "ckptstore/placement.h"
+#include "ckptstore/service.h"
+#include "core/launch.h"
+#include "mtcp/mtcp.h"
+#include "sim/cluster.h"
+#include "tests/testprogs.h"
+#include "tests/testutil.h"
+
+namespace dsim::test {
+namespace {
+
+using ckptstore::ChunkKey;
+using ckptstore::ChunkPlacement;
+using ckptstore::ChunkStoreService;
+using core::DmtcpControl;
+using core::DmtcpOptions;
+using sim::ByteImage;
+using sim::ExtentKind;
+
+ChunkKey key_of(u64 n) {
+  ChunkKey k;
+  k.hi = n * 0x9E3779B97F4A7C15ull + 7;
+  k.lo = n;
+  return k;
+}
+
+// pseudo_bytes / cdc_params come from tests/testutil.h.
+
+// --- placement --------------------------------------------------------------
+
+TEST(Placement, ReplicasAreDistinctAliveNodes) {
+  ChunkPlacement pl(8, 3);
+  for (u64 i = 0; i < 200; ++i) {
+    const auto homes = pl.place(key_of(i));
+    ASSERT_EQ(homes.size(), 3u);
+    std::set<NodeId> uniq(homes.begin(), homes.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    for (NodeId n : homes) EXPECT_TRUE(pl.node_alive(n));
+  }
+  // More replicas than nodes degrades gracefully to one copy per node.
+  ChunkPlacement small(2, 5);
+  EXPECT_EQ(small.place(key_of(1)).size(), 2u);
+}
+
+TEST(Placement, RendezvousSpreadsAndIsStableUnderFailure) {
+  ChunkPlacement pl(4, 1);
+  std::vector<int> per_node(4, 0);
+  std::vector<std::vector<NodeId>> before;
+  for (u64 i = 0; i < 400; ++i) {
+    const auto homes = pl.place(key_of(i));
+    per_node[static_cast<size_t>(homes[0])]++;
+    before.push_back(homes);
+  }
+  // Roughly uniform: every node holds a real share (exactly 100 each would
+  // be suspicious; none should be starved or hot by an order of magnitude).
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_GT(per_node[static_cast<size_t>(n)], 40);
+    EXPECT_LT(per_node[static_cast<size_t>(n)], 200);
+  }
+  // Rendezvous property: failing node 2 moves only node-2 chunks.
+  pl.fail_node(2);
+  for (u64 i = 0; i < 400; ++i) {
+    const auto homes = pl.place(key_of(i));
+    if (before[i][0] != 2) {
+      EXPECT_EQ(homes[0], before[i][0]);
+    } else {
+      EXPECT_NE(homes[0], 2);
+    }
+  }
+}
+
+TEST(Placement, FailoverPrefersSurvivingHomesInOrder) {
+  ChunkPlacement pl(6, 2);
+  // Record every key with its homes, fail two nodes, and check each
+  // holder: the best surviving home when one exists, kNoHolder when both
+  // replicas died with their nodes.
+  std::vector<std::pair<ChunkKey, std::vector<NodeId>>> recorded;
+  for (u64 i = 0; i < 100; ++i) {
+    const ChunkKey k = key_of(i);
+    recorded.emplace_back(k, pl.record_store(k, 1000));
+    ASSERT_EQ(recorded.back().second.size(), 2u);
+  }
+  EXPECT_EQ(pl.lost_chunks(), 0u);
+
+  pl.fail_node(0);
+  pl.fail_node(1);
+  u64 expected_lost = 0;
+  for (const auto& [k, homes] : recorded) {
+    i32 expected = ChunkPlacement::kNoHolder;
+    for (NodeId n : homes) {
+      if (pl.node_alive(n)) {
+        expected = n;  // best-first order is preserved on failover
+        break;
+      }
+    }
+    EXPECT_EQ(pl.holder(k), expected);
+    if (expected < 0) ++expected_lost;
+  }
+  EXPECT_EQ(pl.lost_chunks(), expected_lost);
+  // Re-recording an existing key is a dedup no-op (no new copies).
+  EXPECT_TRUE(pl.record_store(recorded[0].first, 1000).empty());
+}
+
+TEST(Placement, ReplicaOneLosesChunksWithTheirNode) {
+  ChunkPlacement pl(4, 1);
+  u64 on_node1 = 0;
+  for (u64 i = 0; i < 200; ++i) {
+    const auto homes = pl.record_store(key_of(i), 500);
+    ASSERT_EQ(homes.size(), 1u);
+    if (homes[0] == 1) ++on_node1;
+  }
+  ASSERT_GT(on_node1, 0u);
+  pl.fail_node(1);
+  EXPECT_EQ(pl.lost_chunks(), on_node1);
+  EXPECT_EQ(pl.lost_bytes(), on_node1 * 500);
+  // Revival restores the node, and with it the bytes it physically held.
+  pl.revive_node(1);
+  EXPECT_EQ(pl.lost_chunks(), 0u);
+}
+
+TEST(Placement, ReplicaTwoSurvivesOneNodeFailure) {
+  ChunkPlacement pl(4, 2);
+  for (u64 i = 0; i < 200; ++i) pl.record_store(key_of(i), 500);
+  pl.fail_node(2);
+  EXPECT_EQ(pl.lost_chunks(), 0u);
+  for (u64 i = 0; i < 200; ++i) {
+    const i32 h = pl.holder(key_of(i));
+    ASSERT_GE(h, 0);
+    EXPECT_NE(h, 2);
+  }
+}
+
+// --- service request queue ---------------------------------------------------
+
+TEST(Service, LookupsAreServedFifoAndWaitsGrowWithQueueDepth) {
+  sim::EventLoop loop;
+  ChunkStoreService svc(loop, 4, 1);
+  // Two "ranks" submit lookup batches back to back; the queue serves them
+  // FIFO, so rank B's batch completes after rank A's and per-lookup waits
+  // grow with queue depth.
+  SimTime done_a = 0, done_b = 0;
+  svc.submit_lookups(50, [&] { done_a = loop.now(); });
+  svc.submit_lookups(50, [&] { done_b = loop.now(); });
+  loop.run();
+  ASSERT_GT(done_a, 0);
+  ASSERT_GT(done_b, 0);
+  EXPECT_GT(done_b, done_a);  // FIFO: B queued behind A's 50 probes
+  const auto& ss = svc.stats();
+  EXPECT_EQ(ss.lookup_requests, 100u);
+  EXPECT_GT(ss.avg_lookup_wait_seconds(), 0.0);
+  // The last probe waited behind 99 others; its wait dominates the mean.
+  EXPECT_GT(ss.max_lookup_wait_seconds,
+            1.5 * ss.avg_lookup_wait_seconds());
+}
+
+TEST(Service, StoreFetchDropAccountTheQueue) {
+  sim::EventLoop loop;
+  ChunkStoreService svc(loop, 4, 2);
+  bool stored = false, fetched = false;
+  const auto homes = svc.submit_store(key_of(1), 64 * 1024,
+                                      [&] { stored = true; });
+  EXPECT_EQ(homes.size(), 2u);
+  // Dedup hit: the same key stores no new copies but still queues.
+  EXPECT_TRUE(svc.submit_store(key_of(1), 64 * 1024, [] {}).empty());
+  svc.submit_fetch(64 * 1024, [&] { fetched = true; });
+  svc.submit_drop(32 * 1024);
+  loop.run();
+  EXPECT_TRUE(stored);
+  EXPECT_TRUE(fetched);
+  const auto& ss = svc.stats();
+  EXPECT_EQ(ss.store_requests, 2u);
+  EXPECT_EQ(ss.fetch_requests, 1u);
+  EXPECT_EQ(ss.drop_requests, 1u);
+  EXPECT_EQ(ss.fetch_bytes, 64u * 1024);
+  EXPECT_EQ(svc.device().total_discarded_bytes(), 32u * 1024);
+}
+
+// --- FastCDC -----------------------------------------------------------------
+
+TEST(FastCdc, SpansRespectBoundsAndCoverTheImage) {
+  ByteImage img(1024 * 1024);
+  img.write(0, pseudo_bytes(1024 * 1024, 17));
+  const auto p =
+      cdc_params(2048, 8192, 32 * 1024, ckptstore::ChunkingMode::kFastCdc);
+  const auto spans = ckptstore::scan_chunks_cdc(img, p);
+  ASSERT_FALSE(spans.empty());
+  u64 off = 0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].off, off);
+    off += spans[i].len;
+    EXPECT_LE(spans[i].len, p.max_bytes);
+    if (i + 1 < spans.size()) EXPECT_GE(spans[i].len, p.min_bytes);
+  }
+  EXPECT_EQ(off, img.size());
+}
+
+TEST(FastCdc, NormalizationTightensTheSizeDistribution) {
+  ByteImage img(2 * 1024 * 1024);
+  img.write(0, pseudo_bytes(2 * 1024 * 1024, 23));
+  const u64 avg = 8192;
+  const auto plain =
+      ckptstore::scan_chunks_cdc(img, cdc_params(1024, avg, 8 * avg));
+  const auto fast = ckptstore::scan_chunks_cdc(
+      img,
+      cdc_params(1024, avg, 8 * avg, ckptstore::ChunkingMode::kFastCdc));
+  auto near_avg_fraction = [&](const std::vector<ckptstore::ChunkSpan>& s) {
+    u64 near = 0;
+    for (const auto& span : s) {
+      if (span.len >= avg / 2 && span.len <= 2 * avg) ++near;
+    }
+    return static_cast<double>(near) / static_cast<double>(s.size());
+  };
+  // The two-mask scheme squeezes spans toward the target: strictly more of
+  // them land within a factor of two of avg than with the single mask.
+  EXPECT_GT(near_avg_fraction(fast), near_avg_fraction(plain));
+  EXPECT_GT(near_avg_fraction(fast), 0.7);
+}
+
+TEST(FastCdc, CutpointsResynchronizeAfterInsertion) {
+  const u64 bytes = 1024 * 1024;
+  const auto content = pseudo_bytes(bytes, 31);
+  std::vector<std::byte> shifted;
+  const auto wedge = pseudo_bytes(64, 0xF00D);
+  shifted.insert(shifted.end(), content.begin(), content.begin() + 5000);
+  shifted.insert(shifted.end(), wedge.begin(), wedge.end());
+  shifted.insert(shifted.end(), content.begin() + 5000, content.end());
+
+  ByteImage a(bytes), b(bytes + 64);
+  a.write(0, content);
+  b.write(0, shifted);
+  const auto p =
+      cdc_params(2048, 8192, 32 * 1024, ckptstore::ChunkingMode::kFastCdc);
+  std::set<std::pair<u64, u64>> keys_a;  // (hi, lo) of each span's content
+  for (const auto& s : ckptstore::scan_chunks_cdc(a, p)) {
+    const auto k = ckptstore::span_key(a, s);
+    keys_a.insert({k.hi, k.lo});
+  }
+  u64 shared_bytes = 0, total = 0;
+  for (const auto& s : ckptstore::scan_chunks_cdc(b, p)) {
+    const auto k = ckptstore::span_key(b, s);
+    if (keys_a.count({k.hi, k.lo})) shared_bytes += s.len;
+    total += s.len;
+  }
+  // Only the chunks around the insertion differ; everything downstream
+  // re-keys identically once the two gear masks resynchronize.
+  EXPECT_GT(static_cast<double>(shared_bytes) / static_cast<double>(total),
+            0.9);
+}
+
+// --- end to end through the DMTCP stack -------------------------------------
+
+struct World {
+  sim::Cluster cluster;
+  DmtcpControl ctl;
+  World(int nodes, DmtcpOptions opts, u64 seed = 0x5eed)
+      : cluster([&] {
+          auto cfg = sim::Cluster::lab_cluster(nodes);
+          cfg.seed = seed;
+          return cfg;
+        }()),
+        ctl(cluster.kernel(), opts) {
+    register_test_programs(cluster.kernel());
+  }
+  sim::Kernel& k() { return cluster.kernel(); }
+  bool run_until_results(std::initializer_list<const char*> names,
+                         SimTime deadline = 300 * timeconst::kSecond) {
+    return ctl.run_until(
+        [&] {
+          for (const char* n : names) {
+            if (read_result(k(), n).empty()) return false;
+          }
+          return true;
+        },
+        k().loop().now() + deadline);
+  }
+};
+
+DmtcpOptions service_opts(int replicas = 1) {
+  DmtcpOptions o;
+  o.incremental = true;
+  o.codec = compress::CodecKind::kNone;  // exact byte accounting
+  o.chunking = ckptstore::ChunkingMode::kCdc;
+  o.cdc_min_bytes = 2 * 1024;
+  o.cdc_avg_bytes = 8 * 1024;
+  o.cdc_max_bytes = 32 * 1024;
+  o.dedup_scope = core::DedupScope::kCluster;
+  o.chunk_replicas = replicas;
+  return o;
+}
+
+/// Launch `ranks` compute processes (one per node) with private ballast,
+/// checkpoint once, and return the round.
+core::CkptRound contended_round(World& w, int ranks, u64 ballast) {
+  std::vector<Pid> pids;
+  for (int n = 0; n < ranks; ++n) {
+    pids.push_back(w.ctl.launch(n, kComputeLoop,
+                                {"1000000", "200", "p" + std::to_string(n)}));
+  }
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  for (int n = 0; n < ranks; ++n) {
+    sim::Process* p = w.k().find_process(pids[static_cast<size_t>(n)]);
+    EXPECT_NE(p, nullptr);
+    auto& seg = p->mem().add("ballast", sim::MemKind::kHeap, ballast);
+    // Distinct seed per rank: every chunk is unique, so every submission
+    // is a genuine miss — the maximum-lookup, maximum-store round.
+    seg.data.fill(0, ballast, ExtentKind::kRand, 0xB0 + static_cast<u64>(n));
+  }
+  return w.ctl.checkpoint_now();
+}
+
+TEST(ServiceE2E, LookupWaitGrowsWithRankCount) {
+  constexpr u64 kBallast = 1024 * 1024;
+  World w2(2, service_opts());
+  const auto r2 = contended_round(w2, 2, kBallast);
+  World w8(8, service_opts());
+  const auto r8 = contended_round(w8, 8, kBallast);
+
+  ASSERT_GT(r2.store_lookups, 0u);
+  ASSERT_GT(r8.store_lookups, 3 * r2.store_lookups);
+  // The contention knee: four times the ranks funneling into one request
+  // queue must wait substantially longer per lookup, not equally long.
+  EXPECT_GT(r8.avg_lookup_wait_seconds(),
+            1.5 * r2.avg_lookup_wait_seconds());
+}
+
+TEST(ServiceE2E, ChunkWritesLandOnPlacementHomes) {
+  // One rank on node 0, but its chunk copies scatter over all four nodes'
+  // devices (rendezvous placement) instead of piling onto node 0.
+  World w(4, service_opts(/*replicas=*/1));
+  const auto r = contended_round(w, 1, 2 * 1024 * 1024);
+  ASSERT_GT(r.store_new_bytes, 0u);
+  int nodes_with_writes = 0;
+  for (int n = 0; n < 4; ++n) {
+    if (w.k().node(n).storage().cache().total_written_bytes() > 0) {
+      ++nodes_with_writes;
+    }
+  }
+  EXPECT_GE(nodes_with_writes, 3);
+}
+
+/// Give `pid` a deterministic real-content ballast so the checkpoint spans
+/// enough chunks that every node holds some of them.
+void add_ballast(World& w, Pid pid, u64 bytes, u64 seed) {
+  sim::Process* p = w.k().find_process(pid);
+  ASSERT_NE(p, nullptr);
+  auto& seg = p->mem().add("ballast", sim::MemKind::kHeap, bytes);
+  seg.data.fill(0, bytes, ExtentKind::kRand, seed);
+}
+
+TEST(ServiceE2E, ReplicaFailoverRestartsAfterNodeLoss) {
+  World w(4, service_opts(/*replicas=*/2));
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+  const Pid pb = w.ctl.launch(1, kComputeLoop, {"1000000", "200", "b"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  add_ballast(w, pa, 1024 * 1024, 0xAA);
+  add_ballast(w, pb, 1024 * 1024, 0xBB);
+  w.ctl.checkpoint_now();
+
+  // Node 1 dies. Its chunk copies are unreachable, but every chunk has a
+  // second replica elsewhere; restart must read only from survivors.
+  w.ctl.shared().store_service->fail_node(1);
+  w.ctl.kill_computation();
+  const u64 node1_reads_before =
+      w.k().node(1).storage().cache().total_read_bytes();
+  const auto& rr = w.ctl.restart({{1, 2}});  // host 1's procs move to node 2
+  EXPECT_FALSE(rr.needs_restore);
+  EXPECT_EQ(rr.lost_chunks, 0u);
+  EXPECT_EQ(rr.procs, 2);
+  EXPECT_EQ(w.k().node(1).storage().cache().total_read_bytes(),
+            node1_reads_before);  // nothing fetched from the dead node
+  ASSERT_TRUE(w.run_until_results({"a", "b"}));
+}
+
+TEST(ServiceE2E, NextGenerationHealsLostChunks) {
+  // A dedup hit on a chunk whose every replica died must be re-stored
+  // over the survivors — otherwise every post-failure generation keeps
+  // referencing permanently unrestorable data.
+  World w(4, service_opts(/*replicas=*/1));
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+  const Pid pb = w.ctl.launch(1, kComputeLoop, {"1000000", "200", "b"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  add_ballast(w, pa, 1024 * 1024, 0xAA);
+  add_ballast(w, pb, 1024 * 1024, 0xBB);
+  w.ctl.checkpoint_now();
+
+  auto& svc = *w.ctl.shared().store_service;
+  svc.fail_node(1);
+  ASSERT_GT(svc.placement().lost_chunks(), 0u);
+
+  // The computation keeps running; the next round's unchanged chunks are
+  // dedup hits, and the lost ones among them are re-placed and re-written.
+  w.ctl.checkpoint_now();
+  EXPECT_EQ(svc.placement().lost_chunks(), 0u);
+
+  // A restart from the healed round reads only surviving replicas.
+  w.ctl.kill_computation();
+  const auto& rr = w.ctl.restart({{1, 2}});
+  EXPECT_FALSE(rr.needs_restore);
+  EXPECT_EQ(rr.procs, 2);
+  ASSERT_TRUE(w.run_until_results({"a", "b"}));
+}
+
+TEST(ServiceE2E, ReplicaOneNodeLossForcesRestore) {
+  World w(4, service_opts(/*replicas=*/1));
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+  const Pid pb = w.ctl.launch(1, kComputeLoop, {"1000000", "200", "b"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  add_ballast(w, pa, 1024 * 1024, 0xAA);
+  add_ballast(w, pb, 1024 * 1024, 0xBB);
+  w.ctl.checkpoint_now();
+
+  w.ctl.shared().store_service->fail_node(1);
+  EXPECT_GT(w.ctl.shared().store_service->placement().lost_chunks(), 0u);
+  w.ctl.kill_computation();
+  const auto& rr = w.ctl.restart({{1, 2}});
+  // With a single replica the failure is data loss: the pre-flight reports
+  // the forced re-store instead of restarting into missing chunks.
+  EXPECT_TRUE(rr.needs_restore);
+  EXPECT_GT(rr.lost_chunks, 0u);
+  EXPECT_EQ(rr.procs, 0);
+  EXPECT_TRUE(read_result(w.k(), "a").empty());
+}
+
+}  // namespace
+}  // namespace dsim::test

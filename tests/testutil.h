@@ -1,0 +1,46 @@
+// Shared deterministic content and chunking-config helpers.
+//
+// Tests and benches that exercise the chunk store generate their "real"
+// content from the same tiny LCG so dedup scenarios (identical libraries,
+// shifted buffers) mean the same bytes everywhere. One definition here —
+// a tweak to content generation must not silently diverge between suites.
+#pragma once
+
+#include <vector>
+
+#include "ckptstore/cdc.h"
+#include "util/types.h"
+
+namespace dsim::test {
+
+/// Deterministic pseudo-random bytes (not ByteImage kRand ballast: these
+/// are *real* content the chunker must materialize and hash).
+inline std::vector<std::byte> pseudo_bytes(u64 n, u64 seed) {
+  std::vector<std::byte> out(n);
+  u64 x = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (u64 i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    out[i] = static_cast<std::byte>(x >> 56);
+  }
+  return out;
+}
+
+inline ckptstore::ChunkingParams fixed_params(u64 chunk_bytes) {
+  ckptstore::ChunkingParams p;
+  p.mode = ckptstore::ChunkingMode::kFixed;
+  p.fixed_bytes = chunk_bytes;
+  return p;
+}
+
+inline ckptstore::ChunkingParams cdc_params(
+    u64 min, u64 avg, u64 max,
+    ckptstore::ChunkingMode mode = ckptstore::ChunkingMode::kCdc) {
+  ckptstore::ChunkingParams p;
+  p.mode = mode;
+  p.min_bytes = min;
+  p.avg_bytes = avg;
+  p.max_bytes = max;
+  return p;
+}
+
+}  // namespace dsim::test

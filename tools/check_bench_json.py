@@ -1,17 +1,32 @@
 #!/usr/bin/env python3
-"""Sanity-check the JSON emitted by the bench binaries.
+"""Sanity-check and regression-gate the JSON emitted by the bench binaries.
 
-Used by the CI bench-smoke job: after running bench_incremental and
-bench_cdc with tiny parameters, this script asserts the emitted files are
-well-formed and that the headline numbers are in the physically sensible
-range (dedup actually happened, CDC actually resynchronized, the cluster
-store actually stored shared chunks once). Stdlib only.
+Two modes, both stdlib-only:
 
-Usage: check_bench_json.py BENCH_incremental.json BENCH_cdc.json ...
+Absolute checks (always run): after the CI bench-smoke job runs
+bench_incremental, bench_cdc and bench_service with tiny parameters, assert
+the emitted files are well-formed and the headline numbers are in the
+physically sensible range (dedup actually happened, CDC actually
+resynchronized, the cluster store actually stored shared chunks once, the
+chunk-store service actually queued lookups and survived a replica
+failover).
+
+Baseline diff (--baseline DIR): compare a fresh run against the committed
+baseline JSON in DIR (bench/baselines/, generated with the same smoke
+parameters — the simulation is deterministic, so the numbers are stable).
+Fail on a >10% regression in any gated metric: dedup ratios must not drop,
+checkpoint times and service waits must not grow. To accept an intentional
+change, regenerate the baselines with the smoke parameters and commit them
+alongside the change.
+
+Usage: check_bench_json.py [--baseline DIR] BENCH_incremental.json ...
 """
 
 import json
+import os
 import sys
+
+TOLERANCE = 0.10  # >10% in the bad direction fails the gate
 
 
 def fail(path, msg):
@@ -94,18 +109,143 @@ def check_cdc(path, data):
     return rc
 
 
+def check_service(path, data):
+    rc = 0
+    for key in (
+        "config",
+        "sweep",
+        "failover.r2_restart_ok",
+        "failover.r1_needs_restore",
+        "failover.r1_lost_chunks",
+        "summary.wait_ms_at_min_ranks",
+        "summary.wait_ms_at_max_ranks",
+        "summary.contention_knee_visible",
+        "summary.replica_write_amplification",
+    ):
+        try:
+            require(data, path, key)
+        except (KeyError, TypeError):
+            rc |= fail(path, f"missing key '{key}'")
+    if rc:
+        return rc
+    if not data["sweep"]:
+        return fail(path, "empty rank sweep")
+    if any(pt["lookups"] <= 0 for pt in data["sweep"]):
+        rc |= fail(path, "a sweep point served no dedup lookups")
+    # The point of the service: lookups queue, so per-lookup wait must grow
+    # with rank count (the Fig.-5b contention knee).
+    lo = data["summary"]["wait_ms_at_min_ranks"]
+    hi = data["summary"]["wait_ms_at_max_ranks"]
+    if not (0 < lo < hi):
+        rc |= fail(
+            path,
+            f"lookup wait did not grow with ranks (min={lo} ms, max={hi} "
+            "ms): the service queue is not contending",
+        )
+    if data["summary"]["contention_knee_visible"] is not True:
+        rc |= fail(path, "contention knee not visible in the rank sweep")
+    amp = data["summary"]["replica_write_amplification"]
+    if not 1.5 < amp < 2.5:
+        rc |= fail(
+            path,
+            f"replica_write_amplification={amp}: two replicas should write "
+            "~2x the device bytes of one",
+        )
+    if data["failover"]["r2_restart_ok"] is not True:
+        rc |= fail(path, "restart with --chunk-replicas=2 did not survive "
+                         "the node failure")
+    if data["failover"]["r1_needs_restore"] is not True:
+        rc |= fail(path, "restart with --chunk-replicas=1 did not report "
+                         "the forced re-store after the node failure")
+    if data["failover"]["r1_lost_chunks"] <= 0:
+        rc |= fail(path, "R=1 node failure lost no chunks (bench "
+                         "misconfigured?)")
+    return rc
+
+
 CHECKERS = {
     "BENCH_incremental.json": check_incremental,
     "BENCH_cdc.json": check_cdc,
+    "BENCH_service.json": check_service,
+}
+
+# Baseline-gated metrics per file: name -> (extractor, good direction).
+# "higher" fails when fresh < baseline * (1 - TOLERANCE) (a dedup ratio
+# dropped); "lower" fails when fresh > baseline * (1 + TOLERANCE) (a
+# checkpoint time or service wait grew).
+BASELINE_METRICS = {
+    "BENCH_incremental.json": {
+        "final_dedup_ratio": (
+            lambda d: d["generations"][-1]["dedup_ratio"], "higher"),
+        "incremental_seconds": (
+            lambda d: d["summary"]["incremental_seconds"], "lower"),
+        "stored_bytes_ratio": (
+            lambda d: d["summary"]["stored_bytes_ratio"], "lower"),
+    },
+    "BENCH_cdc.json": {
+        "cdc_dedup_retained": (
+            lambda d: d["insertion"]["cdc"]["dedup_retained"], "higher"),
+        "cluster_stored_ratio": (
+            lambda d: d["cluster"]["stored_ratio"], "lower"),
+    },
+    "BENCH_service.json": {
+        "max_ckpt_seconds": (
+            lambda d: max(p["ckpt_seconds"] for p in d["sweep"]), "lower"),
+        "wait_ms_at_max_ranks": (
+            lambda d: d["summary"]["wait_ms_at_max_ranks"], "lower"),
+    },
 }
 
 
+def check_baseline(path, name, data, baseline_dir):
+    base_path = os.path.join(baseline_dir, name)
+    try:
+        with open(base_path) as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"baseline {base_path}: {e}")
+    rc = 0
+    for metric, (extract, direction) in BASELINE_METRICS.get(name, {}).items():
+        try:
+            fresh_v = extract(data)
+            base_v = extract(base)
+        except (KeyError, IndexError, TypeError, ValueError) as e:
+            rc |= fail(path, f"baseline metric '{metric}': {e}")
+            continue
+        if base_v == 0:
+            continue  # nothing to compare against
+        if direction == "higher":
+            bad = fresh_v < base_v * (1.0 - TOLERANCE)
+        else:
+            bad = fresh_v > base_v * (1.0 + TOLERANCE)
+        if bad:
+            rc |= fail(
+                path,
+                f"regression in {metric}: {fresh_v:.6g} vs baseline "
+                f"{base_v:.6g} (>{TOLERANCE:.0%} worse; direction: "
+                f"{direction} is better). If intentional, regenerate "
+                f"{base_path} with the smoke parameters.",
+            )
+        else:
+            print(f"OK   {path}: {metric} {fresh_v:.6g} within "
+                  f"{TOLERANCE:.0%} of baseline {base_v:.6g}")
+    return rc
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    baseline_dir = None
+    if args and args[0] == "--baseline":
+        if len(args) < 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        baseline_dir = args[1]
+        args = args[2:]
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
     rc = 0
-    for path in argv[1:]:
+    for path in args:
         name = path.rsplit("/", 1)[-1]
         checker = CHECKERS.get(name)
         if checker is None:
@@ -118,6 +258,8 @@ def main(argv):
             rc |= fail(path, str(e))
             continue
         this_rc = checker(path, data)
+        if baseline_dir is not None:
+            this_rc |= check_baseline(path, name, data, baseline_dir)
         rc |= this_rc
         if not this_rc:
             print(f"OK   {path}")
