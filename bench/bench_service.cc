@@ -1,21 +1,25 @@
-// The remote chunk-store service under load: queued dedup lookups, replica
-// placement, and failover.
+// The remote chunk-store service under load: RPC-fabric lookups, sharded
+// queues, replica placement, failover and background re-replication.
 //
 // Part A (contention sweep): N ranks on N nodes checkpoint into the
-// cluster-scope store through the ChunkStoreService request queue, sweeping
-// ranks x replicas. Each rank carries a private ballast (unique chunks —
-// every submission is a queued Lookup and most are Stores) plus a shared
-// library ballast (dedup'd through the same queue). The headline curve is
-// per-lookup wait vs rank count: with one request queue serving everyone,
-// the wait grows with ranks — the Fig.-5b contention shape moved from the
-// SAN to the store service. Replicas multiply device writes, not queue
-// traffic.
+// cluster-scope store over the RPC fabric, sweeping ranks x {replicas,
+// shards}. Each rank carries a private ballast (unique chunks — every
+// submission is a Lookup RPC and most are Stores) plus a shared library
+// ballast (dedup'd through the same path). The headline curves:
+//   - per-lookup wait vs rank count at one shard — the Fig.-5b contention
+//     shape moved from the SAN to the store service;
+//   - the same load at --store-shards=4 — four independent queues move the
+//     knee right (avg wait strictly below the one-shard point);
+//   - RPC network bytes/waits per point — requests really cross the NIC.
+// One extra point at max ranks runs --lookup-batch=8: K keys per RPC cut
+// the RPC count ~K-fold while per-key wait absorbs the batch round-trip.
 //
-// Part B (failover): a 4-rank world checkpoints, node 1 fails, and the
-// computation restarts with host 1 migrated. With --chunk-replicas=2 the
-// restart succeeds reading only surviving replicas; with 1 the pre-flight
-// reports the forced re-store (needs_restore) instead of restarting into
-// missing chunks.
+// Part B (failover + heal): a 4-rank world checkpoints, node 1 fails.
+// With --chunk-replicas=2 the background re-replication daemon restores
+// every degraded chunk to two copies before the next round completes, and
+// the restart (host 1 migrated) reads only surviving replicas. With 1 the
+// pre-flight reports the forced re-store (needs_restore) instead of
+// restarting into missing chunks.
 //
 // Emits BENCH_service.json (checked by the CI bench-smoke job).
 //
@@ -31,13 +35,30 @@ using namespace dsim::bench;
 
 namespace {
 
-core::DmtcpOptions service_opts(int replicas) {
+/// Service nodes are dedicated (stdchk runs its storage service on its own
+/// machines): worlds get `ranks + kStoreNodes` nodes, ranks compute on the
+/// first `ranks`, and `--store-node ranks` pins shard endpoints onto the
+/// extra ones. Co-locating an endpoint with a rank couples the metric this
+/// bench sweeps to an unrelated effect — the rank's store payload burst
+/// delaying service responses on the shared NIC.
+constexpr int kStoreNodes = 4;
+
+core::DmtcpOptions service_opts(int ranks, int replicas, int shards = 1,
+                                int lookup_batch = 1) {
   core::DmtcpOptions opts;
   opts.incremental = true;
   opts.codec = compress::CodecKind::kNone;  // exact byte accounting
   opts.chunking = ckptstore::ChunkingMode::kCdc;
+  // Fine chunks: more probes per MB, so the lookup path (the thing this
+  // bench sweeps) dominates over per-image constants.
+  opts.cdc_min_bytes = 4 * 1024;
+  opts.cdc_avg_bytes = 16 * 1024;
+  opts.cdc_max_bytes = 64 * 1024;
   opts.dedup_scope = core::DedupScope::kCluster;
   opts.chunk_replicas = replicas;
+  opts.store_node = ranks;  // first dedicated store node
+  opts.store_shards = shards;
+  opts.lookup_batch = lookup_batch;
   return opts;
 }
 
@@ -63,9 +84,9 @@ std::vector<Pid> launch_ranks(World& w, int ranks, u64 lib_bytes,
   return pids;
 }
 
-u64 cluster_written_bytes(World& w, int ranks) {
+u64 cluster_written_bytes(World& w) {
   u64 total = 0;
-  for (int n = 0; n < ranks; ++n) {
+  for (int n = 0; n < w.k().num_nodes(); ++n) {
     total += w.k().node(n).storage().cache().total_written_bytes();
   }
   return total;
@@ -74,33 +95,48 @@ u64 cluster_written_bytes(World& w, int ranks) {
 struct SweepPoint {
   int ranks = 0;
   int replicas = 0;
+  int shards = 0;
+  int lookup_batch = 1;
   u64 lookups = 0;
+  u64 rpcs = 0;
+  u64 rpc_net_bytes = 0;
+  double rpc_net_wait_ms = 0;
   double avg_wait_ms = 0;
   double max_wait_ms = 0;
   double ckpt_seconds = 0;
-  u64 stored_bytes = 0;         // new chunks + manifests (one copy)
-  u64 device_written_bytes = 0; // replica copies included
+  u64 stored_bytes = 0;          // new chunks + manifests (one copy)
+  u64 device_written_bytes = 0;  // replica copies included
 };
 
-SweepPoint run_point(int ranks, int replicas, u64 lib_bytes, u64 priv_bytes) {
-  World w(ranks, service_opts(replicas), 0x5e21 + static_cast<u64>(ranks));
+SweepPoint run_point(int ranks, int replicas, int shards, int lookup_batch,
+                     u64 lib_bytes, u64 priv_bytes) {
+  World w(ranks + kStoreNodes,
+          service_opts(ranks, replicas, shards, lookup_batch),
+          0x5e21 + static_cast<u64>(ranks));
   launch_ranks(w, ranks, lib_bytes, priv_bytes);
   const core::CkptRound round = w.ctl->checkpoint_now();
   SweepPoint pt;
   pt.ranks = ranks;
   pt.replicas = replicas;
+  pt.shards = shards;
+  pt.lookup_batch = lookup_batch;
   pt.lookups = round.store_lookups;
+  pt.rpcs = round.store_rpcs;
+  pt.rpc_net_bytes = round.store_rpc_net_bytes;
+  pt.rpc_net_wait_ms = round.store_rpc_net_wait_seconds * 1e3;
   pt.avg_wait_ms = round.avg_lookup_wait_seconds() * 1e3;
   pt.max_wait_ms = round.max_lookup_wait_seconds * 1e3;
   pt.ckpt_seconds = round.total_seconds();
   pt.stored_bytes = round.store_new_bytes;
-  pt.device_written_bytes = cluster_written_bytes(w, ranks);
+  pt.device_written_bytes = cluster_written_bytes(w);
   return pt;
 }
 
 struct FailoverResult {
   bool r2_restart_ok = false;
   double r2_restart_seconds = 0;
+  u64 r2_rereplicated_chunks = 0;
+  u64 r2_degraded_after_heal = 0;
   bool r1_needs_restore = false;
   u64 r1_lost_chunks = 0;
 };
@@ -108,17 +144,23 @@ struct FailoverResult {
 FailoverResult run_failover(u64 lib_bytes, u64 priv_bytes) {
   FailoverResult fr;
   {
-    World w(4, service_opts(/*replicas=*/2), 0xfa11);
+    World w(4 + kStoreNodes, service_opts(4, /*replicas=*/2), 0xfa11);
     launch_ranks(w, 4, lib_bytes, priv_bytes);
     w.ctl->checkpoint_now();
-    w.ctl->shared().store_service->fail_node(1);
+    auto& svc = *w.ctl->shared().store_service;
+    svc.fail_node(1);
+    // The background daemon re-replicates every degraded chunk before the
+    // next round completes; the restart then reads only survivors.
+    w.ctl->checkpoint_now();
+    fr.r2_rereplicated_chunks = svc.stats().rereplicated_chunks;
+    fr.r2_degraded_after_heal = svc.placement().degraded_count();
     w.ctl->kill_computation();
     const auto& rr = w.ctl->restart({{1, 2}});
     fr.r2_restart_ok = !rr.needs_restore && rr.procs == 4;
     fr.r2_restart_seconds = rr.total_seconds();
   }
   {
-    World w(4, service_opts(/*replicas=*/1), 0xfa11);
+    World w(4 + kStoreNodes, service_opts(4, /*replicas=*/1), 0xfa11);
     launch_ranks(w, 4, lib_bytes, priv_bytes);
     w.ctl->checkpoint_now();
     w.ctl->shared().store_service->fail_node(1);
@@ -147,47 +189,86 @@ int main() {
     rank_points.push_back(std::max(1, max_ranks));
   }
 
-  Table t({"ranks", "replicas", "lookups", "avg_wait_ms", "max_wait_ms",
-           "ckpt_s", "stored_MB", "dev_written_MB"});
+  // Sweep configurations: the one-queue baseline, its replicated variant
+  // (device write amplification), and the four-shard variant (the knee
+  // moves right).
+  struct Config {
+    int replicas, shards;
+  };
+  const std::vector<Config> configs{{1, 1}, {2, 1}, {1, 4}};
+
+  Table t({"ranks", "replicas", "shards", "lookups", "rpcs", "avg_wait_ms",
+           "max_wait_ms", "net_MB", "ckpt_s", "stored_MB", "dev_written_MB"});
   std::vector<SweepPoint> sweep;
   for (int ranks : rank_points) {
-    for (int replicas : {1, 2}) {
-      const SweepPoint pt = run_point(ranks, replicas, lib_bytes, priv_bytes);
+    for (const Config& c : configs) {
+      const SweepPoint pt = run_point(ranks, c.replicas, c.shards, 1,
+                                      lib_bytes, priv_bytes);
       sweep.push_back(pt);
-      t.add_row({Table::fmt(ranks, 0), Table::fmt(replicas, 0),
+      t.add_row({Table::fmt(ranks, 0), Table::fmt(c.replicas, 0),
+                 Table::fmt(c.shards, 0),
                  Table::fmt(static_cast<double>(pt.lookups), 0),
+                 Table::fmt(static_cast<double>(pt.rpcs), 0),
                  Table::fmt(pt.avg_wait_ms, 3), Table::fmt(pt.max_wait_ms, 3),
-                 Table::fmt(pt.ckpt_seconds), mb(pt.stored_bytes),
-                 mb(pt.device_written_bytes)});
+                 mb(pt.rpc_net_bytes), Table::fmt(pt.ckpt_seconds),
+                 mb(pt.stored_bytes), mb(pt.device_written_bytes)});
     }
   }
-  t.print("Chunk-store service: lookup contention vs ranks x replicas");
+  t.print("Chunk-store service: lookup contention vs ranks x replicas x "
+          "shards");
+
+  // Sweep summaries. Knee: per-lookup wait at max vs min ranks (replicas=1,
+  // shards=1). Shard knee shift: one-shard vs four-shard wait at max ranks.
+  double wait_min_ranks = 0, wait_max_ranks = 0, wait_shards4 = 0;
+  u64 rpcs_batch1 = 0;
+  u64 dev_r1 = 0, dev_r2 = 0;
+  for (const auto& pt : sweep) {
+    if (pt.replicas == 1 && pt.shards == 1) {
+      if (pt.ranks == rank_points.front()) wait_min_ranks = pt.avg_wait_ms;
+      if (pt.ranks == rank_points.back()) {
+        wait_max_ranks = pt.avg_wait_ms;
+        rpcs_batch1 = pt.rpcs;
+      }
+    }
+    if (pt.ranks == rank_points.back()) {
+      if (pt.replicas == 1 && pt.shards == 4) wait_shards4 = pt.avg_wait_ms;
+      if (pt.shards == 1 && pt.replicas == 1) dev_r1 = pt.device_written_bytes;
+      if (pt.shards == 1 && pt.replicas == 2) dev_r2 = pt.device_written_bytes;
+    }
+  }
+
+  // The batching trade-off at the most contended point: K keys per RPC cut
+  // the RPC count, per-key wait absorbs the batch round-trip.
+  const SweepPoint batch = run_point(rank_points.back(), 1, 1, 8, lib_bytes,
+                                     priv_bytes);
+  std::printf("lookup-batch=8 at %d ranks: %llu RPCs (vs %llu at batch=1), "
+              "avg wait %.3f ms\n",
+              rank_points.back(),
+              static_cast<unsigned long long>(batch.rpcs),
+              static_cast<unsigned long long>(rpcs_batch1),
+              batch.avg_wait_ms);
 
   const FailoverResult fr = run_failover(lib_bytes, priv_bytes);
-  std::printf("failover: R=2 restart %s (%.3f s); R=1 needs_restore=%s "
-              "(%llu chunks lost)\n",
+  std::printf("failover: R=2 restart %s (%.3f s, %llu chunks re-replicated, "
+              "%llu still degraded); R=1 needs_restore=%s (%llu chunks "
+              "lost)\n",
               fr.r2_restart_ok ? "ok" : "FAILED", fr.r2_restart_seconds,
+              static_cast<unsigned long long>(fr.r2_rereplicated_chunks),
+              static_cast<unsigned long long>(fr.r2_degraded_after_heal),
               fr.r1_needs_restore ? "true" : "false",
               static_cast<unsigned long long>(fr.r1_lost_chunks));
 
-  // The knee: per-lookup wait at max ranks vs min ranks, replicas=1.
-  double wait_min_ranks = 0, wait_max_ranks = 0;
-  u64 dev_r1 = 0, dev_r2 = 0;
-  for (const auto& pt : sweep) {
-    if (pt.replicas != 1) continue;
-    if (pt.ranks == rank_points.front()) wait_min_ranks = pt.avg_wait_ms;
-    if (pt.ranks == rank_points.back()) wait_max_ranks = pt.avg_wait_ms;
-  }
-  for (const auto& pt : sweep) {
-    if (pt.ranks != rank_points.back()) continue;
-    if (pt.replicas == 1) dev_r1 = pt.device_written_bytes;
-    if (pt.replicas == 2) dev_r2 = pt.device_written_bytes;
-  }
   const double wait_growth =
       wait_min_ranks > 0 ? wait_max_ranks / wait_min_ranks : 0;
+  const double shard_speedup =
+      wait_shards4 > 0 ? wait_max_ranks / wait_shards4 : 0;
   const double write_amplification =
       dev_r1 > 0 ? static_cast<double>(dev_r2) / static_cast<double>(dev_r1)
                  : 0;
+  const double batch_rpc_reduction =
+      batch.rpcs > 0 ? static_cast<double>(rpcs_batch1) /
+                           static_cast<double>(batch.rpcs)
+                     : 0;
 
   std::ofstream json("BENCH_service.json");
   json << "{\n  \"config\": {\"max_ranks\": " << max_ranks
@@ -196,8 +277,10 @@ int main() {
   for (size_t i = 0; i < sweep.size(); ++i) {
     const auto& pt = sweep[i];
     json << "    {\"ranks\": " << pt.ranks
-         << ", \"replicas\": " << pt.replicas
-         << ", \"lookups\": " << pt.lookups
+         << ", \"replicas\": " << pt.replicas << ", \"shards\": " << pt.shards
+         << ", \"lookups\": " << pt.lookups << ", \"rpcs\": " << pt.rpcs
+         << ", \"rpc_net_bytes\": " << pt.rpc_net_bytes
+         << ", \"rpc_net_wait_ms\": " << pt.rpc_net_wait_ms
          << ", \"avg_lookup_wait_ms\": " << pt.avg_wait_ms
          << ", \"max_lookup_wait_ms\": " << pt.max_wait_ms
          << ", \"ckpt_seconds\": " << pt.ckpt_seconds
@@ -205,17 +288,29 @@ int main() {
          << ", \"device_written_bytes\": " << pt.device_written_bytes << "}"
          << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"failover\": {\"r2_restart_ok\": "
+  json << "  ],\n  \"batch\": {\"lookup_batch\": 8, \"ranks\": "
+       << rank_points.back() << ", \"rpcs\": " << batch.rpcs
+       << ", \"rpcs_batch1\": " << rpcs_batch1
+       << ", \"avg_lookup_wait_ms\": " << batch.avg_wait_ms
+       << ", \"rpc_net_bytes\": " << batch.rpc_net_bytes
+       << "},\n  \"failover\": {\"r2_restart_ok\": "
        << (fr.r2_restart_ok ? "true" : "false")
        << ", \"r2_restart_seconds\": " << fr.r2_restart_seconds
+       << ", \"r2_rereplicated_chunks\": " << fr.r2_rereplicated_chunks
+       << ", \"r2_degraded_after_heal\": " << fr.r2_degraded_after_heal
        << ", \"r1_needs_restore\": "
        << (fr.r1_needs_restore ? "true" : "false")
        << ", \"r1_lost_chunks\": " << fr.r1_lost_chunks
        << "},\n  \"summary\": {\"wait_ms_at_min_ranks\": " << wait_min_ranks
        << ", \"wait_ms_at_max_ranks\": " << wait_max_ranks
+       << ", \"wait_ms_shards4_at_max_ranks\": " << wait_shards4
        << ", \"wait_growth\": " << wait_growth
+       << ", \"shard_speedup\": " << shard_speedup
        << ", \"contention_knee_visible\": "
        << (wait_growth > 1.5 ? "true" : "false")
+       << ", \"shard_knee_shifted\": "
+       << (shard_speedup > 1.0 ? "true" : "false")
+       << ", \"batch_rpc_reduction\": " << batch_rpc_reduction
        << ", \"replica_write_amplification\": " << write_amplification
        << ", \"r2_restart_ok\": " << (fr.r2_restart_ok ? "true" : "false")
        << ", \"r1_needs_restore\": "

@@ -20,6 +20,12 @@ using sim::Task;
 template <typename T>
 class StateView {
   static_assert(std::is_trivially_copyable_v<T>);
+  // No padding allowed: stored state becomes checkpoint image *content*
+  // (chunk keys, CRCs, shard routing), and padding bytes in a stack
+  // temporary are indeterminate — they would leak per-process entropy into
+  // the simulation and break bit-reproducibility. Pad state structs
+  // explicitly (e.g. widen a trailing u8 flag to u64).
+  static_assert(std::has_unique_object_representations_v<T>);
 
  public:
   explicit StateView(sim::ProcessCtx& ctx, const std::string& name = "state")

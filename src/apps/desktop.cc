@@ -76,6 +76,7 @@ struct DeskState {
   i32 pty_master = kNoFd;
   i32 child = kNoPid;
   u8 setup_done = 0;
+  u8 pad_[7] = {};  // explicit: stored state must have no padding bits
 };
 
 /// desktop_app <profile> <iters (0 = run forever)> <result-name>

@@ -46,6 +46,7 @@ struct NasState {
   u64 acc = 0;
   u8 stage = 0;
   u8 init_done = 0;
+  u8 pad_[6] = {};  // explicit: stored state must have no padding bits
 };
 
 // nas <kernel> <iters> <result> <rank> <np> <nnodes>
@@ -211,6 +212,7 @@ struct PG4State {
                         // a restart must resume the same round-robin slot)
   u8 stage = 0;
   u8 init_done = 0;
+  u8 pad_[6] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> pargeant4_main(sim::ProcessCtx& ctx) {
@@ -314,6 +316,7 @@ struct IpyCtlState {
   u64 task = 0;
   u64 acc = 0;
   u8 stage = 0;
+  u8 pad_[7] = {};  // explicit: stored state must have no padding bits
 };
 
 constexpr u16 kIpyPort = 23000;
@@ -398,9 +401,10 @@ Task<int> ipython_controller_main(sim::ProcessCtx& ctx) {
 }
 
 struct IpyEngState {
-  i32 fd = kNoFd;
   u64 acc = 0;
+  i32 fd = kNoFd;
   u8 stage = 0;
+  u8 pad_[3] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> ipython_engine_main(sim::ProcessCtx& ctx) {

@@ -85,6 +85,67 @@ std::vector<NodeId> ChunkPlacement::re_place(const ChunkKey& key) {
   return it->second.homes;
 }
 
+std::vector<ChunkKey> ChunkPlacement::degraded_chunks() const {
+  std::vector<ChunkKey> out;
+  if (!any_dead()) return out;  // full placements everywhere: nothing to heal
+  const size_t alive_nodes = static_cast<size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+  const size_t want = std::min<size_t>(static_cast<size_t>(replicas_),
+                                       alive_nodes);
+  for (const auto& [key, e] : entries_) {
+    const size_t alive_homes = static_cast<size_t>(std::count_if(
+        e.homes.begin(), e.homes.end(),
+        [&](NodeId n) { return node_alive(n); }));
+    if (alive_homes > 0 && alive_homes < want) out.push_back(key);
+  }
+  return out;
+}
+
+u64 ChunkPlacement::degraded_count() const {
+  if (!any_dead()) return 0;
+  const size_t alive_nodes = static_cast<size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+  const size_t want = std::min<size_t>(static_cast<size_t>(replicas_),
+                                       alive_nodes);
+  u64 degraded = 0;
+  for (const auto& [key, e] : entries_) {
+    const size_t alive_homes = static_cast<size_t>(std::count_if(
+        e.homes.begin(), e.homes.end(),
+        [&](NodeId n) { return node_alive(n); }));
+    if (alive_homes > 0 && alive_homes < want) ++degraded;
+  }
+  return degraded;
+}
+
+std::vector<NodeId> ChunkPlacement::heal(const ChunkKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  std::vector<NodeId> alive_homes;
+  for (NodeId n : it->second.homes) {
+    if (node_alive(n)) alive_homes.push_back(n);
+  }
+  if (alive_homes.empty()) return {};  // lost: re_place()'s job, not heal's
+  const std::vector<NodeId> want = place(key);
+  if (want.size() <= alive_homes.size()) return {};  // already at strength
+  // Rendezvous scores are fixed per (key, node), so removing dead nodes only
+  // promotes the next-best scorers: `want` is a superset of the surviving
+  // homes, and the difference is exactly the copies to write.
+  std::vector<NodeId> fresh;
+  for (NodeId n : want) {
+    if (std::find(alive_homes.begin(), alive_homes.end(), n) ==
+        alive_homes.end()) {
+      fresh.push_back(n);
+    }
+  }
+  it->second.homes = want;
+  return fresh;
+}
+
+u64 ChunkPlacement::bytes_of(const ChunkKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.bytes;
+}
+
 void ChunkPlacement::fail_node(NodeId node) {
   DSIM_CHECK(node >= 0 && static_cast<size_t>(node) < alive_.size());
   alive_[static_cast<size_t>(node)] = false;

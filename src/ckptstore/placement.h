@@ -58,6 +58,20 @@ class ChunkPlacement {
   /// key was never recorded.
   std::vector<NodeId> re_place(const ChunkKey& key);
 
+  /// Recorded chunks with at least one surviving copy but fewer alive homes
+  /// than min(replicas, alive nodes) — degraded, healable by copying from a
+  /// survivor. Disjoint from lost(): an all-dead entry is not degraded.
+  std::vector<ChunkKey> degraded_chunks() const;
+  u64 degraded_count() const;
+
+  /// Heal one degraded entry: recompute the full placement over the alive
+  /// nodes (rendezvous keeps every surviving home in it) and return only the
+  /// *fresh* homes — the copies the re-replication daemon must write. Empty
+  /// when the key is unknown, lost, or not degraded, so re-queued heal work
+  /// is a safe no-op. Device-charged bytes of one copy via bytes_of().
+  std::vector<NodeId> heal(const ChunkKey& key);
+  u64 bytes_of(const ChunkKey& key) const;
+
   /// Simulated node failure / recovery. Failure does not touch the
   /// repository (content survives in the index) — it makes the bytes on
   /// that node unreachable, which is exactly what placement models.

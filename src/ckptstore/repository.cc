@@ -16,6 +16,19 @@ Chunk* Repository::find_mutable(const ChunkKey& key) {
   return it == chunks_.end() ? nullptr : &it->second.chunk;
 }
 
+std::vector<std::pair<ChunkKey, const Chunk*>> Repository::chunks_after(
+    const ChunkKey& cursor, size_t n) const {
+  std::vector<std::pair<ChunkKey, const Chunk*>> out;
+  const size_t take = std::min(n, chunks_.size());
+  auto it = chunks_.upper_bound(cursor);
+  while (out.size() < take) {
+    if (it == chunks_.end()) it = chunks_.begin();
+    out.emplace_back(it->first, &it->second.chunk);
+    ++it;
+  }
+  return out;
+}
+
 bool Repository::put(const ChunkKey& key, Chunk chunk) {
   stats_.put_requests++;
   auto [it, inserted] = chunks_.try_emplace(key);

@@ -104,6 +104,13 @@ class Repository {
   /// incrementally (commit/GC), so reading it per round is O(1).
   u64 shared_chunk_count() const { return shared_chunks_; }
 
+  /// Up to `n` resident chunks with keys strictly after `cursor`, wrapping
+  /// to the start when the end is reached — the scrub daemon's round-robin
+  /// walk. Pointers are valid until the next mutation (the scrubber
+  /// verifies synchronously, before GC can reclaim anything).
+  std::vector<std::pair<ChunkKey, const Chunk*>> chunks_after(
+      const ChunkKey& cursor, size_t n) const;
+
   const RepoStats& stats() const { return stats_; }
 
  private:

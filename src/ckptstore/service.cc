@@ -1,71 +1,294 @@
 #include "ckptstore/service.h"
 
+#include <algorithm>
+
 #include "sim/model_params.h"
 #include "util/assertx.h"
+#include "util/crc32.h"
+#include "util/rng.h"
 
 namespace dsim::ckptstore {
 
-ChunkStoreService::ChunkStoreService(sim::EventLoop& loop, int num_nodes,
-                                     int replicas)
-    : loop_(loop),
-      dev_(loop, "chunkstore", sim::params::kStoreServiceBw,
-           sim::params::kStoreServiceLatency),
-      repo_(std::make_shared<Repository>()),
-      placement_(num_nodes, replicas) {}
+namespace params = sim::params;
 
-void ChunkStoreService::submit_lookups(u64 n, std::function<void()> done) {
-  if (n == 0) {
+ChunkStoreService::ChunkStoreService(sim::EventLoop& loop, sim::Network& net,
+                                     int replicas, int shards,
+                                     int lookup_batch)
+    : loop_(loop),
+      net_(net),
+      fabric_(loop, net),
+      lookup_batch_(lookup_batch),
+      repo_(std::make_shared<Repository>()),
+      placement_(net.num_nodes(), replicas) {
+  DSIM_CHECK_MSG(shards >= 1, "chunk-store service needs at least one shard");
+  DSIM_CHECK_MSG(lookup_batch >= 1,
+                 "lookup batch must carry at least one key per RPC");
+  shards_.reserve(static_cast<size_t>(shards));
+  endpoints_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(Shard{std::make_unique<sim::StorageDevice>(
+        loop, "chunkstore" + std::to_string(s), params::kStoreServiceBw,
+        params::kStoreServiceLatency)});
+    // Default spread until the coordinator assigns real endpoints.
+    endpoints_.push_back(static_cast<NodeId>(s % net.num_nodes()));
+  }
+}
+
+void ChunkStoreService::set_endpoints(std::vector<NodeId> nodes) {
+  DSIM_CHECK_MSG(nodes.size() == shards_.size(),
+                 "endpoint assignment must name one node per shard");
+  for (NodeId n : nodes) {
+    DSIM_CHECK_MSG(n >= 0 && n < net_.num_nodes(),
+                   "shard endpoint names a node outside the cluster");
+  }
+  endpoints_ = std::move(nodes);
+}
+
+int ChunkStoreService::shard_of(const ChunkKey& key) const {
+  // Rendezvous over shard ids, exactly like node placement: the winning
+  // shard for a key never changes while the shard count holds, and keys
+  // spread uniformly for any key structure (full avalanche per input).
+  int best = 0;
+  u64 best_score = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const u64 score =
+        mix64(key.hi ^ mix64(key.lo ^ mix64(0xC4A6u + static_cast<u64>(s))));
+    if (s == 0 || score > best_score) {
+      best_score = score;
+      best = static_cast<int>(s);
+    }
+  }
+  return best;
+}
+
+void ChunkStoreService::submit_lookups(NodeId from,
+                                       const std::vector<ChunkKey>& keys,
+                                       std::function<void()> done) {
+  if (keys.empty()) {
     loop_.post_now(std::move(done));
     return;
   }
-  // One queue entry per probe: a rank's lookups interleave with every other
-  // rank's in FIFO order, and each records its own submit -> served wait.
-  auto remaining = std::make_shared<u64>(n);
-  for (u64 i = 0; i < n; ++i) {
-    const SimTime submitted = loop_.now();
-    const bool last = (i + 1 == n);
-    dev_.submit(sim::params::kStoreLookupBytes,
-                [this, submitted, remaining, last, done] {
-                  const double wait = to_seconds(loop_.now() - submitted);
-                  stats_.lookup_wait_seconds += wait;
-                  if (wait > stats_.max_lookup_wait_seconds) {
-                    stats_.max_lookup_wait_seconds = wait;
-                  }
-                  if (--*remaining == 0) {
-                    DSIM_CHECK(last);
-                    done();
-                  }
-                },
-                /*is_read=*/true);
+  stats_.lookup_requests += keys.size();
+  // Route keys to their shards in submit order, then cut each shard's run
+  // into batches of at most lookup_batch_ keys — one RPC per batch, one
+  // queue probe's occupancy per key. A rank's batches interleave with every
+  // other rank's FIFO at the shard, and each batch records the full
+  // submit -> response wait for each of its keys.
+  std::vector<std::vector<ChunkKey>> routed(shards_.size());
+  for (const ChunkKey& key : keys) {
+    routed[static_cast<size_t>(shard_of(key))].push_back(key);
   }
-  stats_.lookup_requests += n;
+  auto remaining = std::make_shared<u64>(keys.size());
+  auto all_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (size_t s = 0; s < routed.size(); ++s) {
+    const auto& run = routed[s];
+    for (size_t at = 0; at < run.size(); at += static_cast<size_t>(
+                                             lookup_batch_)) {
+      const u64 n = std::min<u64>(static_cast<u64>(lookup_batch_),
+                                  run.size() - at);
+      stats_.lookup_batches++;
+      const SimTime submitted = loop_.now();
+      const u64 req = params::kRpcHeaderBytes + n * params::kRpcLookupKeyBytes;
+      const u64 resp =
+          params::kRpcHeaderBytes + n * params::kRpcLookupVerdictBytes;
+      fabric_.call(
+          from, endpoint_of(static_cast<int>(s)), req, resp,
+          [this, s, n](rpc::RpcFabric::Reply reply) {
+            // The batch's probes occupy the shard queue back to back; the
+            // response leaves when the last probe is served.
+            shards_[s].dev->submit(n * params::kStoreLookupBytes,
+                                   std::move(reply), /*is_read=*/true);
+          },
+          [this, submitted, n, remaining, all_done] {
+            const double wait = to_seconds(loop_.now() - submitted);
+            stats_.lookup_wait_seconds += wait * static_cast<double>(n);
+            if (wait > stats_.max_lookup_wait_seconds) {
+              stats_.max_lookup_wait_seconds = wait;
+            }
+            if ((*remaining -= n) == 0) (*all_done)();
+          });
+    }
+  }
 }
 
 std::vector<NodeId> ChunkStoreService::submit_store(
-    const ChunkKey& key, u64 charged_bytes, std::function<void()> done) {
+    NodeId from, const ChunkKey& key, u64 charged_bytes,
+    std::function<void()> done) {
   stats_.store_requests++;
   stats_.store_bytes += charged_bytes;
-  dev_.submit(charged_bytes, std::move(done), /*is_read=*/false);
+  const int s = shard_of(key);
+  // The chunk travels to the shard in the request (caller NIC); the shard
+  // does an index insert's worth of queue work and acks. The payload's
+  // physical writes land on the placement homes' node devices, charged by
+  // the caller against the homes returned below — the shard queue is the
+  // metadata path, so store bursts do not stall other ranks' probes beyond
+  // their index share.
+  fabric_.call(
+      from, endpoint_of(s), params::kRpcHeaderBytes + charged_bytes,
+      params::kRpcHeaderBytes,
+      [this, s](rpc::RpcFabric::Reply reply) {
+        shards_[static_cast<size_t>(s)].dev->submit(
+            params::kStoreLookupBytes, std::move(reply), /*is_read=*/false);
+      },
+      std::move(done));
   return placement_.record_store(key, charged_bytes);
 }
 
 std::vector<NodeId> ChunkStoreService::submit_restore(
-    const ChunkKey& key, u64 charged_bytes, std::function<void()> done) {
+    NodeId from, const ChunkKey& key, u64 charged_bytes,
+    std::function<void()> done) {
   stats_.store_requests++;
   stats_.store_bytes += charged_bytes;
-  dev_.submit(charged_bytes, std::move(done), /*is_read=*/false);
+  const int s = shard_of(key);
+  fabric_.call(
+      from, endpoint_of(s), params::kRpcHeaderBytes + charged_bytes,
+      params::kRpcHeaderBytes,
+      [this, s](rpc::RpcFabric::Reply reply) {
+        shards_[static_cast<size_t>(s)].dev->submit(
+            params::kStoreLookupBytes, std::move(reply), /*is_read=*/false);
+      },
+      std::move(done));
   return placement_.re_place(key);
 }
 
-void ChunkStoreService::submit_fetch(u64 bytes, std::function<void()> done) {
+void ChunkStoreService::submit_fetch(NodeId from, const ChunkKey& key,
+                                     u64 bytes, std::function<void()> done) {
   stats_.fetch_requests++;
   stats_.fetch_bytes += bytes;
-  dev_.submit(bytes, std::move(done), /*is_read=*/true);
+  const int s = shard_of(key);
+  // Redirect-style fetch: the RPC carries metadata both ways, the shard
+  // queue does an index probe to name the holder, and the bulk bytes
+  // stream off the holding node (device + NIC, charged by the caller).
+  fabric_.call(
+      from, endpoint_of(s), params::kRpcHeaderBytes, params::kRpcHeaderBytes,
+      [this, s](rpc::RpcFabric::Reply reply) {
+        shards_[static_cast<size_t>(s)].dev->submit(
+            params::kStoreLookupBytes, std::move(reply), /*is_read=*/true);
+      },
+      std::move(done));
 }
 
-void ChunkStoreService::submit_drop(u64 bytes) {
+void ChunkStoreService::submit_drop(NodeId from, const ChunkKey& key,
+                                    u64 bytes) {
   stats_.drop_requests++;
-  dev_.discard(bytes);
+  const int s = shard_of(key);
+  fabric_.call(
+      from, endpoint_of(s), params::kRpcHeaderBytes, params::kRpcHeaderBytes,
+      [this, s, bytes](rpc::RpcFabric::Reply reply) {
+        shards_[static_cast<size_t>(s)].dev->discard(bytes);
+        reply();
+      },
+      [] {});
+}
+
+void ChunkStoreService::charge_node(NodeId node, u64 bytes, bool is_read,
+                                    std::function<void()> done) {
+  if (charger_) {
+    charger_(node, bytes, is_read, std::move(done));
+  } else {
+    loop_.post_now(std::move(done));
+  }
+}
+
+void ChunkStoreService::fail_node(NodeId node) {
+  placement_.fail_node(node);
+  // Degraded (some alive homes, fewer than R) chunks are healable — kick
+  // the daemon. Fully lost chunks are not: those wait for the encode path's
+  // forward-heal (submit_restore) at the next generation.
+  if (placement_.replicas() > 1) schedule_heal_scan();
+}
+
+void ChunkStoreService::schedule_heal_scan() {
+  if (heal_scan_scheduled_) return;
+  heal_scan_scheduled_ = true;
+  loop_.post_in(params::kRereplicateDelay, [this] {
+    heal_scan_scheduled_ = false;
+    for (const ChunkKey& key : placement_.degraded_chunks()) {
+      heal_pending_.push_back(key);
+    }
+    pump_heal();
+  });
+}
+
+void ChunkStoreService::pump_heal() {
+  while (heal_in_flight_ < params::kRereplicateWindow &&
+         !heal_pending_.empty()) {
+    const ChunkKey key = heal_pending_.front();
+    heal_pending_.pop_front();
+    heal_one(key);
+  }
+}
+
+void ChunkStoreService::heal_one(const ChunkKey& key) {
+  const i32 holder = placement_.holder(key);
+  const u64 bytes = placement_.bytes_of(key);
+  if (holder < 0 || bytes == 0) return;  // lost or unknown: not healable
+  const std::vector<NodeId> fresh = placement_.heal(key);
+  if (fresh.empty()) return;  // raced with another heal / already whole
+  stats_.rereplicated_chunks++;
+  stats_.rereplicated_bytes += bytes;
+  heal_in_flight_++;
+  const size_t s = static_cast<size_t>(shard_of(key));
+  auto finish = std::make_shared<std::function<void()>>([this] {
+    heal_in_flight_--;
+    pump_heal();
+  });
+  // Walk the repair through the owning shard's queue (an index probe that
+  // contends with foreground lookups, as a real repair stream does), read
+  // the surviving copy off the holder's device, then stream it over the
+  // holder's NIC to each fresh home and land it on that home's device.
+  shards_[s].dev->submit(
+      params::kStoreLookupBytes,
+      [this, holder, bytes, fresh, finish] {
+        charge_node(holder, bytes, /*is_read=*/true,
+                    [this, holder, bytes, fresh, finish] {
+                      auto left = std::make_shared<int>(
+                          static_cast<int>(fresh.size()));
+                      for (NodeId home : fresh) {
+                        net_.transfer(
+                            holder, home, bytes,
+                            [this, home, bytes, left, finish] {
+                              charge_node(home, bytes, /*is_read=*/false,
+                                          [left, finish] {
+                                            if (--*left == 0) (*finish)();
+                                          });
+                            });
+                      }
+                    });
+      },
+      /*is_read=*/true);
+}
+
+void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
+  const auto batch =
+      repo_->chunks_after(scrub_cursor_, static_cast<size_t>(max_chunks));
+  for (const auto& [key, chunk] : batch) {
+    scrub_cursor_ = key;
+    stats_.scrubbed_chunks++;
+    // Verify synchronously (GC may reclaim the chunk before its shard queue
+    // entry is served); the index probe + holder-device read below model
+    // the verification cost. Pattern chunks are descriptors — only real
+    // containers can rot.
+    const bool missing = !placement_.available(key);
+    bool corrupt = false;
+    if (!missing && chunk->kind == sim::ExtentKind::kReal) {
+      corrupt = crc32(chunk->materialize(codec)) != chunk->crc;
+    }
+    const size_t s = static_cast<size_t>(shard_of(key));
+    const i32 holder = placement_.holder(key);
+    const u64 read_bytes = chunk->charged_bytes;
+    shards_[s].dev->submit(
+        params::kStoreLookupBytes,
+        [this, corrupt, missing, holder, read_bytes] {
+          // The verification reread streams off the surviving holder.
+          if (holder >= 0 && read_bytes > 0) {
+            charge_node(holder, read_bytes, /*is_read=*/true, [] {});
+          }
+          if (corrupt) stats_.scrub_corrupt_chunks++;
+          if (missing) stats_.scrub_missing_chunks++;
+        },
+        /*is_read=*/true);
+  }
 }
 
 }  // namespace dsim::ckptstore

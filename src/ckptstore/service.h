@@ -1,54 +1,86 @@
-// The remote chunk-store service (stdchk-style storage service).
+// The remote chunk-store service (stdchk-style storage service), sharded
+// across RPC endpoints on the simulated network.
 //
-// PR 2's `--dedup-scope cluster` kept one computation-wide Repository that
-// answered every dedup lookup for free — no queueing, no contention, none
-// of the storage funneling that dominates the paper's Fig. 5b. This class
-// turns the cluster-scope store into a *service*: it owns the shared
-// Repository and the per-node ChunkPlacement, and funnels every request —
+// PR 3 funneled every dedup Lookup/Store/Fetch/Drop through one FIFO queue,
+// but requests teleported there: no NIC hop, no message CPU. This version
+// makes each request a real RPC (src/rpc/) and shards the service:
 //
-//   Lookup    one dedup probe per submitted chunk (hit or miss),
-//   Store     a new chunk accepted and placed on `replicas` node devices,
-//   Fetch     a restart reading a chunk's bytes back,
-//   DropOwner / GC trim for reclaimed chunks,
+//   Lookup    one dedup probe per submitted chunk key, batched K keys per
+//             RPC (`--lookup-batch`); each probe occupies its shard's queue,
+//   Store     a chunk accepted (payload over the caller's NIC, an index
+//             insert on the shard) and placed on `replicas` node devices,
+//   Fetch     a restart locating a chunk (index probe; the bulk bytes
+//             stream off the holding node's device and NIC, charged by the
+//             caller),
+//   Drop      GC trim for a reclaimed chunk at metadata rate.
 //
-// — through one FIFO sim::StorageDevice queue. N ranks checkpointing
-// concurrently serialize on that queue, so per-lookup latency grows with
-// rank count (bench_service's contention knee) exactly as shared-storage
-// writes do in Fig. 5b.
+// The shard queue is the *metadata/index* path — chunk payloads physically
+// live on placement-home node devices and travel the network as RPC request
+// bodies, so they are charged to NICs and node devices, never double-charged
+// to the index queue (PR 3 charged stores at container size to the one
+// queue; with real transport that would count the same bytes twice and let
+// one rank's store burst stall every other rank's probes).
 //
-// The service charges only its own request queue. Physical bytes land on
-// node-local devices: the caller charges each placement home for Store
-// copies and each holding node for Fetch reads (the kernel owns node
-// devices; this layer names the nodes, core does the charging).
+// Chunk keys are rendezvous-hashed onto `shards` endpoints (stable: the same
+// key always reaches the same shard), each shard owning its own FIFO
+// sim::StorageDevice queue, so the contention knee bench_service exposes
+// moves right as shards are added. The coordinator assigns shard -> node at
+// startup (`--store-shards` endpoints from `--store-node` upward).
+//
+// Two background daemons ride the same queues:
+//   - re-replication: after fail_node, replica-degraded chunks (alive homes
+//     < R but > 0) are re-copied from a surviving holder to fresh rendezvous
+//     homes until the store is back at `replicas` copies;
+//   - scrubbing: scrub(N, codec) verifies up to N resident chunks per round
+//     against their manifest CRCs, counting corrupt/missing chunks.
+//
+// The service charges its shard queues and the RPC fabric. Physical bytes
+// land on node-local devices through the injected DeviceCharger (stores and
+// restart fetches stay charged by core, which owns the kernel).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ckptstore/placement.h"
 #include "ckptstore/repository.h"
+#include "compress/compressor.h"
+#include "rpc/rpc.h"
+#include "sim/net.h"
 #include "sim/storage.h"
 #include "util/types.h"
 
 namespace dsim::ckptstore {
 
-/// Request-queue statistics, cumulative over the computation. The
-/// coordinator snapshots deltas into each CkptRound.
+/// Request statistics, cumulative over the computation. The coordinator
+/// snapshots deltas into each CkptRound.
 struct ServiceStats {
   u64 lookup_requests = 0;
+  u64 lookup_batches = 0;  // lookup RPCs issued (K keys amortize one RPC)
   u64 store_requests = 0;
   u64 fetch_requests = 0;
   u64 drop_requests = 0;
   u64 store_bytes = 0;  // accepted chunk bytes (one copy; replicas multiply
-                        // on the node devices, not the service queue)
+                        // on the node devices, not the shard queues)
   u64 fetch_bytes = 0;
-  /// Cumulative submit -> completion wait across lookups; the per-lookup
-  /// average is the headline contention metric.
+  /// Cumulative submit -> completion wait across lookups (now including the
+  /// RPC's network hops and endpoint message CPU); the per-lookup average
+  /// is the headline contention metric.
   double lookup_wait_seconds = 0;
   /// Max single-lookup wait since construction or the last
   /// take_max_lookup_wait() (the coordinator drains it per round).
   double max_lookup_wait_seconds = 0;
+  // Re-replication daemon: chunks restored to full replica strength after a
+  // node failure, and the copy bytes written doing it.
+  u64 rereplicated_chunks = 0;
+  u64 rereplicated_bytes = 0;
+  // Scrub daemon: chunks verified against manifest CRCs, and the failures.
+  u64 scrubbed_chunks = 0;
+  u64 scrub_corrupt_chunks = 0;  // content no longer matches its CRC
+  u64 scrub_missing_chunks = 0;  // no surviving replica holds the bytes
   double avg_lookup_wait_seconds() const {
     return lookup_requests == 0 ? 0.0
                                 : lookup_wait_seconds /
@@ -58,13 +90,21 @@ struct ServiceStats {
 
 class ChunkStoreService {
  public:
-  /// `replicas` copies of each chunk across `num_nodes` node devices.
-  ChunkStoreService(sim::EventLoop& loop, int num_nodes, int replicas);
+  /// `replicas` copies of each chunk across the cluster's node devices;
+  /// `shards` independent service endpoints; `lookup_batch` keys per lookup
+  /// RPC. Until set_endpoints() overrides them, shard s lives on node
+  /// (s mod nodes) so directly-constructed services (tests) work.
+  ChunkStoreService(sim::EventLoop& loop, sim::Network& net, int replicas,
+                    int shards = 1, int lookup_batch = 1);
 
-  /// Endpoint setup (done by the coordinator at startup: the service runs
-  /// where the coordinator says it runs, as dmtcp_coordinator itself does).
-  void set_endpoint(NodeId node) { endpoint_ = node; }
-  NodeId endpoint() const { return endpoint_; }
+  /// Endpoint setup (done by the coordinator at startup: the shards run
+  /// where the coordinator says they run, as dmtcp_coordinator itself does).
+  void set_endpoints(std::vector<NodeId> nodes);
+  const std::vector<NodeId>& endpoints() const { return endpoints_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Rendezvous hash of `key` over the shard set — a pure function of
+  /// (key, shard count), so the same key hits the same shard in every run.
+  int shard_of(const ChunkKey& key) const;
 
   /// The cluster-scope repository (shared so DmtcpShared::repos can alias
   /// it — stats aggregation and migration keep working unchanged).
@@ -73,37 +113,73 @@ class ChunkStoreService {
   ChunkPlacement& placement() { return placement_; }
   const ChunkPlacement& placement() const { return placement_; }
 
-  /// Queue `n` Lookup requests; `done` fires when the last one completes.
-  /// Each lookup is its own queue entry so waits are measured per request
-  /// and ranks' probes interleave FIFO, not rank-at-a-time.
-  void submit_lookups(u64 n, std::function<void()> done);
+  /// Node-device charging hook (kernel charge_storage_bg, injected by core:
+  /// the daemons must land replica copies and verification reads on node
+  /// devices, but this layer does not own the kernel). Unset: bytes are
+  /// accounted on the shard queues only.
+  using DeviceCharger = std::function<void(
+      NodeId node, u64 bytes, bool is_read, std::function<void()> done)>;
+  void set_device_charger(DeviceCharger charger) {
+    charger_ = std::move(charger);
+  }
 
-  /// Queue a Store of one chunk. Returns the placement homes the caller
-  /// must charge one copy of `charged_bytes` to (empty on a placement
-  /// dedup hit); `done` fires when the service has accepted the write.
-  std::vector<NodeId> submit_store(const ChunkKey& key, u64 charged_bytes,
+  /// Look up `keys` (dedup probes, hit or miss alike) from node `from`:
+  /// keys are routed to their shards, batched `lookup_batch` per RPC, and
+  /// each probe occupies its shard's queue. `done` fires at the caller when
+  /// the last probe's response lands. Per-shard batches complete in submit
+  /// order (every stage of the path is FIFO).
+  void submit_lookups(NodeId from, const std::vector<ChunkKey>& keys,
+                      std::function<void()> done);
+
+  /// Store one chunk from node `from`. Returns the placement homes the
+  /// caller must charge one copy of `charged_bytes` to (empty on a
+  /// placement dedup hit); `done` fires when the shard has accepted the
+  /// write. The request carries the chunk bytes over the caller's NIC.
+  std::vector<NodeId> submit_store(NodeId from, const ChunkKey& key,
+                                   u64 charged_bytes,
                                    std::function<void()> done);
 
-  /// Queue a re-Store of a dedup-hit chunk whose every replica died with
-  /// its node: the write costs a fresh Store on the queue and the copies
-  /// are re-placed over the surviving nodes (returned for the caller to
-  /// charge). The caller checks placement().available() first — healthy
-  /// dedup hits must not queue stores.
-  std::vector<NodeId> submit_restore(const ChunkKey& key, u64 charged_bytes,
+  /// Re-Store of a dedup-hit chunk whose every replica died with its node:
+  /// costs a fresh Store and the copies are re-placed over the surviving
+  /// nodes (returned for the caller to charge). The caller checks
+  /// placement().available() first — healthy dedup hits must not queue
+  /// stores.
+  std::vector<NodeId> submit_restore(NodeId from, const ChunkKey& key,
+                                     u64 charged_bytes,
                                      std::function<void()> done);
 
-  /// Queue a Fetch of `bytes` of chunk data (restart path); the caller
-  /// additionally charges the holding node's device for the read.
-  void submit_fetch(u64 bytes, std::function<void()> done);
+  /// Fetch `bytes` of chunk data (restart path) from node `from`; the
+  /// caller additionally charges the holding node's device and NIC for the
+  /// bulk read (the shard answers with the holder — it does not proxy the
+  /// bytes).
+  void submit_fetch(NodeId from, const ChunkKey& key, u64 bytes,
+                    std::function<void()> done);
 
-  /// DropOwner / GC trim: drop `bytes` of reclaimed data at metadata rate
-  /// (queue occupancy only, no completion to wait on).
-  void submit_drop(u64 bytes);
+  /// GC trim for one reclaimed chunk: drop `bytes` at metadata rate on the
+  /// owning shard (fire-and-forget).
+  void submit_drop(NodeId from, const ChunkKey& key, u64 bytes);
 
   /// Simulated node failure: the node's chunk copies become unreachable.
-  void fail_node(NodeId node) { placement_.fail_node(node); }
+  /// With replicas > 1 this kicks the background re-replication daemon,
+  /// which walks degraded chunks through the shard queues until every
+  /// surviving chunk is back at full replica strength.
+  void fail_node(NodeId node);
+  void revive_node(NodeId node) { placement_.revive_node(node); }
+  /// True when no heal work is pending or in flight.
+  bool rereplication_idle() const {
+    return heal_in_flight_ == 0 && heal_pending_.empty() &&
+           !heal_scan_scheduled_;
+  }
 
-  sim::StorageDevice& device() { return dev_; }
+  /// Scrub pass: verify up to `max_chunks` resident chunks (round-robin
+  /// cursor) against their recorded CRCs, charging each verification read
+  /// to the owning shard's queue. `codec` decompresses real containers.
+  void scrub(u64 max_chunks, compress::CodecKind codec);
+
+  sim::StorageDevice& shard_device(int shard) {
+    return *shards_[static_cast<size_t>(shard)].dev;
+  }
+  const rpc::RpcFabric& fabric() const { return fabric_; }
   const ServiceStats& stats() const { return stats_; }
   /// Return the max single-lookup wait observed since the last call and
   /// reset it, so each CkptRound records its own round's max rather than
@@ -115,12 +191,35 @@ class ChunkStoreService {
   }
 
  private:
+  struct Shard {
+    std::unique_ptr<sim::StorageDevice> dev;
+  };
+
+  NodeId endpoint_of(int shard) const {
+    return endpoints_[static_cast<size_t>(shard)];
+  }
+  void charge_node(NodeId node, u64 bytes, bool is_read,
+                   std::function<void()> done);
+  void schedule_heal_scan();
+  void pump_heal();
+  void heal_one(const ChunkKey& key);
+
   sim::EventLoop& loop_;
-  sim::StorageDevice dev_;
+  sim::Network& net_;
+  rpc::RpcFabric fabric_;
+  std::vector<Shard> shards_;
+  std::vector<NodeId> endpoints_;
+  int lookup_batch_;
   std::shared_ptr<Repository> repo_;
   ChunkPlacement placement_;
   ServiceStats stats_;
-  NodeId endpoint_ = -1;
+  DeviceCharger charger_;
+  // Re-replication daemon state.
+  std::deque<ChunkKey> heal_pending_;
+  int heal_in_flight_ = 0;
+  bool heal_scan_scheduled_ = false;
+  // Scrub round-robin cursor (last key verified).
+  ChunkKey scrub_cursor_{};
 };
 
 }  // namespace dsim::ckptstore

@@ -43,9 +43,11 @@ struct CoordState {
   // Discovery entries are valid for one restart only; stale addresses from
   // a previous restart point at rendezvous listeners that no longer exist.
   size_t discovery_epoch = 0;
-  // Chunk-store service stats at the previous round's close, so each
-  // CkptRound records this round's delta (lookups served, wait time).
+  // Chunk-store service and RPC-fabric stats at the previous round's close,
+  // so each CkptRound records this round's delta (lookups served, wait
+  // time, network bytes, scrub/heal results).
   ckptstore::ServiceStats svc_last;
+  rpc::RpcStats rpc_last;
 };
 
 void refresh_discovery_epoch(CoordState* st) {
@@ -145,14 +147,34 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
   }
   if (auto* svc = st->shared->store_service.get()) {
     // Request-queue view of the round: the lookups this round's managers
-    // queued and how long they waited in line behind every other rank's.
+    // queued and how long they waited in line behind every other rank's —
+    // plus the RPC fabric's view (requests really crossed the network) and
+    // the background daemons' results since the previous round.
     const ckptstore::ServiceStats& ss = svc->stats();
+    const rpc::RpcStats& rs = svc->fabric().stats();
     auto& r = st->shared->stats.rounds.back();
     r.store_lookups = ss.lookup_requests - st->svc_last.lookup_requests;
     r.lookup_wait_seconds =
         ss.lookup_wait_seconds - st->svc_last.lookup_wait_seconds;
     r.max_lookup_wait_seconds = svc->take_max_lookup_wait();
+    r.store_rpcs = rs.calls - st->rpc_last.calls;
+    r.store_rpc_net_bytes = rs.net_bytes - st->rpc_last.net_bytes;
+    r.store_rpc_net_wait_seconds =
+        rs.net_wait_seconds - st->rpc_last.net_wait_seconds;
+    r.scrubbed_chunks = ss.scrubbed_chunks - st->svc_last.scrubbed_chunks;
+    r.scrub_corrupt_chunks =
+        ss.scrub_corrupt_chunks - st->svc_last.scrub_corrupt_chunks;
+    r.scrub_missing_chunks =
+        ss.scrub_missing_chunks - st->svc_last.scrub_missing_chunks;
+    r.rereplicated_chunks =
+        ss.rereplicated_chunks - st->svc_last.rereplicated_chunks;
     st->svc_last = ss;
+    st->rpc_last = rs;
+    // Kick this round's scrub pass; its results land in the next round's
+    // delta (the pass drains through the shard queues asynchronously).
+    if (st->shared->opts.scrub_chunks > 0) {
+      svc->scrub(st->shared->opts.scrub_chunks, st->shared->opts.codec);
+    }
   }
   RestartPlan plan;
   plan.coord_node = st->shared->opts.coord_node;
@@ -368,24 +390,28 @@ Task<int> coordinator_main(sim::ProcessCtx& ctx,
   co_await ctx.listen_raw(lfd);
 
   if (shared->store_service) {
-    // Endpoint setup: the chunk-store service runs where --store-node says
-    // (default: alongside the coordinator, as dmtcp's helper daemons do).
-    // Managers reach it through its request queue from here on. Today the
-    // endpoint is identity only — the queue itself is the service model;
-    // charging the NIC hop to the endpoint node is a named follow-on
-    // (docs/ckptstore.md) — but an out-of-range node is still a config
-    // error worth refusing.
-    const NodeId ep =
+    // Endpoint setup: shard 0 runs where --store-node says (default:
+    // alongside the coordinator, as dmtcp's helper daemons do) and the
+    // remaining shards spread round-robin from there. Managers reach every
+    // shard over the RPC fabric from here on; the option set was validated
+    // against the cluster shape at launch (DmtcpOptions::validate_cluster),
+    // so the base node is in range by construction.
+    auto& svc = *shared->store_service;
+    const NodeId base =
         shared->opts.store_node >= 0
             ? static_cast<NodeId>(shared->opts.store_node)
             : ctx.process().node();
-    DSIM_CHECK_MSG(ep >= 0 && ep < ctx.kernel().num_nodes(),
-                   "dmtcp_coordinator: --store-node names a node outside "
-                   "the cluster");
-    shared->store_service->set_endpoint(ep);
-    LOG_INFO("coordinator: chunk-store service endpoint on node %d "
-             "(%d replica(s) per chunk)",
-             ep, shared->opts.chunk_replicas);
+    std::vector<NodeId> endpoints;
+    endpoints.reserve(static_cast<size_t>(svc.num_shards()));
+    for (int s = 0; s < svc.num_shards(); ++s) {
+      endpoints.push_back(
+          static_cast<NodeId>((base + s) % ctx.kernel().num_nodes()));
+    }
+    svc.set_endpoints(std::move(endpoints));
+    LOG_INFO("coordinator: chunk-store service with %d shard(s) from node "
+             "%d (%d replica(s) per chunk, %d lookup key(s) per RPC)",
+             svc.num_shards(), base, shared->opts.chunk_replicas,
+             shared->opts.lookup_batch);
   }
 
   {

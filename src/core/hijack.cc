@@ -531,12 +531,23 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     inode->charged_size = delta.submitted_bytes;
     ckptstore::ChunkStoreService* svc = shared_->store_service.get();
     if (svc) {
-      // Remote chunk-store service: every chunk submission is a queued
-      // Lookup (hit or miss alike), so N ranks' probes serialize on the
-      // service's request queue — the contention the free index hid.
+      // Remote chunk-store service: every chunk submission is a Lookup RPC
+      // (hit or miss alike) routed to its key's shard — the probes cross
+      // this node's NIC, pay the endpoint's message CPU, and serialize on
+      // the shard queues, so N ranks' probes contend the way the paper's
+      // coordinator/peer messages do (§4.3).
       {
+        std::vector<ckptstore::ChunkKey> probes;
+        probes.reserve(delta.dup_chunks.size() + delta.stored_chunks.size());
+        for (const auto& [key, bytes] : delta.dup_chunks) {
+          probes.push_back(key);
+        }
+        for (const auto& [key, bytes] : delta.stored_chunks) {
+          probes.push_back(key);
+        }
+        DSIM_CHECK(probes.size() == delta.total_chunks);
         auto lk = std::make_shared<sim::CountLatch>(1);
-        svc->submit_lookups(delta.total_chunks, [lk] { lk->done_one(); });
+        svc->submit_lookups(p_.node(), probes, [lk] { lk->done_one(); });
         while (lk->remaining > 0) co_await lk->wq.wait(ctx.thread());
       }
       // Store phase: new chunks go through the service queue and land as
@@ -568,8 +579,9 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
           const auto& [key, bytes] = to_store[i];
           const auto homes =
               i < fresh
-                  ? svc->submit_store(key, bytes, [st] { st->done_one(); })
-                  : svc->submit_restore(key, bytes,
+                  ? svc->submit_store(p_.node(), key, bytes,
+                                      [st] { st->done_one(); })
+                  : svc->submit_restore(p_.node(), key, bytes,
                                         [st] { st->done_one(); });
           for (NodeId home : homes) home_bytes[home] += bytes;
         }
@@ -605,8 +617,11 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
       const u64 reclaimed =
           repo.collect_garbage(shared_->opts.keep_generations, &dead);
       if (reclaimed > 0) {
-        svc->submit_drop(reclaimed);
         for (const auto& rc : dead) {
+          // One Drop RPC per reclaimed chunk, routed to the shard that
+          // owns the key; the trim lands on the placement homes that
+          // actually hold the copies.
+          svc->submit_drop(p_.node(), rc.key, rc.bytes);
           for (NodeId home : svc->placement().forget(rc.key)) {
             k.discard_storage(home, path, rc.bytes);
           }

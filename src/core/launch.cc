@@ -15,14 +15,30 @@ DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
     : k_(kernel), shared_(std::make_shared<DmtcpShared>()) {
   const std::string err = opts.validate();
   DSIM_CHECK_MSG(err.empty(), ("dmtcp_checkpoint: " + err).c_str());
+  const std::string cluster_err = opts.validate_cluster(k_.num_nodes());
+  DSIM_CHECK_MSG(cluster_err.empty(),
+                 ("dmtcp_checkpoint: " + cluster_err).c_str());
   shared_->opts = opts;
   if (opts.incremental && shared_->cluster_wide_store()) {
-    // The cluster-wide store is a *service* with a request queue, not a
-    // free index: it owns the shared repository (repos[kSharedRepo]
-    // aliases it so stats aggregation and migration are unchanged) and
-    // the replica placement map. The coordinator sets its endpoint.
+    // The cluster-wide store is a *service* reached over the RPC fabric,
+    // not a free index: it owns the shared repository (repos[kSharedRepo]
+    // aliases it so stats aggregation and migration are unchanged), the
+    // replica placement map, and one FIFO queue per shard. The coordinator
+    // assigns shard endpoints at startup.
     shared_->store_service = std::make_shared<ckptstore::ChunkStoreService>(
-        k_.loop(), k_.num_nodes(), opts.chunk_replicas);
+        k_.loop(), k_.net(), opts.chunk_replicas, opts.store_shards,
+        opts.lookup_batch);
+    // The re-replication daemon lands replica copies (and verification
+    // reads) on node devices; the service names the nodes, the kernel does
+    // the charging.
+    sim::Kernel* kp = &k_;
+    const std::string charge_path = opts.ckpt_dir + "/chunkstore";
+    shared_->store_service->set_device_charger(
+        [kp, charge_path](NodeId node, u64 bytes, bool is_read,
+                          std::function<void()> done) {
+          kp->charge_storage_bg(node, charge_path, bytes, is_read,
+                                std::move(done));
+        });
     shared_->repos[DmtcpShared::kSharedRepo] =
         shared_->store_service->repo_ptr();
   }

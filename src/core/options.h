@@ -82,13 +82,26 @@ struct DmtcpOptions {
   /// node failure loses its chunks and forces a full re-store); R > 1
   /// survives R-1 node failures per chunk at R× write amplification.
   int chunk_replicas = 1;
-  /// --store-node: node hosting the chunk-store service endpoint
-  /// (kStoreNodeCoord = wherever the coordinator runs). Range-checked by
-  /// the coordinator at endpoint setup. Identity/observability only for
-  /// now: the service's request queue is the cost model, and charging the
-  /// endpoint node's NIC for request transport is a named follow-on.
+  /// --store-node: node hosting the first chunk-store shard endpoint
+  /// (kStoreNodeCoord = wherever the coordinator runs). Validated against
+  /// the cluster node count by validate_cluster() at launch — service RPCs
+  /// charge the endpoint's message CPU and NIC, so an out-of-range endpoint
+  /// would misattribute those charges.
   static constexpr i32 kStoreNodeCoord = -1;
   i32 store_node = kStoreNodeCoord;
+  /// --store-shards: service endpoints the chunk store is sharded across.
+  /// Chunk keys rendezvous-hash to shards; each shard owns its own FIFO
+  /// request queue, so the lookup contention knee moves right with S. The
+  /// coordinator assigns shard s to node (store_node + s) mod nodes.
+  int store_shards = 1;
+  /// --lookup-batch: dedup-probe keys carried per lookup RPC. K > 1
+  /// amortizes the RPC header and endpoint message CPU over K probes at the
+  /// cost of per-key latency (a key's response waits for its whole batch).
+  int lookup_batch = 1;
+  /// --scrub-chunks: resident chunks verified against their manifest CRCs
+  /// per checkpoint round (round-robin cursor), through the shard queues.
+  /// 0 disables scrubbing.
+  u64 scrub_chunks = 0;
 
   /// One cluster-wide store backs the computation when the checkpoint
   /// directory is explicitly shared (/shared/...) or dedup scope is
@@ -126,18 +139,56 @@ struct DmtcpOptions {
       return "--chunk-replicas must place at least one copy (got " +
              std::to_string(chunk_replicas) + ")";
     }
+    if (store_shards < 1) {
+      return "--store-shards must keep at least one service shard (got " +
+             std::to_string(store_shards) + ")";
+    }
+    if (lookup_batch < 1) {
+      return "--lookup-batch must carry at least one key per RPC (got " +
+             std::to_string(lookup_batch) + ")";
+    }
     if (chunk_replicas > 1 && !cluster_wide_store()) {
       return "--chunk-replicas > 1 requires a cluster-wide store "
              "(--dedup-scope cluster or a /shared checkpoint directory): "
              "replica placement is a property of the store service";
     }
-    if (!incremental && (chunk_replicas > 1 || store_node >= 0)) {
-      return "--chunk-replicas/--store-node require --incremental: the "
-             "chunk-store service only exists for the incremental store";
+    if ((store_shards > 1 || lookup_batch > 1 || scrub_chunks > 0 ||
+         store_node >= 0) &&
+        !cluster_wide_store()) {
+      return "--store-node/--store-shards/--lookup-batch/--scrub-chunks "
+             "configure the cluster-wide chunk-store service (--dedup-scope "
+             "cluster or a /shared checkpoint directory)";
+    }
+    if (!incremental &&
+        (chunk_replicas > 1 || store_node >= 0 || store_shards > 1 ||
+         lookup_batch > 1 || scrub_chunks > 0)) {
+      return "--chunk-replicas/--store-node/--store-shards/--lookup-batch/"
+             "--scrub-chunks require --incremental: the chunk-store service "
+             "only exists for the incremental store";
     }
     if (incremental && forked_checkpointing) {
       return "--incremental and forked checkpointing are mutually "
              "exclusive (the chunk store serializes in-line)";
+    }
+    return "";
+  }
+
+  /// Validate the options that depend on the cluster shape, known only at
+  /// launch. Called by DmtcpControl before any process spawns: an
+  /// out-of-range service endpoint used to be caught (by an assert) only
+  /// when the coordinator assigned endpoints, after charges could already
+  /// be misattributed. Shard endpoints derive as (store_node + s) mod
+  /// num_nodes, so a valid base keeps every shard in range.
+  std::string validate_cluster(int num_nodes) const {
+    if (store_node >= num_nodes) {
+      return "--store-node " + std::to_string(store_node) +
+             " names a node outside the cluster (" +
+             std::to_string(num_nodes) + " node(s))";
+    }
+    if (coord_node < 0 || coord_node >= num_nodes) {
+      return "coordinator node " + std::to_string(coord_node) +
+             " is outside the cluster (" + std::to_string(num_nodes) +
+             " node(s))";
     }
     return "";
   }
@@ -217,6 +268,18 @@ struct DmtcpOptions {
         const long n = intval("--store-node");
         if (!err.empty()) return err;
         store_node = static_cast<i32>(n);
+      } else if (a == "--store-shards") {
+        const long n = intval("--store-shards");
+        if (!err.empty()) return err;
+        store_shards = static_cast<int>(n);
+      } else if (a == "--lookup-batch") {
+        const long n = intval("--lookup-batch");
+        if (!err.empty()) return err;
+        lookup_batch = static_cast<int>(n);
+      } else if (a == "--scrub-chunks") {
+        const long n = intval("--scrub-chunks");
+        if (!err.empty()) return err;
+        scrub_chunks = static_cast<u64>(n);
       } else {
         rest.push_back(a);
       }

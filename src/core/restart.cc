@@ -88,10 +88,10 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
   double total_decode_seconds = 0;
   u64 total_read_bytes = 0;
   // Chunk-store service mode: reads are charged to the node holding each
-  // chunk (first surviving replica), and every chunk read is one queued
-  // Fetch on the service.
+  // chunk (first surviving replica), and every chunk read is one Fetch RPC
+  // routed to the key's shard.
   std::map<NodeId, u64> fetch_by_node;
-  std::vector<u64> fetch_chunk_bytes;
+  std::vector<std::pair<ckptstore::ChunkKey, u64>> fetch_chunks;
   for (const auto& path : args.images) {
     auto inode = k.fs_for(self.node(), path).lookup(path);
     DSIM_CHECK_MSG(inode != nullptr, "dmtcp_restart: image not found");
@@ -130,7 +130,7 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
             const i32 holder = svc->placement().holder(ref.key);
             fetch_by_node[holder >= 0 ? holder : self.node()] +=
                 c->charged_bytes;
-            fetch_chunk_bytes.push_back(c->charged_bytes);
+            fetch_chunks.emplace_back(ref.key, c->charged_bytes);
           }
         }
         total_read_bytes += container.size();
@@ -340,24 +340,26 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
   const SimTime t_mem = ctx.now();
   {
     if (auto* svc = shared->store_service.get();
-        svc != nullptr && !fetch_chunk_bytes.empty()) {
-      // Chunk fetches queue on the store service (contending with any
-      // other host restarting concurrently)...
+        svc != nullptr && !fetch_chunks.empty()) {
+      // Chunk fetches are RPCs through the shard queues (contending with
+      // any other host restarting concurrently)...
       auto fq = std::make_shared<sim::CountLatch>(
-          static_cast<int>(fetch_chunk_bytes.size()));
-      for (const u64 b : fetch_chunk_bytes) {
-        svc->submit_fetch(b, [fq] { fq->done_one(); });
+          static_cast<int>(fetch_chunks.size()));
+      for (const auto& [key, b] : fetch_chunks) {
+        svc->submit_fetch(self.node(), key, b, [fq] { fq->done_one(); });
       }
       while (fq->remaining > 0) co_await fq->wq.wait(ctx.thread());
-      // ...and the bytes stream off the holding nodes' devices,
-      // concurrently across holders. These are *reads*: delta restart
-      // must never inflate the write counters (the split the device
-      // accounting regression test pins).
+      // ...and the bytes stream off the holding nodes' devices and over
+      // their NICs to this node, concurrently across holders. Device
+      // charges are *reads*: delta restart must never inflate the write
+      // counters (the split the device accounting regression test pins).
       auto rd = std::make_shared<sim::CountLatch>(
-          static_cast<int>(fetch_by_node.size()));
+          2 * static_cast<int>(fetch_by_node.size()));
       for (const auto& [holder, bytes] : fetch_by_node) {
         k.charge_storage_bg(holder, args.images[0], bytes, /*is_read=*/true,
                             [rd] { rd->done_one(); });
+        k.net().transfer(holder, self.node(), bytes,
+                         [rd] { rd->done_one(); });
       }
       while (rd->remaining > 0) co_await rd->wq.wait(ctx.thread());
     }

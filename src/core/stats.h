@@ -53,6 +53,21 @@ struct CkptRound {
   u64 store_lookups = 0;           // dedup lookups served this round
   double lookup_wait_seconds = 0;  // cumulative submit -> served wait
   double max_lookup_wait_seconds = 0;
+
+  // RPC-fabric view of the round: service requests traverse the simulated
+  // network (caller NIC -> endpoint message CPU -> return hop), so the
+  // lookup path has real network bytes and in-flight time.
+  u64 store_rpcs = 0;
+  u64 store_rpc_net_bytes = 0;
+  double store_rpc_net_wait_seconds = 0;
+
+  // Background store daemons, as observed at this round's close. Scrub and
+  // heal passes complete asynchronously, so a pass kicked at round N
+  // surfaces in round N+1's delta.
+  u64 scrubbed_chunks = 0;
+  u64 scrub_corrupt_chunks = 0;
+  u64 scrub_missing_chunks = 0;
+  u64 rereplicated_chunks = 0;
   double avg_lookup_wait_seconds() const {
     return store_lookups == 0
                ? 0.0

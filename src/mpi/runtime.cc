@@ -77,6 +77,7 @@ struct MpdState {
   i32 nwaited = 0;
   u8 keepalive_up = 0;
   u8 ctl_stage = 0;
+  u8 pad_[2] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<void> mpd_keepalive(sim::ProcessCtx& ctx, u32 role) {
@@ -244,6 +245,7 @@ struct BootState {
   i32 spawned = 0;
   i32 probe_fd = kNoFd;
   u8 probe_stage = 0;
+  u8 pad_[3] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> mpdboot_main(sim::ProcessCtx& ctx) {
@@ -302,6 +304,7 @@ struct MpirunState {
   i32 nwait_sent = 0;
   i32 nwait_done = 0;
   u8 stage = 0;
+  u8 pad_[3] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> mpd_mpirun_main(sim::ProcessCtx& ctx) {
@@ -376,6 +379,7 @@ struct OrtedState {
   i32 nkids = 0;
   i32 nwaited = 0;
   u8 ctl_stage = 0;
+  u8 pad_[3] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> orted_main(sim::ProcessCtx& ctx) {
@@ -441,6 +445,7 @@ struct OrteRunState {
   i32 nspawned = 0;
   i32 nwait_sent = 0;
   u8 stage = 0;
+  u8 pad_[3] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> orte_mpirun_main(sim::ProcessCtx& ctx) {

@@ -1,0 +1,43 @@
+#include "rpc/rpc.h"
+
+#include <algorithm>
+
+#include "sim/model_params.h"
+
+namespace dsim::rpc {
+
+void RpcFabric::call(NodeId from, NodeId to, u64 request_bytes,
+                     u64 response_bytes, Handler serve,
+                     std::function<void()> done) {
+  stats_.calls++;
+  stats_.net_bytes += request_bytes + response_bytes;
+  const SimTime sent = loop_.now();
+  net_.transfer(
+      from, to, request_bytes,
+      [this, from, to, response_bytes, sent, serve = std::move(serve),
+       done = std::move(done)]() mutable {
+        stats_.net_wait_seconds += to_seconds(loop_.now() - sent);
+        // Dispatch CPU, serialized per endpoint node: requests that arrived
+        // together queue behind one message processor.
+        SimTime& busy = msg_cpu_busy_[to];
+        busy = std::max(loop_.now(), busy) + sim::params::kRpcMessageCpu;
+        stats_.endpoint_cpu_seconds +=
+            to_seconds(sim::params::kRpcMessageCpu);
+        loop_.post_at(
+            busy, [this, from, to, response_bytes, serve = std::move(serve),
+                   done = std::move(done)]() mutable {
+              serve([this, from, to, response_bytes,
+                     done = std::move(done)]() mutable {
+                const SimTime replied = loop_.now();
+                net_.transfer(to, from, response_bytes,
+                              [this, replied, done = std::move(done)] {
+                                stats_.net_wait_seconds +=
+                                    to_seconds(loop_.now() - replied);
+                                done();
+                              });
+              });
+            });
+      });
+}
+
+}  // namespace dsim::rpc

@@ -1,0 +1,76 @@
+// Request/response RPC fabric over the simulated cluster network.
+//
+// PR 3's chunk-store service queued requests that *teleported* to it: no NIC
+// hop, no message CPU — the storage queue reproduced the Fig.-5b contention
+// shape while the paper's actual bottleneck (coordinator/peer messages over
+// Gigabit Ethernet, §4.3) was missing entirely. This layer makes a service
+// request a real message:
+//
+//   caller NIC egress          endpoint message CPU        endpoint NIC
+//   (request_bytes)     --->   (serialized per node)  ---> (response_bytes)
+//        |                          |                           |
+//        +--- sim::Network hop -----+--- handler runs here -----+--> done()
+//
+// Each call charges the caller's NIC egress device for the request, a
+// per-message CPU cost serialized at the endpoint node (two shards on one
+// node share one message processor, exactly as two services on one host
+// share its cores), and the endpoint's NIC for the response. Transfers ride
+// the same egress devices as application sockets, so RPC traffic contends
+// with the computation's own traffic and inherits Network::set_jitter.
+//
+// The fabric is deliberately one-way-at-a-time and callback-shaped: the
+// chunk-store service composes it with per-shard FIFO queues, and per-shard
+// ordering holds because every stage (caller egress, message CPU, shard
+// queue, endpoint egress) is itself FIFO.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "sim/event_loop.h"
+#include "sim/net.h"
+#include "util/types.h"
+
+namespace dsim::rpc {
+
+/// Cumulative fabric statistics. The coordinator snapshots deltas into each
+/// CkptRound so per-round network bytes/waits on the lookup path are
+/// observable.
+struct RpcStats {
+  u64 calls = 0;
+  u64 net_bytes = 0;            // request + response bytes over the fabric
+  double net_wait_seconds = 0;  // cumulative in-flight time, both hops
+  double endpoint_cpu_seconds = 0;
+};
+
+class RpcFabric {
+ public:
+  RpcFabric(sim::EventLoop& loop, sim::Network& net)
+      : loop_(loop), net_(net) {}
+
+  using Reply = std::function<void()>;
+  /// Runs at the endpoint once the request hop and message CPU are paid;
+  /// invokes `reply` when the response payload is ready (the fabric then
+  /// charges the return hop).
+  using Handler = std::function<void(Reply reply)>;
+
+  /// Issue one RPC from node `from` to node `to`. `done` fires back at the
+  /// caller after the response hop completes. `from == to` rides the
+  /// loopback path (a service colocated with its client still pays message
+  /// CPU, just not the wire).
+  void call(NodeId from, NodeId to, u64 request_bytes, u64 response_bytes,
+            Handler serve, std::function<void()> done);
+
+  const RpcStats& stats() const { return stats_; }
+
+ private:
+  sim::EventLoop& loop_;
+  sim::Network& net_;
+  /// Per-node serial message processor: the busy-until chain that makes N
+  /// concurrent requests to one endpoint node pay their dispatch CPU one
+  /// after another.
+  std::map<NodeId, SimTime> msg_cpu_busy_;
+  RpcStats stats_;
+};
+
+}  // namespace dsim::rpc

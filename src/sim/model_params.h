@@ -97,6 +97,22 @@ inline constexpr double kStoreServiceBw = 180e6;
 inline constexpr SimTime kStoreServiceLatency = 250 * timeconst::kMicrosecond;
 inline constexpr u64 kStoreLookupBytes = 4 * 1024;
 
+// --- Chunk-store RPC fabric --------------------------------------------------
+// Service requests are real messages over the cluster network (src/rpc/):
+// each RPC charges the caller's NIC egress for the request, a serialized
+// per-message dispatch CPU at the endpoint node, and the endpoint's NIC for
+// the response. Batched lookups amortize the header + dispatch cost over K
+// keys — the latency/amortization trade-off `--lookup-batch` exposes.
+inline constexpr SimTime kRpcMessageCpu = 15 * timeconst::kMicrosecond;
+inline constexpr u64 kRpcHeaderBytes = 256;
+inline constexpr u64 kRpcLookupKeyBytes = 48;      // key + len on the wire
+inline constexpr u64 kRpcLookupVerdictBytes = 24;  // per-key reply payload
+// Background re-replication daemon: scan delay after a node failure, and a
+// bound on concurrent chunk heals so the daemon does not starve foreground
+// lookups on the shard queues.
+inline constexpr SimTime kRereplicateDelay = 2 * timeconst::kMillisecond;
+inline constexpr int kRereplicateWindow = 8;
+
 // --- Coordinator protocol ---------------------------------------------------
 inline constexpr SimTime kCoordMsgCpu = 6 * timeconst::kMicrosecond;
 

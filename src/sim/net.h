@@ -28,6 +28,12 @@ class Network {
   void set_jitter(Rng* rng, double sigma);
   int num_nodes() const { return static_cast<int>(egress_.size()); }
 
+  /// Per-node NIC egress device, read-only (byte counters for tests and the
+  /// RPC-path accounting checks: traffic that claims to cross the network
+  /// must show up here).
+  const StorageDevice& egress(NodeId node) const { return *egress_[node]; }
+  const StorageDevice& loopback(NodeId node) const { return *loopback_[node]; }
+
  private:
   EventLoop& loop_;
   std::vector<std::unique_ptr<StorageDevice>> egress_;    // NIC per node

@@ -23,6 +23,7 @@ using sim::Task;
 struct CollState {
   u64 step = 0;
   u8 init_done = 0;
+  u8 pad_[7] = {};  // explicit: stored state must have no padding bits
 };
 
 // coll_check <result> <rank> <np> <nnodes>: runs each collective and

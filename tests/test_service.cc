@@ -15,6 +15,7 @@
 #include "sim/cluster.h"
 #include "tests/testprogs.h"
 #include "tests/testutil.h"
+#include "util/rng.h"
 
 namespace dsim::test {
 namespace {
@@ -142,38 +143,82 @@ TEST(Placement, ReplicaTwoSurvivesOneNodeFailure) {
 
 // --- service request queue ---------------------------------------------------
 
+std::vector<ChunkKey> keys_range(u64 from, u64 to) {
+  std::vector<ChunkKey> out;
+  for (u64 i = from; i < to; ++i) out.push_back(key_of(i));
+  return out;
+}
+
 TEST(Service, LookupsAreServedFifoAndWaitsGrowWithQueueDepth) {
   sim::EventLoop loop;
-  ChunkStoreService svc(loop, 4, 1);
-  // Two "ranks" submit lookup batches back to back; the queue serves them
-  // FIFO, so rank B's batch completes after rank A's and per-lookup waits
-  // grow with queue depth.
+  sim::Network net(loop, 4);
+  ChunkStoreService svc(loop, net, 1);  // one shard, one queue
+  // Two batches submitted back to back from one node: the NIC preserves
+  // their order and the shard queue serves them FIFO, so batch B completes
+  // after batch A and per-lookup waits grow with queue depth.
   SimTime done_a = 0, done_b = 0;
-  svc.submit_lookups(50, [&] { done_a = loop.now(); });
-  svc.submit_lookups(50, [&] { done_b = loop.now(); });
+  svc.submit_lookups(0, keys_range(0, 50), [&] { done_a = loop.now(); });
+  svc.submit_lookups(0, keys_range(50, 100), [&] { done_b = loop.now(); });
   loop.run();
   ASSERT_GT(done_a, 0);
   ASSERT_GT(done_b, 0);
   EXPECT_GT(done_b, done_a);  // FIFO: B queued behind A's 50 probes
   const auto& ss = svc.stats();
   EXPECT_EQ(ss.lookup_requests, 100u);
+  EXPECT_EQ(ss.lookup_batches, 100u);  // default: one key per RPC
   EXPECT_GT(ss.avg_lookup_wait_seconds(), 0.0);
   // The last probe waited behind 99 others; its wait dominates the mean.
   EXPECT_GT(ss.max_lookup_wait_seconds,
             1.5 * ss.avg_lookup_wait_seconds());
 }
 
-TEST(Service, StoreFetchDropAccountTheQueue) {
+TEST(Service, LookupsTraverseTheNetwork) {
   sim::EventLoop loop;
-  ChunkStoreService svc(loop, 4, 2);
+  sim::Network net(loop, 4);
+  ChunkStoreService svc(loop, net, 1);
+  svc.set_endpoints({2});
+  bool done = false;
+  svc.submit_lookups(0, keys_range(0, 10), [&] { done = true; });
+  loop.run();
+  ASSERT_TRUE(done);
+  // Requests left node 0's NIC, responses left the endpoint's, and both
+  // hops accumulated in-flight time in the fabric stats.
+  EXPECT_GT(net.egress(0).total_submitted_bytes(), 0u);
+  EXPECT_GT(net.egress(2).total_submitted_bytes(), 0u);
+  EXPECT_EQ(svc.fabric().stats().calls, 10u);
+  EXPECT_GT(svc.fabric().stats().net_bytes, 0u);
+  EXPECT_GT(svc.fabric().stats().net_wait_seconds, 0.0);
+}
+
+TEST(Service, BatchedLookupsAmortizeRpcsAndCompleteInSubmitOrder) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 4);
+  ChunkStoreService batched(loop, net, 1, /*shards=*/1, /*lookup_batch=*/8);
+  std::vector<int> order;
+  for (int wave = 0; wave < 5; ++wave) {
+    batched.submit_lookups(0, keys_range(100u * wave, 100u * wave + 24),
+                           [&order, wave] { order.push_back(wave); });
+  }
+  loop.run();
+  // Every stage of the path (caller NIC, message CPU, shard queue, return
+  // NIC) is FIFO, so waves complete exactly in submit order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(batched.stats().lookup_requests, 120u);
+  EXPECT_EQ(batched.stats().lookup_batches, 15u);  // 24 keys -> 3 RPCs of 8
+}
+
+TEST(Service, StoreFetchDropAccountTheShardQueues) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 4);
+  ChunkStoreService svc(loop, net, 2);
   bool stored = false, fetched = false;
-  const auto homes = svc.submit_store(key_of(1), 64 * 1024,
+  const auto homes = svc.submit_store(0, key_of(1), 64 * 1024,
                                       [&] { stored = true; });
   EXPECT_EQ(homes.size(), 2u);
   // Dedup hit: the same key stores no new copies but still queues.
-  EXPECT_TRUE(svc.submit_store(key_of(1), 64 * 1024, [] {}).empty());
-  svc.submit_fetch(64 * 1024, [&] { fetched = true; });
-  svc.submit_drop(32 * 1024);
+  EXPECT_TRUE(svc.submit_store(0, key_of(1), 64 * 1024, [] {}).empty());
+  svc.submit_fetch(0, key_of(1), 64 * 1024, [&] { fetched = true; });
+  svc.submit_drop(0, key_of(9), 32 * 1024);
   loop.run();
   EXPECT_TRUE(stored);
   EXPECT_TRUE(fetched);
@@ -182,7 +227,129 @@ TEST(Service, StoreFetchDropAccountTheQueue) {
   EXPECT_EQ(ss.fetch_requests, 1u);
   EXPECT_EQ(ss.drop_requests, 1u);
   EXPECT_EQ(ss.fetch_bytes, 64u * 1024);
-  EXPECT_EQ(svc.device().total_discarded_bytes(), 32u * 1024);
+  EXPECT_EQ(svc.shard_device(svc.shard_of(key_of(9)))
+                .total_discarded_bytes(),
+            32u * 1024);
+}
+
+// --- sharding ----------------------------------------------------------------
+
+TEST(Sharding, SameKeyAlwaysHitsTheSameShard) {
+  sim::EventLoop loop_a, loop_b;
+  sim::Network net_a(loop_a, 4), net_b(loop_b, 8);
+  // Same shard count, different loops/clusters: routing is a pure function
+  // of (key, shard count), so every key agrees across instances and runs.
+  ChunkStoreService a(loop_a, net_a, 1, /*shards=*/4);
+  ChunkStoreService b(loop_b, net_b, 2, /*shards=*/4);
+  std::vector<int> population(4, 0);
+  for (u64 i = 0; i < 512; ++i) {
+    const int s = a.shard_of(key_of(i));
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    EXPECT_EQ(s, b.shard_of(key_of(i)));
+    population[static_cast<size_t>(s)]++;
+  }
+  // Rendezvous spreads keys: no shard is starved or grossly hot.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_GT(population[static_cast<size_t>(s)], 512 / 16);
+    EXPECT_LT(population[static_cast<size_t>(s)], 512 / 2);
+  }
+}
+
+TEST(Sharding, MoreShardsCutPerLookupWaits) {
+  const auto run = [](int shards) {
+    sim::EventLoop loop;
+    sim::Network net(loop, 4);
+    ChunkStoreService svc(loop, net, 1, shards);
+    svc.submit_lookups(0, keys_range(0, 200), [] {});
+    loop.run();
+    return svc.stats().avg_lookup_wait_seconds();
+  };
+  const double one = run(1);
+  const double four = run(4);
+  ASSERT_GT(one, 0.0);
+  ASSERT_GT(four, 0.0);
+  // Four independent queues drain the same probe load with materially less
+  // queueing than one — the knee moves right with the shard count.
+  EXPECT_LT(four, 0.6 * one);
+}
+
+TEST(Sharding, JitteredRpcCompletionStillPreservesPerShardFifo) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 4);
+  Rng rng(0x7177E12);
+  net.set_jitter(&rng, 0.25);  // heavy multiplicative transfer noise
+  ChunkStoreService svc(loop, net, 1, /*shards=*/2, /*lookup_batch=*/4);
+  // Route every wave at a single shard so the FIFO claim is per-shard, and
+  // submit from one caller so the NIC hop is ordered too.
+  std::vector<ChunkKey> shard0;
+  for (u64 i = 0; shard0.size() < 60; ++i) {
+    if (svc.shard_of(key_of(i)) == 0) shard0.push_back(key_of(i));
+  }
+  std::vector<int> order;
+  for (int wave = 0; wave < 5; ++wave) {
+    std::vector<ChunkKey> batch(shard0.begin() + 12 * wave,
+                                shard0.begin() + 12 * (wave + 1));
+    svc.submit_lookups(1, batch, [&order, wave] { order.push_back(wave); });
+  }
+  loop.run();
+  // Jitter stretches individual transfers but cannot reorder a FIFO chain:
+  // waves from one caller to one shard complete in submit order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// --- re-replication ----------------------------------------------------------
+
+TEST(Rereplication, DaemonRestoresReplicaStrengthAfterNodeFailure) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 4);
+  ChunkStoreService svc(loop, net, /*replicas=*/2, /*shards=*/2);
+  for (u64 i = 0; i < 120; ++i) {
+    svc.submit_store(0, key_of(i), 16 * 1024, [] {});
+  }
+  loop.run();
+  ASSERT_EQ(svc.placement().degraded_count(), 0u);
+
+  const auto cluster_nic_bytes = [&] {
+    u64 total = 0;
+    for (NodeId n = 0; n < 4; ++n) {
+      total += net.egress(n).total_submitted_bytes() +
+               net.loopback(n).total_submitted_bytes();
+    }
+    return total;
+  };
+  const u64 nic_before = cluster_nic_bytes();
+  svc.fail_node(1);
+  ASSERT_GT(svc.placement().degraded_count(), 0u);
+  loop.run();  // the daemon walks degraded chunks through the shard queues
+  EXPECT_EQ(svc.placement().degraded_count(), 0u);
+  EXPECT_TRUE(svc.rereplication_idle());
+  EXPECT_GT(svc.stats().rereplicated_chunks, 0u);
+  EXPECT_EQ(svc.stats().rereplicated_bytes,
+            svc.stats().rereplicated_chunks * 16 * 1024);
+  // The copies really moved: every healed chunk crossed a surviving
+  // holder's NIC (or loopback) on its way to the fresh home.
+  EXPECT_GE(cluster_nic_bytes() - nic_before,
+            svc.stats().rereplicated_bytes);
+  // The true test of strength: losing a *second* node now loses nothing,
+  // which would be false for any chunk whose homes had been {1, dead}.
+  svc.fail_node(2);
+  EXPECT_EQ(svc.placement().lost_chunks(), 0u);
+}
+
+TEST(Rereplication, SingleReplicaStoresHaveNothingToHeal) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 4);
+  ChunkStoreService svc(loop, net, /*replicas=*/1);
+  for (u64 i = 0; i < 50; ++i) {
+    svc.submit_store(0, key_of(i), 4 * 1024, [] {});
+  }
+  loop.run();
+  svc.fail_node(1);
+  loop.run();
+  // R=1 losses are not degraded, they are gone: the daemon must not invent
+  // copies (the encode path's forward-heal re-stores them from content).
+  EXPECT_EQ(svc.stats().rereplicated_chunks, 0u);
 }
 
 // --- FastCDC -----------------------------------------------------------------
@@ -298,6 +465,15 @@ DmtcpOptions service_opts(int replicas = 1) {
   return o;
 }
 
+/// Give `pid` a deterministic real-content ballast so the checkpoint spans
+/// enough chunks that every node holds some of them.
+void add_ballast(World& w, Pid pid, u64 bytes, u64 seed) {
+  sim::Process* p = w.k().find_process(pid);
+  ASSERT_NE(p, nullptr);
+  auto& seg = p->mem().add("ballast", sim::MemKind::kHeap, bytes);
+  seg.data.fill(0, bytes, ExtentKind::kRand, seed);
+}
+
 /// Launch `ranks` compute processes (one per node) with private ballast,
 /// checkpoint once, and return the round.
 core::CkptRound contended_round(World& w, int ranks, u64 ballast) {
@@ -333,6 +509,154 @@ TEST(ServiceE2E, LookupWaitGrowsWithRankCount) {
             1.5 * r2.avg_lookup_wait_seconds());
 }
 
+TEST(ServiceE2E, RoundReportsNetworkTrafficOnTheLookupPath) {
+  World w(4, service_opts());
+  const auto r = contended_round(w, 4, 1024 * 1024);
+  // Service requests really traverse the NIC: the round saw RPCs, network
+  // bytes, and in-flight time — none of which existed when requests
+  // teleported to the queue.
+  ASSERT_GT(r.store_lookups, 0u);
+  EXPECT_GE(r.store_rpcs, r.store_lookups);  // lookups + stores + drops
+  EXPECT_GT(r.store_rpc_net_bytes, 0u);
+  EXPECT_GT(r.store_rpc_net_wait_seconds, 0.0);
+}
+
+TEST(ServiceE2E, ShardsMoveTheContentionKneeRight) {
+  constexpr u64 kBallast = 1024 * 1024;
+  // Dedicated store nodes (8..11), as stdchk deploys its service: ranks
+  // compute on 0..7 and the shard endpoints never share a NIC with a
+  // rank's store burst.
+  auto opts1 = service_opts();
+  opts1.store_node = 8;
+  World w1(12, opts1);
+  const auto r1 = contended_round(w1, 8, kBallast);
+
+  auto opts4 = service_opts();
+  opts4.store_node = 8;
+  opts4.store_shards = 4;
+  World w4(12, opts4);
+  const auto r4 = contended_round(w4, 8, kBallast);
+
+  ASSERT_GT(r1.store_lookups, 0u);
+  ASSERT_EQ(r4.store_lookups, r1.store_lookups);  // same probe load
+  // Four shard queues drain eight ranks' probes with strictly less
+  // queueing than one: the average lookup wait drops materially.
+  EXPECT_LT(r4.avg_lookup_wait_seconds(),
+            0.7 * r1.avg_lookup_wait_seconds());
+}
+
+TEST(ServiceE2E, RereplicationHealsBeforeTheNextRoundCompletes) {
+  World w(4, service_opts(/*replicas=*/2));
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+  const Pid pb = w.ctl.launch(1, kComputeLoop, {"1000000", "200", "b"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  add_ballast(w, pa, 1024 * 1024, 0xAA);
+  add_ballast(w, pb, 1024 * 1024, 0xBB);
+  w.ctl.checkpoint_now();
+
+  auto& svc = *w.ctl.shared().store_service;
+  ASSERT_EQ(svc.placement().degraded_count(), 0u);
+  svc.fail_node(1);
+  ASSERT_GT(svc.placement().degraded_count(), 0u);
+
+  // The daemon heals in the background while the computation keeps
+  // running; by the time the next round closes every chunk is back at two
+  // copies.
+  const auto& round = w.ctl.checkpoint_now();
+  EXPECT_EQ(svc.placement().degraded_count(), 0u);
+  EXPECT_GT(svc.stats().rereplicated_chunks, 0u);
+  EXPECT_GT(round.rereplicated_chunks, 0u);
+  // Losing a second node after the heal still leaves every chunk readable
+  // — exactly what pre-heal homes {1, x} could not survive for x.
+  svc.fail_node(2);
+  EXPECT_EQ(svc.placement().lost_chunks(), 0u);
+  w.ctl.kill_computation();
+  const auto& rr = w.ctl.restart({{1, 3}, {2, 3}});
+  EXPECT_FALSE(rr.needs_restore);
+  EXPECT_EQ(rr.procs, 2);
+  ASSERT_TRUE(w.run_until_results({"a", "b"}));
+}
+
+TEST(ServiceE2E, ScrubReportsCorruptAndMissingChunks) {
+  auto opts = service_opts(/*replicas=*/1);
+  opts.scrub_chunks = 1u << 20;  // scrub the whole store every round
+  World w(4, opts);
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "400", "a"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  // Real content (not pattern ballast): only real containers can rot.
+  sim::Process* p = w.k().find_process(pa);
+  ASSERT_NE(p, nullptr);
+  auto& seg = p->mem().add("blob", sim::MemKind::kHeap, 512 * 1024);
+  seg.data.write(0, pseudo_bytes(512 * 1024, 0x5C12B));
+  w.ctl.checkpoint_now();
+
+  auto& svc = *w.ctl.shared().store_service;
+  // Round 1's pass (kicked at its close) saw a clean store.
+  w.ctl.run_for(100 * timeconst::kMillisecond);
+  EXPECT_GT(svc.stats().scrubbed_chunks, 0u);
+  EXPECT_EQ(svc.stats().scrub_corrupt_chunks, 0u);
+
+  // Rot one real chunk (same length, wrong content) and lose a node that
+  // does *not* hold it: the next pass must report exactly one corrupt
+  // chunk plus the failed node's chunks as missing. (No checkpoint in
+  // between — the encode path's forward-heal would re-store the losses
+  // before the scrubber could see them.)
+  ckptstore::Chunk* victim = nullptr;
+  ChunkKey victim_key{};
+  for (const auto& [key, chunk] : svc.repo().chunks_after(ChunkKey{}, 4096)) {
+    if (chunk->kind == sim::ExtentKind::kReal) {
+      victim = svc.repo().find_mutable(key);
+      victim_key = key;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  victim->stored = std::make_shared<const std::vector<std::byte>>(
+      compress::codec(compress::CodecKind::kNone)
+          .compress(pseudo_bytes(victim->len, 0xBAD)));
+  const NodeId dead = svc.placement().holder(victim_key) == 2 ? 3 : 2;
+  svc.fail_node(dead);
+  ASSERT_GT(svc.placement().lost_chunks(), 0u);
+
+  const u64 corrupt_before = svc.stats().scrub_corrupt_chunks;
+  svc.scrub(1u << 20, compress::CodecKind::kNone);
+  w.ctl.run_for(200 * timeconst::kMillisecond);  // the pass drains async
+  EXPECT_EQ(svc.stats().scrub_corrupt_chunks, corrupt_before + 1);
+  EXPECT_GT(svc.stats().scrub_missing_chunks, 0u);
+}
+
+// --- cluster-shape option validation ----------------------------------------
+
+TEST(Options, StoreFlagsParseAndValidate) {
+  DmtcpOptions o;
+  std::vector<std::string> argv{"--incremental", "--dedup-scope", "cluster",
+                                "--store-shards", "4",  "--lookup-batch",
+                                "8",             "--scrub-chunks", "64"};
+  EXPECT_EQ(o.apply_flags(argv), "");
+  EXPECT_TRUE(argv.empty());
+  EXPECT_EQ(o.store_shards, 4);
+  EXPECT_EQ(o.lookup_batch, 8);
+  EXPECT_EQ(o.scrub_chunks, 64u);
+
+  DmtcpOptions bad;
+  std::vector<std::string> zero{"--incremental", "--dedup-scope", "cluster",
+                                "--store-shards", "0"};
+  EXPECT_NE(bad.apply_flags(zero), "");
+  DmtcpOptions scoped;
+  std::vector<std::string> node_scope{"--incremental", "--store-shards", "2"};
+  EXPECT_NE(scoped.apply_flags(node_scope), "");  // needs cluster scope
+}
+
+TEST(Options, ClusterValidationRejectsOutOfRangeEndpoints) {
+  auto o = service_opts();
+  o.store_node = 7;
+  EXPECT_EQ(o.validate(), "");  // in isolation the flag parses fine...
+  EXPECT_NE(o.validate_cluster(4), "");  // ...but node 7 of 4 is refused
+  EXPECT_EQ(o.validate_cluster(8), "");
+  o.store_node = core::DmtcpOptions::kStoreNodeCoord;
+  EXPECT_EQ(o.validate_cluster(1), "");
+}
+
 TEST(ServiceE2E, ChunkWritesLandOnPlacementHomes) {
   // One rank on node 0, but its chunk copies scatter over all four nodes'
   // devices (rendezvous placement) instead of piling onto node 0.
@@ -346,15 +670,6 @@ TEST(ServiceE2E, ChunkWritesLandOnPlacementHomes) {
     }
   }
   EXPECT_GE(nodes_with_writes, 3);
-}
-
-/// Give `pid` a deterministic real-content ballast so the checkpoint spans
-/// enough chunks that every node holds some of them.
-void add_ballast(World& w, Pid pid, u64 bytes, u64 seed) {
-  sim::Process* p = w.k().find_process(pid);
-  ASSERT_NE(p, nullptr);
-  auto& seg = p->mem().add("ballast", sim::MemKind::kHeap, bytes);
-  seg.data.fill(0, bytes, ExtentKind::kRand, seed);
 }
 
 TEST(ServiceE2E, ReplicaFailoverRestartsAfterNodeLoss) {

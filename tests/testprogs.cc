@@ -24,6 +24,7 @@ struct PPSrvState {
   u64 i = 0;
   u32 crc = 0;
   u8 received = 0;
+  u8 pad_[3] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> pp_server_main(sim::ProcessCtx& ctx) {
@@ -94,10 +95,11 @@ Task<int> pp_server_main(sim::ProcessCtx& ctx) {
 // ---------------------------------------------------------------------------
 
 struct PPCliState {
-  i32 fd = kNoFd;
   u64 i = 0;
+  i32 fd = kNoFd;
   u32 crc = 0;
   u8 stage = 0;  // 0 = sending (buffer filled deterministically), 1 = reading
+  u8 pad_[7] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> pp_client_main(sim::ProcessCtx& ctx) {
@@ -228,12 +230,13 @@ Task<int> compute_loop_main(sim::ProcessCtx& ctx) {
 // ---------------------------------------------------------------------------
 
 struct PipeParentState {
+  u64 written = 0;
   i32 rfd = kNoFd;
   i32 wfd = kNoFd;
   i32 child = kNoPid;
-  u64 written = 0;
   u8 spawned = 0;
   u8 closed = 0;
+  u8 pad_[2] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> pipe_chain_main(sim::ProcessCtx& ctx) {
@@ -308,6 +311,7 @@ Task<int> pipe_chain_main(sim::ProcessCtx& ctx) {
 struct PipeChildState {
   u64 got = 0;
   u32 crc = 0;
+  u8 pad_[4] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> pipe_chain_child_main(sim::ProcessCtx& ctx) {
@@ -353,6 +357,7 @@ struct ShmState {
   u64 i = 0;
   u8 spawned = 0;
   u8 stage = 0;  // 0 increment, 1 token sent, 2 awaiting reply
+  u8 pad_[6] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> shm_pair_main(sim::ProcessCtx& ctx) {
@@ -430,6 +435,7 @@ Task<int> shm_pair_main(sim::ProcessCtx& ctx) {
 struct ShmChildState {
   u64 i = 0;
   u8 stage = 0;  // 0 awaiting token, 1 incremented (replying)
+  u8 pad_[7] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> shm_pair_child_main(sim::ProcessCtx& ctx) {
@@ -472,6 +478,7 @@ struct PtyState {
   u32 crc = 0;
   u8 stage = 0;  // 0 sending, 1 reading the transformed echo
   u8 worker_started = 0;
+  u8 pad_[2] = {};  // explicit: stored state must have no padding bits
 };
 
 Task<int> pty_shell_main(sim::ProcessCtx& ctx) {

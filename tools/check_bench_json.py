@@ -114,12 +114,20 @@ def check_service(path, data):
     for key in (
         "config",
         "sweep",
+        "batch.rpcs",
+        "batch.rpcs_batch1",
         "failover.r2_restart_ok",
+        "failover.r2_rereplicated_chunks",
+        "failover.r2_degraded_after_heal",
         "failover.r1_needs_restore",
         "failover.r1_lost_chunks",
         "summary.wait_ms_at_min_ranks",
         "summary.wait_ms_at_max_ranks",
+        "summary.wait_ms_shards4_at_max_ranks",
         "summary.contention_knee_visible",
+        "summary.shard_speedup",
+        "summary.shard_knee_shifted",
+        "summary.batch_rpc_reduction",
         "summary.replica_write_amplification",
     ):
         try:
@@ -132,6 +140,19 @@ def check_service(path, data):
         return fail(path, "empty rank sweep")
     if any(pt["lookups"] <= 0 for pt in data["sweep"]):
         rc |= fail(path, "a sweep point served no dedup lookups")
+    # Requests are RPCs over the simulated network: every sweep point must
+    # show nonzero network bytes and in-flight time on the lookup path.
+    for pt in data["sweep"]:
+        if "shards" not in pt:
+            rc |= fail(path, "sweep point missing 'shards'")
+            break
+        if pt.get("rpc_net_bytes", 0) <= 0 or pt.get("rpc_net_wait_ms", 0) <= 0:
+            rc |= fail(
+                path,
+                f"sweep point ranks={pt.get('ranks')} shards={pt.get('shards')}"
+                " shows no RPC network traffic: requests are teleporting",
+            )
+            break
     # The point of the service: lookups queue, so per-lookup wait must grow
     # with rank count (the Fig.-5b contention knee).
     lo = data["summary"]["wait_ms_at_min_ranks"]
@@ -144,6 +165,24 @@ def check_service(path, data):
         )
     if data["summary"]["contention_knee_visible"] is not True:
         rc |= fail(path, "contention knee not visible in the rank sweep")
+    # Sharding must move the knee right: the four-shard wait at max ranks
+    # stays strictly below the one-shard wait.
+    s4 = data["summary"]["wait_ms_shards4_at_max_ranks"]
+    if not (0 < s4 < hi):
+        rc |= fail(
+            path,
+            f"--store-shards=4 wait ({s4} ms) is not strictly below the "
+            f"one-shard wait ({hi} ms) at max ranks",
+        )
+    if data["summary"]["shard_knee_shifted"] is not True:
+        rc |= fail(path, "shard sweep did not shift the contention knee")
+    # Batching must amortize: K keys per RPC means materially fewer RPCs.
+    if data["summary"]["batch_rpc_reduction"] <= 1.0:
+        rc |= fail(
+            path,
+            f"batch_rpc_reduction={data['summary']['batch_rpc_reduction']}: "
+            "--lookup-batch=8 did not reduce the RPC count",
+        )
     amp = data["summary"]["replica_write_amplification"]
     if not 1.5 < amp < 2.5:
         rc |= fail(
@@ -154,6 +193,12 @@ def check_service(path, data):
     if data["failover"]["r2_restart_ok"] is not True:
         rc |= fail(path, "restart with --chunk-replicas=2 did not survive "
                          "the node failure")
+    if data["failover"]["r2_rereplicated_chunks"] <= 0:
+        rc |= fail(path, "the re-replication daemon healed no chunks after "
+                         "the R=2 node failure")
+    if data["failover"]["r2_degraded_after_heal"] != 0:
+        rc |= fail(path, "chunks were still replica-degraded after the "
+                         "re-replication daemon ran")
     if data["failover"]["r1_needs_restore"] is not True:
         rc |= fail(path, "restart with --chunk-replicas=1 did not report "
                          "the forced re-store after the node failure")
@@ -193,6 +238,10 @@ BASELINE_METRICS = {
             lambda d: max(p["ckpt_seconds"] for p in d["sweep"]), "lower"),
         "wait_ms_at_max_ranks": (
             lambda d: d["summary"]["wait_ms_at_max_ranks"], "lower"),
+        "wait_ms_shards4_at_max_ranks": (
+            lambda d: d["summary"]["wait_ms_shards4_at_max_ranks"], "lower"),
+        "shard_speedup": (
+            lambda d: d["summary"]["shard_speedup"], "higher"),
     },
 }
 
