@@ -149,8 +149,12 @@ FailoverResult run_failover(u64 lib_bytes, u64 priv_bytes) {
     w.ctl->checkpoint_now();
     auto& svc = *w.ctl->shared().store_service;
     svc.fail_node(1);
-    // The background daemon re-replicates every degraded chunk before the
-    // next round completes; the restart then reads only survivors.
+    // Membership detects the death (~misses x interval of silence), the
+    // failover manager kicks the background re-replication daemon, and the
+    // heal drains while the computation keeps running; the restart then
+    // reads only survivors. (bench_failover measures the mid-round kill —
+    // here the heal itself is the subject.)
+    w.ctl->run_for(150 * timeconst::kMillisecond);
     w.ctl->checkpoint_now();
     fr.r2_rereplicated_chunks = svc.stats().rereplicated_chunks;
     fr.r2_degraded_after_heal = svc.placement().degraded_count();

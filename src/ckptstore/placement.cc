@@ -65,6 +65,24 @@ bool ChunkPlacement::lost(const ChunkKey& key) const {
   return it != entries_.end() && entry_lost(it->second);
 }
 
+std::vector<NodeId> ChunkPlacement::homes_of(const ChunkKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? std::vector<NodeId>{} : it->second.homes;
+}
+
+bool ChunkPlacement::degraded(const ChunkKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  const size_t alive_nodes = static_cast<size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+  const size_t want = std::min<size_t>(static_cast<size_t>(replicas_),
+                                       alive_nodes);
+  const size_t alive_homes = static_cast<size_t>(std::count_if(
+      it->second.homes.begin(), it->second.homes.end(),
+      [&](NodeId n) { return node_alive(n); }));
+  return alive_homes > 0 && alive_homes < want;
+}
+
 std::vector<NodeId> ChunkPlacement::forget(const ChunkKey& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return {};

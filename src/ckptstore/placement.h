@@ -42,6 +42,15 @@ class ChunkPlacement {
   static constexpr i32 kNoHolder = -1;
   i32 holder(const ChunkKey& key) const;
   bool available(const ChunkKey& key) const { return holder(key) >= 0; }
+  /// The recorded homes of `key`, best-first as placed (dead ones
+  /// included). Restart filters this through the membership view so it
+  /// never fetches from a holder the cluster has declared dead.
+  std::vector<NodeId> homes_of(const ChunkKey& key) const;
+  /// True when `key` is recorded, has a surviving copy, and fewer alive
+  /// homes than min(replicas, alive nodes) — the per-key form of
+  /// degraded_chunks(), used by the scrubber to re-route stragglers into
+  /// the heal path.
+  bool degraded(const ChunkKey& key) const;
   /// True only for a *recorded* chunk whose every home is dead — the heal
   /// trigger. Distinct from !available(): an unrecorded key is not lost,
   /// its Store is simply still in flight somewhere this round.

@@ -8,22 +8,27 @@ namespace dsim::ckptstore {
 
 const Chunk* Repository::find(const ChunkKey& key) const {
   auto it = chunks_.find(key);
-  return it == chunks_.end() ? nullptr : &it->second.chunk;
+  return it == chunks_.end() || it->second.quarantined ? nullptr
+                                                       : &it->second.chunk;
 }
 
 Chunk* Repository::find_mutable(const ChunkKey& key) {
   auto it = chunks_.find(key);
-  return it == chunks_.end() ? nullptr : &it->second.chunk;
+  return it == chunks_.end() || it->second.quarantined ? nullptr
+                                                       : &it->second.chunk;
 }
 
 std::vector<std::pair<ChunkKey, const Chunk*>> Repository::chunks_after(
     const ChunkKey& cursor, size_t n) const {
   std::vector<std::pair<ChunkKey, const Chunk*>> out;
-  const size_t take = std::min(n, chunks_.size());
+  const size_t resident = chunks_.size() - static_cast<size_t>(quarantined_);
+  const size_t take = std::min(n, resident);
   auto it = chunks_.upper_bound(cursor);
   while (out.size() < take) {
     if (it == chunks_.end()) it = chunks_.begin();
-    out.emplace_back(it->first, &it->second.chunk);
+    if (!it->second.quarantined) {
+      out.emplace_back(it->first, &it->second.chunk);
+    }
     ++it;
   }
   return out;
@@ -32,14 +37,30 @@ std::vector<std::pair<ChunkKey, const Chunk*>> Repository::chunks_after(
 bool Repository::put(const ChunkKey& key, Chunk chunk) {
   stats_.put_requests++;
   auto [it, inserted] = chunks_.try_emplace(key);
-  if (!inserted) {
+  if (!inserted && !it->second.quarantined) {
     stats_.dedup_hits++;
     return false;
+  }
+  if (!inserted) {
+    // Forward re-store of a quarantined key: the fresh container replaces
+    // the rotten one; refcount records carried through the quarantine.
+    it->second.quarantined = false;
+    quarantined_--;
   }
   it->second.chunk = std::move(chunk);
   stats_.live_chunks++;
   stats_.live_stored_bytes += it->second.chunk.charged_bytes;
   return true;
+}
+
+u64 Repository::quarantine(const ChunkKey& key) {
+  auto it = chunks_.find(key);
+  if (it == chunks_.end() || it->second.quarantined) return 0;
+  it->second.quarantined = true;
+  quarantined_++;
+  stats_.live_chunks--;
+  stats_.live_stored_bytes -= it->second.chunk.charged_bytes;
+  return it->second.chunk.charged_bytes;
 }
 
 void Repository::add_owner_ref(Slot& slot, const std::string& owner) {
@@ -87,12 +108,18 @@ u64 Repository::release_generation(
     auto it = chunks_.find(k);
     DSIM_CHECK(it != chunks_.end());
     if (drop_owner_ref(it->second, owner)) {
-      reclaimed += it->second.chunk.charged_bytes;
-      if (reclaimed_out) {
-        reclaimed_out->push_back({k, it->second.chunk.charged_bytes});
+      if (it->second.quarantined) {
+        // A quarantined container's bytes were reclaimed at quarantine
+        // time; the last reference just releases the masked slot.
+        quarantined_--;
+      } else {
+        reclaimed += it->second.chunk.charged_bytes;
+        if (reclaimed_out) {
+          reclaimed_out->push_back({k, it->second.chunk.charged_bytes});
+        }
+        stats_.live_chunks--;
+        stats_.live_stored_bytes -= it->second.chunk.charged_bytes;
       }
-      stats_.live_chunks--;
-      stats_.live_stored_bytes -= it->second.chunk.charged_bytes;
       chunks_.erase(it);
     }
   }

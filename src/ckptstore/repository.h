@@ -44,8 +44,22 @@ class Repository {
 
   /// Store `chunk` under `key` if absent. Returns true when the chunk is
   /// new (its charged_bytes must be written to the device), false on a
-  /// dedup hit.
+  /// dedup hit. Re-putting a quarantined key replaces the rotten container
+  /// with the fresh one and counts as a new store — the forward re-store
+  /// path the scrubber's quarantine exists for.
   bool put(const ChunkKey& key, Chunk chunk);
+
+  /// Quarantine a chunk the scrubber found corrupt: find() stops returning
+  /// it (so the next generation's encode sees a miss and re-stores fresh
+  /// content) while its refcount records survive — GC stays correct for
+  /// the generations still referencing the key, and the re-put slots
+  /// straight back in. Returns the stored bytes the rotten container
+  /// occupied (the caller trims them from its devices), 0 if the key is
+  /// unknown or already quarantined.
+  u64 quarantine(const ChunkKey& key);
+  /// Keys currently masked by quarantine (restart pre-flights must treat
+  /// them as unavailable until a generation re-stores them).
+  u64 quarantined_count() const { return quarantined_; }
 
   /// Record a chunk submission answered by a resident chunk without going
   /// through put() (the encoder's find-first fast path). Keeps the
@@ -120,6 +134,10 @@ class Repository {
     /// Live generations per owner — tracks which chunks are shared across
     /// processes without a per-round sweep. Size > 1 means shared.
     std::map<std::string, int> owner_refs;
+    /// Scrub found the container rotten: masked from find()/chunks_after()
+    /// and excluded from live-bytes stats until re-put, but the refcount
+    /// records stay so GC semantics survive the quarantine window.
+    bool quarantined = false;
   };
   struct GenRec {
     std::vector<ChunkKey> keys;  // unique keys this generation pins
@@ -143,6 +161,7 @@ class Repository {
   std::map<ChunkKey, Slot> chunks_;
   std::map<std::string, std::map<int, GenRec>> generations_;
   u64 shared_chunks_ = 0;  // slots with owner_refs from > 1 owner
+  u64 quarantined_ = 0;    // slots currently masked by quarantine
   RepoStats stats_;
 };
 

@@ -1,10 +1,12 @@
 #include "ckptstore/service.h"
 
 #include <algorithm>
+#include <map>
 
 #include "sim/model_params.h"
 #include "util/assertx.h"
 #include "util/crc32.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace dsim::ckptstore {
@@ -16,7 +18,8 @@ ChunkStoreService::ChunkStoreService(sim::EventLoop& loop, sim::Network& net,
                                      int lookup_batch)
     : loop_(loop),
       net_(net),
-      fabric_(loop, net),
+      health_(std::make_shared<rpc::NodeHealth>(net.num_nodes())),
+      fabric_(loop, net, health_),
       lookup_batch_(lookup_batch),
       repo_(std::make_shared<Repository>()),
       placement_(net.num_nodes(), replicas) {
@@ -26,9 +29,11 @@ ChunkStoreService::ChunkStoreService(sim::EventLoop& loop, sim::Network& net,
   shards_.reserve(static_cast<size_t>(shards));
   endpoints_.reserve(static_cast<size_t>(shards));
   for (int s = 0; s < shards; ++s) {
-    shards_.push_back(Shard{std::make_unique<sim::StorageDevice>(
-        loop, "chunkstore" + std::to_string(s), params::kStoreServiceBw,
-        params::kStoreServiceLatency)});
+    shards_.push_back(Shard{std::make_shared<sim::StorageDevice>(
+                                loop, "chunkstore" + std::to_string(s),
+                                params::kStoreServiceBw,
+                                params::kStoreServiceLatency),
+                            {}});
     // Default spread until the coordinator assigns real endpoints.
     endpoints_.push_back(static_cast<NodeId>(s % net.num_nodes()));
   }
@@ -44,20 +49,91 @@ void ChunkStoreService::set_endpoints(std::vector<NodeId> nodes) {
   endpoints_ = std::move(nodes);
 }
 
-int ChunkStoreService::shard_of(const ChunkKey& key) const {
+int ChunkStoreService::shard_of_n(const ChunkKey& key, int shards) {
   // Rendezvous over shard ids, exactly like node placement: the winning
-  // shard for a key never changes while the shard count holds, and keys
-  // spread uniformly for any key structure (full avalanche per input).
+  // shard for a key never changes while the shard count holds, keys spread
+  // uniformly for any key structure (full avalanche per input), and a
+  // shard-count change reassigns exactly the keys whose winner changed.
   int best = 0;
   u64 best_score = 0;
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  for (int s = 0; s < shards; ++s) {
     const u64 score =
         mix64(key.hi ^ mix64(key.lo ^ mix64(0xC4A6u + static_cast<u64>(s))));
     if (s == 0 || score > best_score) {
       best_score = score;
-      best = static_cast<int>(s);
+      best = s;
     }
   }
+  return best;
+}
+
+std::shared_ptr<ChunkStoreService::ShardRequest>
+ChunkStoreService::make_request(NodeId from, u64 request_bytes,
+                                u64 response_bytes,
+                                rpc::RpcFabric::Handler serve,
+                                std::function<void()> done) {
+  auto req = std::make_shared<ShardRequest>();
+  req->from = from;
+  req->request_bytes = request_bytes;
+  req->response_bytes = response_bytes;
+  req->serve = std::move(serve);
+  req->done = std::move(done);
+  return req;
+}
+
+rpc::RpcFabric::Handler ChunkStoreService::index_serve(int shard,
+                                                       bool is_read) const {
+  return [dev = shards_[static_cast<size_t>(shard)].dev,
+          is_read](rpc::RpcFabric::Reply reply) {
+    dev->submit(params::kStoreLookupBytes, std::move(reply), is_read);
+  };
+}
+
+void ChunkStoreService::shard_call(int shard,
+                                   std::shared_ptr<ShardRequest> req) {
+  fabric_.call(
+      req->from, endpoint_of(shard), req->request_bytes, req->response_bytes,
+      [req](rpc::RpcFabric::Reply reply) { req->serve(std::move(reply)); },
+      [req] { req->done(); },
+      [this, shard, req] { park(shard, std::move(req)); });
+}
+
+void ChunkStoreService::park(int shard, std::shared_ptr<ShardRequest> req) {
+  // A request can only fail against a shard that still exists: rebalance
+  // requires live endpoints at start and asserts nothing is parked, so a
+  // stale index here means those preconditions were violated.
+  DSIM_CHECK_MSG(shard >= 0 && shard < num_shards(),
+                 "request failed against a shard that was rebalanced away");
+  stats_.parked_requests++;
+  if (health_->up(endpoint_of(shard))) {
+    // The shard was already re-homed while this attempt was failing in
+    // flight: replay straight against the live endpoint.
+    stats_.replayed_requests++;
+    loop_.post_now(
+        [this, shard, req = std::move(req)] { shard_call(shard, req); });
+    return;
+  }
+  shards_[static_cast<size_t>(shard)].parked.push_back(std::move(req));
+}
+
+NodeId ChunkStoreService::pick_endpoint(int shard) const {
+  // Next live node in the shard's rendezvous order: independent uniform
+  // scores per (shard, node), highest live scorer wins — stable (a death
+  // promotes only the next-best scorer for the affected shards) and
+  // deterministic across runs.
+  i32 best = -1;
+  u64 best_score = 0;
+  for (NodeId n = 0; n < net_.num_nodes(); ++n) {
+    if (!health_->up(n)) continue;
+    const u64 score =
+        mix64(0xE19D ^ mix64(static_cast<u64>(shard) ^
+                             mix64(0x5EED ^ static_cast<u64>(n))));
+    if (best < 0 || score > best_score) {
+      best_score = score;
+      best = n;
+    }
+  }
+  DSIM_CHECK_MSG(best >= 0, "no live node left to host a shard endpoint");
   return best;
 }
 
@@ -88,66 +164,60 @@ void ChunkStoreService::submit_lookups(NodeId from,
                                   run.size() - at);
       stats_.lookup_batches++;
       const SimTime submitted = loop_.now();
-      const u64 req = params::kRpcHeaderBytes + n * params::kRpcLookupKeyBytes;
-      const u64 resp =
+      auto req = std::make_shared<ShardRequest>();
+      req->from = from;
+      req->request_bytes =
+          params::kRpcHeaderBytes + n * params::kRpcLookupKeyBytes;
+      req->response_bytes =
           params::kRpcHeaderBytes + n * params::kRpcLookupVerdictBytes;
-      fabric_.call(
-          from, endpoint_of(static_cast<int>(s)), req, resp,
-          [this, s, n](rpc::RpcFabric::Reply reply) {
-            // The batch's probes occupy the shard queue back to back; the
-            // response leaves when the last probe is served.
-            shards_[s].dev->submit(n * params::kStoreLookupBytes,
-                                   std::move(reply), /*is_read=*/true);
-          },
-          [this, submitted, n, remaining, all_done] {
-            const double wait = to_seconds(loop_.now() - submitted);
-            stats_.lookup_wait_seconds += wait * static_cast<double>(n);
-            if (wait > stats_.max_lookup_wait_seconds) {
-              stats_.max_lookup_wait_seconds = wait;
-            }
-            if ((*remaining -= n) == 0) (*all_done)();
-          });
+      req->serve = [dev = shards_[s].dev, n](rpc::RpcFabric::Reply reply) {
+        // The batch's probes occupy the shard queue back to back; the
+        // response leaves when the last probe is served.
+        dev->submit(n * params::kStoreLookupBytes, std::move(reply),
+                    /*is_read=*/true);
+      };
+      req->done = [this, submitted, n, remaining, all_done] {
+        const double wait = to_seconds(loop_.now() - submitted);
+        stats_.lookup_wait_seconds += wait * static_cast<double>(n);
+        if (wait > stats_.max_lookup_wait_seconds) {
+          stats_.max_lookup_wait_seconds = wait;
+        }
+        if ((*remaining -= n) == 0) (*all_done)();
+      };
+      shard_call(static_cast<int>(s), std::move(req));
     }
   }
 }
 
-std::vector<NodeId> ChunkStoreService::submit_store(
-    NodeId from, const ChunkKey& key, u64 charged_bytes,
-    std::function<void()> done) {
+void ChunkStoreService::queue_store(NodeId from, const ChunkKey& key,
+                                    u64 charged_bytes,
+                                    std::function<void()> done) {
   stats_.store_requests++;
   stats_.store_bytes += charged_bytes;
   const int s = shard_of(key);
   // The chunk travels to the shard in the request (caller NIC); the shard
   // does an index insert's worth of queue work and acks. The payload's
   // physical writes land on the placement homes' node devices, charged by
-  // the caller against the homes returned below — the shard queue is the
-  // metadata path, so store bursts do not stall other ranks' probes beyond
-  // their index share.
-  fabric_.call(
-      from, endpoint_of(s), params::kRpcHeaderBytes + charged_bytes,
-      params::kRpcHeaderBytes,
-      [this, s](rpc::RpcFabric::Reply reply) {
-        shards_[static_cast<size_t>(s)].dev->submit(
-            params::kStoreLookupBytes, std::move(reply), /*is_read=*/false);
-      },
-      std::move(done));
+  // the caller against the homes submit_store/submit_restore return — the
+  // shard queue is the metadata path, so store bursts do not stall other
+  // ranks' probes beyond their index share.
+  shard_call(s, make_request(from, params::kRpcHeaderBytes + charged_bytes,
+                             params::kRpcHeaderBytes,
+                             index_serve(s, /*is_read=*/false),
+                             std::move(done)));
+}
+
+std::vector<NodeId> ChunkStoreService::submit_store(
+    NodeId from, const ChunkKey& key, u64 charged_bytes,
+    std::function<void()> done) {
+  queue_store(from, key, charged_bytes, std::move(done));
   return placement_.record_store(key, charged_bytes);
 }
 
 std::vector<NodeId> ChunkStoreService::submit_restore(
     NodeId from, const ChunkKey& key, u64 charged_bytes,
     std::function<void()> done) {
-  stats_.store_requests++;
-  stats_.store_bytes += charged_bytes;
-  const int s = shard_of(key);
-  fabric_.call(
-      from, endpoint_of(s), params::kRpcHeaderBytes + charged_bytes,
-      params::kRpcHeaderBytes,
-      [this, s](rpc::RpcFabric::Reply reply) {
-        shards_[static_cast<size_t>(s)].dev->submit(
-            params::kStoreLookupBytes, std::move(reply), /*is_read=*/false);
-      },
-      std::move(done));
+  queue_store(from, key, charged_bytes, std::move(done));
   return placement_.re_place(key);
 }
 
@@ -159,26 +229,24 @@ void ChunkStoreService::submit_fetch(NodeId from, const ChunkKey& key,
   // Redirect-style fetch: the RPC carries metadata both ways, the shard
   // queue does an index probe to name the holder, and the bulk bytes
   // stream off the holding node (device + NIC, charged by the caller).
-  fabric_.call(
-      from, endpoint_of(s), params::kRpcHeaderBytes, params::kRpcHeaderBytes,
-      [this, s](rpc::RpcFabric::Reply reply) {
-        shards_[static_cast<size_t>(s)].dev->submit(
-            params::kStoreLookupBytes, std::move(reply), /*is_read=*/true);
-      },
-      std::move(done));
+  shard_call(s, make_request(from, params::kRpcHeaderBytes,
+                             params::kRpcHeaderBytes,
+                             index_serve(s, /*is_read=*/true),
+                             std::move(done)));
 }
 
 void ChunkStoreService::submit_drop(NodeId from, const ChunkKey& key,
                                     u64 bytes) {
   stats_.drop_requests++;
   const int s = shard_of(key);
-  fabric_.call(
-      from, endpoint_of(s), params::kRpcHeaderBytes, params::kRpcHeaderBytes,
-      [this, s, bytes](rpc::RpcFabric::Reply reply) {
-        shards_[static_cast<size_t>(s)].dev->discard(bytes);
-        reply();
-      },
-      [] {});
+  shard_call(s, make_request(
+                    from, params::kRpcHeaderBytes, params::kRpcHeaderBytes,
+                    [dev = shards_[static_cast<size_t>(s)].dev,
+                     bytes](rpc::RpcFabric::Reply reply) {
+                      dev->discard(bytes);
+                      reply();
+                    },
+                    [] {}));
 }
 
 void ChunkStoreService::charge_node(NodeId node, u64 bytes, bool is_read,
@@ -191,11 +259,82 @@ void ChunkStoreService::charge_node(NodeId node, u64 bytes, bool is_read,
 }
 
 void ChunkStoreService::fail_node(NodeId node) {
+  // Ground truth first, unconditionally: the instant the node dies its
+  // chunk copies are unreachable and its RPCs stop being chargeable. The
+  // *reaction* — heal kick, shard re-home, replay — is detection's job.
+  health_->fail(node);
+  placement_.fail_node(node);
+  if (death_router_) {
+    // Wired world: membership detects the silence (heartbeat misses) and
+    // its kDead event drives handle_node_death() through the failover
+    // manager, detection latency and all.
+    death_router_(node);
+  } else {
+    handle_node_death(node);
+  }
+}
+
+void ChunkStoreService::revive_node(NodeId node) {
+  if (revive_router_) {
+    // Wired world: membership readmits the node; a kSuspect/kDead ->
+    // kAlive transition drives handle_node_revival() through the failover
+    // manager. A revival *before the first miss* changes no membership
+    // state and fires no listener, so the reaction also runs directly —
+    // it is idempotent, and requests parked in that window must not
+    // strand.
+    revive_router_(node);
+  } else {
+    health_->revive(node);
+  }
+  handle_node_revival(node);
+}
+
+void ChunkStoreService::handle_node_revival(NodeId node) {
+  placement_.revive_node(node);
+  // Requests parked against this node's endpoints replay directly: the
+  // node never reached kDead (or just came back), so no re-home will ever
+  // flush those queues — without this they would strand forever.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (endpoints_[s] != node) continue;
+    auto parked = std::move(shards_[s].parked);
+    shards_[s].parked.clear();
+    for (auto& req : parked) {
+      stats_.replayed_requests++;
+      shard_call(static_cast<int>(s), std::move(req));
+    }
+  }
+}
+
+int ChunkStoreService::handle_node_death(NodeId node) {
+  // Idempotent reaction to a detected death: placement may already know
+  // (fail_node's ground truth), but a death declared by membership alone
+  // must land there too before heal scans run.
   placement_.fail_node(node);
   // Degraded (some alive homes, fewer than R) chunks are healable — kick
   // the daemon. Fully lost chunks are not: those wait for the encode path's
   // forward-heal (submit_restore) at the next generation.
   if (placement_.replicas() > 1) schedule_heal_scan();
+  // Re-home every shard stranded on the dead endpoint to the next live
+  // node in its rendezvous order, then replay its parked requests there in
+  // FIFO order — idempotent by chunk key, so callers see latency, never
+  // errors.
+  int rehomed = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (endpoints_[s] != node) continue;
+    endpoints_[s] = pick_endpoint(static_cast<int>(s));
+    stats_.rehomed_shards++;
+    ++rehomed;
+    LOG_INFO("chunk store: shard %zu re-homed from dead node %d to node %d "
+             "(%zu parked request(s) to replay)",
+             s, node, endpoints_[s], shards_[s].parked.size());
+    auto parked = std::move(shards_[s].parked);
+    shards_[s].parked.clear();
+    for (auto& req : parked) {
+      stats_.replayed_requests++;
+      shard_call(static_cast<int>(s), std::move(req));
+    }
+  }
+  return rehomed;
 }
 
 void ChunkStoreService::schedule_heal_scan() {
@@ -260,6 +399,7 @@ void ChunkStoreService::heal_one(const ChunkKey& key) {
 }
 
 void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
+  bool saw_degraded = false;
   const auto batch =
       repo_->chunks_after(scrub_cursor_, static_cast<size_t>(max_chunks));
   for (const auto& [key, chunk] : batch) {
@@ -274,9 +414,35 @@ void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
     if (!missing && chunk->kind == sim::ExtentKind::kReal) {
       corrupt = crc32(chunk->materialize(codec)) != chunk->crc;
     }
+    if (!missing && !corrupt && placement_.degraded(key)) {
+      // The walk tripped over a replica-degraded survivor (a death the heal
+      // daemon's one-shot scan may have raced past): route it back through
+      // the heal path.
+      saw_degraded = true;
+    }
     const size_t s = static_cast<size_t>(shard_of(key));
     const i32 holder = placement_.holder(key);
     const u64 read_bytes = chunk->charged_bytes;
+    if (corrupt) {
+      // Wire the report into the repair path instead of only counting it:
+      // quarantine the rotten container (the repo masks the key, so the
+      // next generation's encode sees a miss and re-stores fresh bytes
+      // from live content — the forward-heal/re-store path) and drop the
+      // dead copies from placement so restart pre-flights treat the chunk
+      // as unavailable until the re-store lands. Reclaim and trim stay
+      // paired, as everywhere: the rotten copies are trimmed from their
+      // surviving homes' devices and dropped from the owning shard's index
+      // at metadata rate.
+      stats_.scrub_quarantined_chunks++;
+      const u64 rotten = repo_->quarantine(key);
+      const std::vector<NodeId> homes = placement_.forget(key);
+      if (rotten > 0) {
+        for (NodeId home : homes) {
+          if (trimmer_) trimmer_(home, rotten);
+        }
+        submit_drop(endpoint_of(static_cast<int>(s)), key, rotten);
+      }
+    }
     shards_[s].dev->submit(
         params::kStoreLookupBytes,
         [this, corrupt, missing, holder, read_bytes] {
@@ -288,6 +454,130 @@ void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
           if (missing) stats_.scrub_missing_chunks++;
         },
         /*is_read=*/true);
+  }
+  if (saw_degraded && placement_.replicas() > 1) schedule_heal_scan();
+}
+
+void ChunkStoreService::rebalance(int new_shards,
+                                  std::vector<NodeId> new_endpoints,
+                                  std::function<void()> done) {
+  DSIM_CHECK_MSG(new_shards >= 1,
+                 "rebalance needs at least one shard to move keys to");
+  DSIM_CHECK_MSG(new_endpoints.size() == static_cast<size_t>(new_shards),
+                 "rebalance endpoint assignment must name one node per "
+                 "shard");
+  for (NodeId n : new_endpoints) {
+    DSIM_CHECK_MSG(health_->up(n),
+                   "rebalance assigns a shard endpoint to a dead node");
+  }
+  for (const Shard& s : shards_) {
+    DSIM_CHECK_MSG(s.parked.empty(),
+                   "rebalance with parked requests: finish failover first");
+  }
+  const int old_shards = num_shards();
+  const std::vector<NodeId> old_endpoints = endpoints_;
+  stats_.rebalances++;
+
+  // Consistent-hash key movement: enumerate the resident index and collect
+  // exactly the keys whose rendezvous winner changed with the shard count.
+  // Growing S -> S' moves only the keys the new shards won (~(S'-S)/S' of
+  // them); shrinking moves only the evicted shards' keys. Everything else
+  // stays where it is — the property that makes live resharding affordable.
+  struct Move {
+    ChunkKey key;
+    u64 bytes = 0;
+  };
+  std::map<std::pair<int, int>, std::vector<Move>> moves;  // (old,new) -> keys
+  u64 moved_keys = 0, moved_bytes = 0, scanned_keys = 0;
+  for (const auto& [key, chunk] :
+       repo_->chunks_after(ChunkKey{}, repo_->stats().live_chunks)) {
+    scanned_keys++;
+    stats_.rebalance_scanned_bytes += chunk->charged_bytes;
+    const int from = shard_of_n(key, old_shards);
+    const int to = shard_of_n(key, new_shards);
+    if (from == to) continue;
+    moves[{from, to}].push_back(Move{key, chunk->charged_bytes});
+    moved_keys++;
+    moved_bytes += chunk->charged_bytes;
+  }
+  stats_.rebalance_scanned_keys += scanned_keys;
+  stats_.rebalance_moved_keys += moved_keys;
+  stats_.rebalance_moved_bytes += moved_bytes;
+  LOG_INFO("chunk store: rebalancing %d -> %d shard(s): %llu of %llu keys "
+           "move",
+           old_shards, new_shards,
+           static_cast<unsigned long long>(moved_keys),
+           static_cast<unsigned long long>(scanned_keys));
+
+  // Swap in the new shard set first: foreground routing (there is none
+  // between rounds, but restarts may race in tests) immediately uses the
+  // new assignment, while the migration traffic below drains through both
+  // the old queues (index reads) and the new ones (index inserts). The old
+  // devices stay alive inside the batch closures until the last batch
+  // lands.
+  auto old_set =
+      std::make_shared<std::vector<Shard>>(std::move(shards_));
+  shards_.clear();
+  shards_.reserve(static_cast<size_t>(new_shards));
+  for (int s = 0; s < new_shards; ++s) {
+    shards_.push_back(Shard{std::make_shared<sim::StorageDevice>(
+                                loop_, "chunkstore" + std::to_string(s),
+                                params::kStoreServiceBw,
+                                params::kStoreServiceLatency),
+                            {}});
+  }
+  endpoints_ = std::move(new_endpoints);
+
+  // Count batches, then run them: each batch is an index read on the old
+  // shard's queue, one metadata RPC old endpoint -> new endpoint (header +
+  // per-key record), and an index insert on the new shard's queue.
+  u64 batches = 0;
+  for (const auto& [route, keys] : moves) {
+    batches += (keys.size() + params::kRebalanceBatchKeys - 1) /
+               params::kRebalanceBatchKeys;
+  }
+  if (batches == 0) {
+    loop_.post_now(std::move(done));
+    return;
+  }
+  auto remaining = std::make_shared<u64>(batches);
+  auto all_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (const auto& [route, keys] : moves) {
+    const auto [from_s, to_s] = route;
+    const NodeId from_ep = old_endpoints[static_cast<size_t>(from_s)];
+    const NodeId to_ep = endpoint_of(to_s);
+    const auto to_dev = shards_[static_cast<size_t>(to_s)].dev;
+    for (size_t at = 0; at < keys.size();
+         at += params::kRebalanceBatchKeys) {
+      const u64 n =
+          std::min<u64>(params::kRebalanceBatchKeys, keys.size() - at);
+      const u64 wire =
+          params::kRpcHeaderBytes + n * params::kRpcLookupKeyBytes;
+      const auto finish_batch = [remaining, all_done] {
+        if (--*remaining == 0) (*all_done)();
+      };
+      // Old shard queue: read the n index entries out...
+      (*old_set)[static_cast<size_t>(from_s)].dev->submit(
+          n * params::kStoreLookupBytes,
+          [this, old_set, from_ep, to_ep, to_dev, n, wire, finish_batch] {
+            // ...ship them endpoint to endpoint as one metadata RPC...
+            fabric_.call(
+                from_ep, to_ep, wire, params::kRpcHeaderBytes,
+                [to_dev, n](rpc::RpcFabric::Reply reply) {
+                  // ...and insert them into the new shard's queue.
+                  to_dev->submit(n * params::kStoreLookupBytes,
+                                 std::move(reply), /*is_read=*/false);
+                },
+                finish_batch,
+                // An endpoint death mid-rebalance: the batch's accounting
+                // is already recorded and the shard itself will be
+                // re-homed by the death's failover — count the batch done
+                // rather than stranding set_store_shards on a node that
+                // will never answer.
+                finish_batch);
+          },
+          /*is_read=*/true);
+    }
   }
 }
 

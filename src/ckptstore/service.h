@@ -17,22 +17,34 @@
 // The shard queue is the *metadata/index* path — chunk payloads physically
 // live on placement-home node devices and travel the network as RPC request
 // bodies, so they are charged to NICs and node devices, never double-charged
-// to the index queue (PR 3 charged stores at container size to the one
-// queue; with real transport that would count the same bytes twice and let
-// one rank's store burst stall every other rank's probes).
+// to the index queue.
 //
 // Chunk keys are rendezvous-hashed onto `shards` endpoints (stable: the same
-// key always reaches the same shard), each shard owning its own FIFO
-// sim::StorageDevice queue, so the contention knee bench_service exposes
-// moves right as shards are added. The coordinator assigns shard -> node at
-// startup (`--store-shards` endpoints from `--store-node` upward).
+// key always reaches the same shard while the shard count holds), each shard
+// owning its own FIFO sim::StorageDevice queue, so the contention knee
+// bench_service exposes moves right as shards are added. The coordinator
+// assigns shard -> node at startup.
 //
-// Two background daemons ride the same queues:
-//   - re-replication: after fail_node, replica-degraded chunks (alive homes
-//     < R but > 0) are re-copied from a surviving holder to fresh rendezvous
-//     homes until the store is back at `replicas` copies;
+// Failure tolerance (PR 5, src/cluster/): every service RPC carries a
+// failure path. A request whose endpoint node died *parks* on its shard
+// instead of erroring; when the membership service declares the node dead,
+// the failover manager re-homes the shard to the next live node in the
+// shard's rendezvous order and the parked requests replay there in FIFO
+// order. Requests are idempotent by chunk key, so callers observe elevated
+// latency — never an error. Changing the shard count between rounds runs a
+// consistent-hash rebalance: only the keys whose rendezvous winner changed
+// migrate, in batched metadata RPCs through the normal queues.
+//
+// Three background activities ride the same queues:
+//   - re-replication: after a node death, replica-degraded chunks (alive
+//     homes < R but > 0) are re-copied from a surviving holder to fresh
+//     rendezvous homes until the store is back at `replicas` copies;
 //   - scrubbing: scrub(N, codec) verifies up to N resident chunks per round
-//     against their manifest CRCs, counting corrupt/missing chunks.
+//     against their manifest CRCs. Corrupt chunks are *quarantined* (repo
+//     entry masked, placement forgotten) so the next generation's encode
+//     re-stores them fresh from live content — the forward-heal path;
+//     degraded survivors the scan trips over are routed to the heal daemon.
+//   - rebalancing: see above.
 //
 // The service charges its shard queues and the RPC fabric. Physical bytes
 // land on node-local devices through the injected DeviceCharger (stores and
@@ -81,6 +93,20 @@ struct ServiceStats {
   u64 scrubbed_chunks = 0;
   u64 scrub_corrupt_chunks = 0;  // content no longer matches its CRC
   u64 scrub_missing_chunks = 0;  // no surviving replica holds the bytes
+  /// Corrupt chunks the scrubber quarantined for forward re-store (the next
+  /// generation's encode writes them fresh from live content).
+  u64 scrub_quarantined_chunks = 0;
+  // Shard failover: requests that found their endpoint dead and parked,
+  // requests re-issued after a re-home, and shards re-homed.
+  u64 parked_requests = 0;
+  u64 replayed_requests = 0;
+  u64 rehomed_shards = 0;
+  // Consistent-hash rebalancing (shard-count changes between rounds).
+  u64 rebalances = 0;
+  u64 rebalance_moved_keys = 0;
+  u64 rebalance_moved_bytes = 0;    // stored bytes of reassigned keys
+  u64 rebalance_scanned_keys = 0;   // resident keys examined across passes
+  u64 rebalance_scanned_bytes = 0;  // stored bytes examined across passes
   double avg_lookup_wait_seconds() const {
     return lookup_requests == 0 ? 0.0
                                 : lookup_wait_seconds /
@@ -102,9 +128,14 @@ class ChunkStoreService {
   void set_endpoints(std::vector<NodeId> nodes);
   const std::vector<NodeId>& endpoints() const { return endpoints_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  /// Rendezvous hash of `key` over the shard set — a pure function of
-  /// (key, shard count), so the same key hits the same shard in every run.
-  int shard_of(const ChunkKey& key) const;
+  /// Rendezvous hash of `key` over `shards` endpoints — a pure function of
+  /// (key, shard count), so the same key hits the same shard in every run
+  /// and a shard-count change reassigns exactly the keys whose winner
+  /// changed (the consistent-hashing property rebalance() relies on).
+  static int shard_of_n(const ChunkKey& key, int shards);
+  int shard_of(const ChunkKey& key) const {
+    return shard_of_n(key, num_shards());
+  }
 
   /// The cluster-scope repository (shared so DmtcpShared::repos can alias
   /// it — stats aggregation and migration keep working unchanged).
@@ -112,6 +143,9 @@ class ChunkStoreService {
   Repository& repo() { return *repo_; }
   ChunkPlacement& placement() { return placement_; }
   const ChunkPlacement& placement() const { return placement_; }
+  /// The cluster's shared RPC liveness map (ground truth of node death;
+  /// the membership service's fabric shares it).
+  const std::shared_ptr<rpc::NodeHealth>& health() const { return health_; }
 
   /// Node-device charging hook (kernel charge_storage_bg, injected by core:
   /// the daemons must land replica copies and verification reads on node
@@ -121,6 +155,27 @@ class ChunkStoreService {
       NodeId node, u64 bytes, bool is_read, std::function<void()> done)>;
   void set_device_charger(DeviceCharger charger) {
     charger_ = std::move(charger);
+  }
+  /// Node-device trim hook (kernel discard_storage, injected by core): the
+  /// scrubber's quarantine must drop the rotten container's bytes from the
+  /// placement homes' devices, exactly as GC pairs every reclaim with a
+  /// trim. Unset: only the owning shard's metadata queue records the drop.
+  using DeviceTrimmer = std::function<void(NodeId node, u64 bytes)>;
+  void set_device_trimmer(DeviceTrimmer trimmer) {
+    trimmer_ = std::move(trimmer);
+  }
+
+  /// Death/revival routing hooks. When set (the wired DMTCP world),
+  /// fail_node()/revive_node() report the ground-truth event here — the
+  /// membership service — and the *reaction* (heal kick, shard re-home,
+  /// replay) waits for its detection, which calls back into
+  /// handle_node_death()/handle_node_revival() through the failover
+  /// manager. Unset (standalone tests), the service reacts immediately.
+  void set_death_router(std::function<void(NodeId)> router) {
+    death_router_ = std::move(router);
+  }
+  void set_revive_router(std::function<void(NodeId)> router) {
+    revive_router_ = std::move(router);
   }
 
   /// Look up `keys` (dedup probes, hit or miss alike) from node `from`:
@@ -159,12 +214,31 @@ class ChunkStoreService {
   /// owning shard (fire-and-forget).
   void submit_drop(NodeId from, const ChunkKey& key, u64 bytes);
 
-  /// Simulated node failure: the node's chunk copies become unreachable.
-  /// With replicas > 1 this kicks the background re-replication daemon,
-  /// which walks degraded chunks through the shard queues until every
-  /// surviving chunk is back at full replica strength.
+  /// Simulated node failure. Ground truth lands immediately — the node's
+  /// chunk copies become unreachable (placement) and its RPCs stop being
+  /// chargeable (NodeHealth) — then the death is routed through membership
+  /// (detection latency) or, standalone, handled synchronously.
   void fail_node(NodeId node);
-  void revive_node(NodeId node) { placement_.revive_node(node); }
+  /// Simulated node revival, the mirror image: health flips up
+  /// immediately; the reaction (placement readmission + replay of any
+  /// requests parked against the node's endpoints) arrives via membership
+  /// or, standalone, synchronously.
+  void revive_node(NodeId node);
+
+  /// Reaction to a *detected* node death (membership's kDead event, via the
+  /// failover manager — or directly from fail_node() when no router is
+  /// set): kick the heal daemon for the replicas the node held, and re-home
+  /// every shard whose endpoint died to the next live node in the shard's
+  /// rendezvous order, replaying parked requests there. Returns the number
+  /// of shards re-homed. Idempotent.
+  int handle_node_death(NodeId node);
+  /// Reaction to a detected revival (membership's transition back to
+  /// kAlive — including a transient death the heartbeats re-acked before
+  /// declaring): readmit the node to placement and replay requests parked
+  /// against its endpoints, which would otherwise strand forever (no death
+  /// declaration means no re-home to flush them). Idempotent.
+  void handle_node_revival(NodeId node);
+
   /// True when no heal work is pending or in flight.
   bool rereplication_idle() const {
     return heal_in_flight_ == 0 && heal_pending_.empty() &&
@@ -174,7 +248,18 @@ class ChunkStoreService {
   /// Scrub pass: verify up to `max_chunks` resident chunks (round-robin
   /// cursor) against their recorded CRCs, charging each verification read
   /// to the owning shard's queue. `codec` decompresses real containers.
+  /// Corrupt chunks are quarantined for forward re-store; degraded
+  /// survivors kick the heal daemon.
   void scrub(u64 max_chunks, compress::CodecKind codec);
+
+  /// Consistent-hash rebalance to `new_shards` endpoints (between rounds;
+  /// no requests may be parked or in flight). Only the keys whose shard
+  /// assignment changed migrate: each batch costs an index read on the old
+  /// shard's queue, a metadata RPC old endpoint -> new endpoint, and an
+  /// index insert on the new shard's queue. `done` fires when every moved
+  /// key has landed.
+  void rebalance(int new_shards, std::vector<NodeId> new_endpoints,
+                 std::function<void()> done);
 
   sim::StorageDevice& shard_device(int shard) {
     return *shards_[static_cast<size_t>(shard)].dev;
@@ -191,13 +276,47 @@ class ChunkStoreService {
   }
 
  private:
+  /// One service request, held by shared_ptr so a failed attempt can park
+  /// and replay it with its completion callback intact (the caller's `done`
+  /// fires exactly once, on the attempt that succeeds).
+  struct ShardRequest {
+    NodeId from = 0;
+    u64 request_bytes = 0;
+    u64 response_bytes = 0;
+    rpc::RpcFabric::Handler serve;
+    std::function<void()> done;
+  };
   struct Shard {
-    std::unique_ptr<sim::StorageDevice> dev;
+    /// shared_ptr: in-flight serve closures capture the device they were
+    /// aimed at, so a rebalance that swaps the shard set mid-flight (a
+    /// racing restart) can never leave a closure indexing a vector that
+    /// shrank under it — the request drains through its original queue.
+    std::shared_ptr<sim::StorageDevice> dev;
+    /// Requests whose endpoint died mid-flight, FIFO, awaiting re-home.
+    std::deque<std::shared_ptr<ShardRequest>> parked;
   };
 
   NodeId endpoint_of(int shard) const {
     return endpoints_[static_cast<size_t>(shard)];
   }
+  /// Issue (or re-issue) a request against the shard's current endpoint;
+  /// parks it on fabric failure.
+  void shard_call(int shard, std::shared_ptr<ShardRequest> req);
+  static std::shared_ptr<ShardRequest> make_request(
+      NodeId from, u64 request_bytes, u64 response_bytes,
+      rpc::RpcFabric::Handler serve, std::function<void()> done);
+  /// Serve handler for a single index probe/insert on the shard's queue
+  /// (captures the device, not the index — rebalance-safe).
+  rpc::RpcFabric::Handler index_serve(int shard, bool is_read) const;
+  /// The shared body of submit_store/submit_restore: account the store and
+  /// queue its index insert; the two entry points differ only in how
+  /// placement assigns homes.
+  void queue_store(NodeId from, const ChunkKey& key, u64 charged_bytes,
+                   std::function<void()> done);
+  void park(int shard, std::shared_ptr<ShardRequest> req);
+  /// Next live node in the shard's rendezvous order (highest-random-weight
+  /// over (shard, node), restricted to NodeHealth-up nodes).
+  NodeId pick_endpoint(int shard) const;
   void charge_node(NodeId node, u64 bytes, bool is_read,
                    std::function<void()> done);
   void schedule_heal_scan();
@@ -206,6 +325,7 @@ class ChunkStoreService {
 
   sim::EventLoop& loop_;
   sim::Network& net_;
+  std::shared_ptr<rpc::NodeHealth> health_;
   rpc::RpcFabric fabric_;
   std::vector<Shard> shards_;
   std::vector<NodeId> endpoints_;
@@ -214,6 +334,9 @@ class ChunkStoreService {
   ChunkPlacement placement_;
   ServiceStats stats_;
   DeviceCharger charger_;
+  DeviceTrimmer trimmer_;
+  std::function<void(NodeId)> death_router_;
+  std::function<void(NodeId)> revive_router_;
   // Re-replication daemon state.
   std::deque<ChunkKey> heal_pending_;
   int heal_in_flight_ = 0;

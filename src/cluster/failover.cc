@@ -1,0 +1,41 @@
+#include "cluster/failover.h"
+
+#include "util/logging.h"
+
+namespace dsim::cluster {
+
+FailoverManager::FailoverManager(Membership& membership,
+                                 ckptstore::ChunkStoreService& svc)
+    : membership_(membership), svc_(svc) {
+  membership_.subscribe([this](NodeId n, NodeState from, NodeState to) {
+    on_transition(n, from, to);
+  });
+}
+
+void FailoverManager::on_transition(NodeId node, NodeState from,
+                                    NodeState to) {
+  if (to == NodeState::kSuspect) {
+    stats_.suspicions_seen++;
+    LOG_INFO("failover: node %d suspected (missed a heartbeat)", node);
+    return;
+  }
+  if (to == NodeState::kAlive && from != NodeState::kAlive) {
+    // Revival — explicit (revive_node) or a transient death whose
+    // heartbeat ack beat the miss threshold. Either way requests parked
+    // against the node's endpoints must replay now: no kDead declaration
+    // means no re-home will ever flush them.
+    svc_.handle_node_revival(node);
+    return;
+  }
+  if (to != NodeState::kDead) return;
+  stats_.deaths_handled++;
+  const u64 replayed_before = svc_.stats().replayed_requests;
+  const int rehomed = svc_.handle_node_death(node);
+  stats_.shards_rehomed += static_cast<u64>(rehomed);
+  stats_.requests_replayed +=
+      svc_.stats().replayed_requests - replayed_before;
+  LOG_INFO("failover: node %d dead -> %d shard(s) re-homed, heal kicked",
+           node, rehomed);
+}
+
+}  // namespace dsim::cluster

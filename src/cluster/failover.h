@@ -1,0 +1,52 @@
+// Shard failover: the membership consumer that keeps the chunk store
+// serving through node death.
+//
+// Before this subsystem, a dead shard endpoint stranded its FIFO index
+// queue and every in-flight request forever — fail_node() only told the
+// re-replication daemon. The failover manager closes the loop:
+//
+//   membership kDead(n) ──► ChunkStoreService::handle_node_death(n)
+//                               ├── heal daemon: re-replicate the chunk
+//                               │   copies node n held (R >= 2)
+//                               └── every shard whose endpoint was n:
+//                                     re-home to the next live node in the
+//                                     shard's rendezvous order, replay its
+//                                     parked requests there (FIFO)
+//
+// Requests are idempotent by chunk key, so a caller whose Lookup/Store/
+// Fetch was in flight when the endpoint died observes elevated latency —
+// the detection window plus the replay — never an error. The manager also
+// subscribes to suspicion transitions purely for observability (operators
+// of the real system would page on flapping suspects).
+#pragma once
+
+#include "ckptstore/service.h"
+#include "cluster/membership.h"
+#include "util/types.h"
+
+namespace dsim::cluster {
+
+struct FailoverStats {
+  u64 deaths_handled = 0;
+  u64 shards_rehomed = 0;
+  u64 requests_replayed = 0;  // parked requests re-issued after re-homes
+  u64 suspicions_seen = 0;
+};
+
+class FailoverManager {
+ public:
+  /// Subscribes to `membership` on construction; both referents must
+  /// outlive the manager (DmtcpShared owns all three).
+  FailoverManager(Membership& membership, ckptstore::ChunkStoreService& svc);
+
+  const FailoverStats& stats() const { return stats_; }
+
+ private:
+  void on_transition(NodeId node, NodeState from, NodeState to);
+
+  Membership& membership_;
+  ckptstore::ChunkStoreService& svc_;
+  FailoverStats stats_;
+};
+
+}  // namespace dsim::cluster

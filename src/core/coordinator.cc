@@ -20,6 +20,7 @@ struct Client {
   UniquePid upid{};
   Pid vpid = kNoPid;
   std::string host;
+  NodeId node = 0;  // from kRegister: drives automatic store placement
   bool restarting = false;
 };
 
@@ -40,6 +41,9 @@ struct CoordState {
   // dmtcp_command clients waiting for checkpoint completion.
   std::vector<Fd> ckpt_waiters;
   int current_round = -1;
+  // Automatic store-node placement happens once, at the first round, when
+  // the registered membership finally says which nodes compute.
+  bool endpoints_finalized = false;
   // Discovery entries are valid for one restart only; stale addresses from
   // a previous restart point at rendezvous listeners that no longer exist.
   size_t discovery_epoch = 0;
@@ -71,8 +75,45 @@ Task<void> send_to(sim::ProcessCtx& ctx, Fd fd, Msg m) {
   }
 }
 
+/// Automatic store-node placement (once, at the first round, when the
+/// registrations say which nodes compute): without an explicit
+/// --store-node, shard endpoints are pinned onto spare non-compute nodes
+/// when any exist — stdchk deploys its storage service on dedicated
+/// machines for exactly the reason bench_service pins them by hand: an
+/// endpoint sharing a NIC with a rank's store burst couples the metadata
+/// path to bulk traffic. No spares (every node computes) keeps the startup
+/// default, shards spreading from the coordinator's node.
+void finalize_endpoints(CoordState* st, sim::ProcessCtx& ctx) {
+  if (st->endpoints_finalized) return;
+  st->endpoints_finalized = true;
+  auto* svc = st->shared->store_service.get();
+  if (svc == nullptr ||
+      st->shared->opts.store_node != DmtcpOptions::kStoreNodeCoord) {
+    return;  // no service, or the operator pinned the base explicitly
+  }
+  std::set<NodeId> compute;
+  for (const auto& [fd, c] : st->clients) compute.insert(c.node);
+  std::vector<NodeId> spares;
+  for (NodeId n = 0; n < ctx.kernel().num_nodes(); ++n) {
+    if (compute.count(n) || n == ctx.process().node()) continue;
+    if (st->shared->membership && !st->shared->membership->alive(n)) continue;
+    spares.push_back(n);
+  }
+  if (spares.empty()) return;
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(svc->num_shards()));
+  for (int s = 0; s < svc->num_shards(); ++s) {
+    endpoints.push_back(spares[static_cast<size_t>(s) % spares.size()]);
+  }
+  LOG_INFO("coordinator: auto-placing %d shard endpoint(s) on %zu spare "
+           "non-compute node(s) (first: node %d)",
+           svc->num_shards(), spares.size(), endpoints.front());
+  svc->set_endpoints(std::move(endpoints));
+}
+
 Task<void> initiate_checkpoint(CoordState* st, sim::ProcessCtx& ctx) {
   if (st->shared->ckpt_active) co_return;  // a round is already in flight
+  finalize_endpoints(st, ctx);
   st->shared->ckpt_active = true;
   const int round = static_cast<int>(st->shared->stats.rounds.size());
   st->current_round = round;
@@ -166,8 +207,18 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
         ss.scrub_corrupt_chunks - st->svc_last.scrub_corrupt_chunks;
     r.scrub_missing_chunks =
         ss.scrub_missing_chunks - st->svc_last.scrub_missing_chunks;
+    r.scrub_quarantined_chunks =
+        ss.scrub_quarantined_chunks - st->svc_last.scrub_quarantined_chunks;
     r.rereplicated_chunks =
         ss.rereplicated_chunks - st->svc_last.rereplicated_chunks;
+    r.failover_rehomed_shards =
+        ss.rehomed_shards - st->svc_last.rehomed_shards;
+    r.failover_replayed_requests =
+        ss.replayed_requests - st->svc_last.replayed_requests;
+    r.rebalance_moved_keys =
+        ss.rebalance_moved_keys - st->svc_last.rebalance_moved_keys;
+    r.rebalance_moved_bytes =
+        ss.rebalance_moved_bytes - st->svc_last.rebalance_moved_bytes;
     st->svc_last = ss;
     st->rpc_last = rs;
     // Kick this round's scrub pass; its results land in the next round's
@@ -242,6 +293,7 @@ Task<void> client_handler(CoordState* st, sim::ProcessCtx* pctx, Fd fd) {
         c.upid = m->upid;
         c.vpid = m->a;
         c.host = m->s;
+        c.node = static_cast<NodeId>(m->ua);
         c.restarting = m->b != 0;
         st->clients[fd] = c;
         LOG_INFO("coordinator: register vpid=%d host=%s fd=%d (%zu clients)",

@@ -191,6 +191,7 @@ Task<void> Hijack::manager_main(sim::ProcessCtx& ctx) {
   reg.upid = upid_;
   reg.a = vpid_;
   reg.b = is_restored_ ? 1 : 0;
+  reg.ua = static_cast<u64>(p_.node());  // automatic store placement input
   reg.s = k.node(p_.node()).hostname();
   co_await send_msg(k, ctx.thread(), *coord_sock(), reg);
 

@@ -3,6 +3,8 @@
 #include <set>
 
 #include "ckptstore/manifest.h"
+#include "cluster/failover.h"
+#include "cluster/membership.h"
 #include "core/coordinator.h"
 #include "core/hijack.h"
 #include "core/restart.h"
@@ -39,8 +41,36 @@ DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
           kp->charge_storage_bg(node, charge_path, bytes, is_read,
                                 std::move(done));
         });
+    // The scrubber's quarantine pairs every reclaim with a device trim on
+    // the rotten copies' homes, exactly as GC does.
+    shared_->store_service->set_device_trimmer(
+        [kp, charge_path](NodeId node, u64 bytes) {
+          kp->discard_storage(node, charge_path, bytes);
+        });
     shared_->repos[DmtcpShared::kSharedRepo] =
         shared_->store_service->repo_ptr();
+    // Cluster membership + shard failover (src/cluster/): the coordinator's
+    // node heartbeats every other node over the RPC fabric, and the
+    // failover manager consumes its death events — heal kick plus shard
+    // re-home with in-flight replay. The service routes ground-truth kills
+    // (fail_node) through membership, so the reaction arrives only after
+    // the detection latency a real deployment would pay.
+    cluster::MembershipConfig mcfg;
+    mcfg.heartbeat_interval =
+        static_cast<SimTime>(opts.heartbeat_interval_ms) *
+        timeconst::kMillisecond;
+    mcfg.heartbeat_misses = opts.heartbeat_misses;
+    mcfg.monitor_node = opts.coord_node;
+    shared_->membership = std::make_shared<cluster::Membership>(
+        k_.loop(), k_.net(), shared_->store_service->health(), mcfg);
+    shared_->failover = std::make_shared<cluster::FailoverManager>(
+        *shared_->membership, *shared_->store_service);
+    auto membership = shared_->membership;
+    shared_->store_service->set_death_router(
+        [membership](NodeId n) { membership->kill_node(n); });
+    shared_->store_service->set_revive_router(
+        [membership](NodeId n) { membership->revive_node(n); });
+    shared_->membership->start();
   }
   k_.programs().add(make_coordinator_program(shared_));
   k_.programs().add(make_command_program(shared_));
@@ -107,6 +137,47 @@ const CkptRound& DmtcpControl::checkpoint_now(SimTime deadline_extra) {
   return shared_->stats.rounds[round];
 }
 
+void DmtcpControl::set_store_shards(int new_shards) {
+  auto* svc = shared_->store_service.get();
+  DSIM_CHECK_MSG(svc != nullptr,
+                 "set_store_shards needs the cluster-wide chunk-store "
+                 "service (--dedup-scope cluster)");
+  DSIM_CHECK_MSG(!shared_->ckpt_active,
+                 "set_store_shards mid-round: rebalance runs between "
+                 "rounds");
+  if (new_shards == svc->num_shards()) return;
+  // Endpoint policy mirrors the coordinator's: walk nodes from the current
+  // first endpoint, skipping dead ones, until every shard has a live home.
+  // Liveness is the ground-truth NodeHealth map — the same one rebalance()
+  // asserts against — not membership's *detected* state: a node killed
+  // inside the detection window must be routed around here, not crashed
+  // into.
+  const auto& health = *svc->health();
+  const auto& old_eps = svc->endpoints();
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(new_shards));
+  for (int s = 0; s < new_shards; ++s) {
+    if (s < static_cast<int>(old_eps.size()) &&
+        health.up(old_eps[static_cast<size_t>(s)])) {
+      endpoints.push_back(old_eps[static_cast<size_t>(s)]);
+      continue;
+    }
+    NodeId n = (old_eps.front() + s) % k_.num_nodes();
+    for (int tries = 0; tries < k_.num_nodes(); ++tries) {
+      if (health.up(n)) break;
+      n = (n + 1) % k_.num_nodes();
+    }
+    endpoints.push_back(n);
+  }
+  bool moved = false;
+  svc->rebalance(new_shards, std::move(endpoints), [&moved] { moved = true; });
+  const bool done =
+      run_until([&moved] { return moved; },
+                k_.loop().now() + 600 * timeconst::kSecond);
+  DSIM_CHECK_MSG(done, "shard rebalance did not complete");
+  shared_->opts.store_shards = new_shards;
+}
+
 void DmtcpControl::kill_computation() {
   for (Pid pid : k_.live_pids()) {
     sim::Process* p = k_.find_process(pid);
@@ -135,12 +206,16 @@ const RestartRun& DmtcpControl::restart(std::map<NodeId, NodeId> host_map) {
   // manifests reference must have a surviving replica. With
   // --chunk-replicas=1 a node failure makes its chunks unrecoverable —
   // report the forced re-store instead of restarting into missing data;
-  // with R > 1 the surviving replicas carry the restart.
+  // with R > 1 the surviving replicas carry the restart. Scrub-quarantined
+  // chunks (rotten containers awaiting forward re-store) count as
+  // unavailable the same way: restarting into a chunk the scrubber
+  // condemned would fail its CRC check anyway.
   if (const auto* svc = shared_->store_service.get();
-      svc != nullptr && svc->placement().any_dead()) {
-    // Every node alive means nothing can be lost — the O(chunk-refs)
-    // manifest walk below only runs after an actual failure. One set
-    // across every manifest: a shared chunk referenced by all ranks
+      svc != nullptr && (svc->placement().any_dead() ||
+                         svc->repo_ptr()->quarantined_count() > 0)) {
+    // Every node alive (and no quarantine) means nothing can be lost — the
+    // O(chunk-refs) manifest walk below only runs after an actual failure.
+    // One set across every manifest: a shared chunk referenced by all ranks
     // counts as one lost chunk, not once per referencing image.
     std::set<ckptstore::ChunkKey> seen;
     u64 lost = 0;

@@ -45,6 +45,14 @@ class DmtcpControl {
   /// coordinator survives — as in reality, it is outside the computation.
   void kill_computation();
 
+  /// Change the chunk-store shard count between rounds. Runs the
+  /// consistent-hash rebalance — only the keys whose rendezvous winner
+  /// changed migrate, in batched metadata RPCs through the normal shard
+  /// queues — and blocks until every moved key has landed. Endpoints of
+  /// surviving shards stay put; new shards land on the next live nodes
+  /// from the current base (membership-checked).
+  void set_store_shards(int new_shards);
+
   /// Parse dmtcp_restart_script.sh and run it. `host_map` relocates
   /// original hosts to new nodes (migration / restart-on-a-laptop, §1 use
   /// case 6). Returns the restart's stats.

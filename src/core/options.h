@@ -100,8 +100,17 @@ struct DmtcpOptions {
   int lookup_batch = 1;
   /// --scrub-chunks: resident chunks verified against their manifest CRCs
   /// per checkpoint round (round-robin cursor), through the shard queues.
-  /// 0 disables scrubbing.
+  /// 0 disables scrubbing. Corrupt chunks are quarantined for forward
+  /// re-store; degraded stragglers are routed to the heal daemon.
   u64 scrub_chunks = 0;
+  /// --heartbeat-interval: milliseconds between membership heartbeat
+  /// probes from the coordinator's node to every other node. Together with
+  /// --heartbeat-misses this sets the failure-detection latency
+  /// (~interval x misses) the shard-failover replay machinery absorbs.
+  int heartbeat_interval_ms = 10;
+  /// --heartbeat-misses: consecutive missed heartbeats before a suspected
+  /// node is declared dead (first miss suspects, Nth declares).
+  int heartbeat_misses = 3;
 
   /// One cluster-wide store backs the computation when the checkpoint
   /// directory is explicitly shared (/shared/...) or dedup scope is
@@ -146,6 +155,14 @@ struct DmtcpOptions {
     if (lookup_batch < 1) {
       return "--lookup-batch must carry at least one key per RPC (got " +
              std::to_string(lookup_batch) + ")";
+    }
+    if (heartbeat_interval_ms < 1) {
+      return "--heartbeat-interval must be at least 1 ms (got " +
+             std::to_string(heartbeat_interval_ms) + ")";
+    }
+    if (heartbeat_misses < 1) {
+      return "--heartbeat-misses must allow at least one miss (got " +
+             std::to_string(heartbeat_misses) + ")";
     }
     if (chunk_replicas > 1 && !cluster_wide_store()) {
       return "--chunk-replicas > 1 requires a cluster-wide store "
@@ -280,6 +297,14 @@ struct DmtcpOptions {
         const long n = intval("--scrub-chunks");
         if (!err.empty()) return err;
         scrub_chunks = static_cast<u64>(n);
+      } else if (a == "--heartbeat-interval") {
+        const long n = intval("--heartbeat-interval");
+        if (!err.empty()) return err;
+        heartbeat_interval_ms = static_cast<int>(n);
+      } else if (a == "--heartbeat-misses") {
+        const long n = intval("--heartbeat-misses");
+        if (!err.empty()) return err;
+        heartbeat_misses = static_cast<int>(n);
       } else {
         rest.push_back(a);
       }

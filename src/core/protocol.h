@@ -19,7 +19,7 @@
 namespace dsim::core {
 
 enum class MsgType : u8 {
-  kRegister = 1,        // manager -> coord: join computation (s=hostname, a=vpid, b=restarting)
+  kRegister = 1,        // manager -> coord: join computation (s=hostname, a=vpid, b=restarting, ua=node)
   kCkptRequest = 2,     // coord -> manager: begin checkpoint (a=round)
   kBarrierWait = 3,     // manager -> coord: waiting at barrier `s` (a=expected override, 0=all clients)
   kBarrierRelease = 4,  // coord -> manager: barrier `s` released

@@ -122,12 +122,24 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
       if (const auto* svc = shared->store_service.get()) {
         // Placement-aware fetch plan. decode_incremental succeeded, so
         // every referenced chunk is resident; the pre-flight in
-        // DmtcpControl::restart guarantees a surviving holder.
+        // DmtcpControl::restart guarantees a surviving holder. The holder
+        // choice consults *membership* on top of placement: a node the
+        // cluster has declared dead is never fetched from, even in the
+        // window where a detected death has not yet propagated everywhere
+        // (placement and membership share ground truth, but belt and
+        // braces is exactly what a restart path wants).
+        const auto& membership = shared->membership;
         for (const auto& sm : mf.segments) {
           for (const auto& ref : sm.chunks) {
             const ckptstore::Chunk* c = repo.find(ref.key);
             DSIM_CHECK(c != nullptr);
-            const i32 holder = svc->placement().holder(ref.key);
+            i32 holder = ckptstore::ChunkPlacement::kNoHolder;
+            for (NodeId home : svc->placement().homes_of(ref.key)) {
+              if (!svc->placement().node_alive(home)) continue;
+              if (membership && !membership->alive(home)) continue;
+              holder = home;
+              break;
+            }
             fetch_by_node[holder >= 0 ? holder : self.node()] +=
                 c->charged_bytes;
             fetch_chunks.emplace_back(ref.key, c->charged_bytes);

@@ -14,6 +14,8 @@
 
 #include "ckptstore/repository.h"
 #include "ckptstore/service.h"
+#include "cluster/failover.h"
+#include "cluster/membership.h"
 #include "core/options.h"
 #include "util/types.h"
 
@@ -67,7 +69,18 @@ struct CkptRound {
   u64 scrubbed_chunks = 0;
   u64 scrub_corrupt_chunks = 0;
   u64 scrub_missing_chunks = 0;
+  u64 scrub_quarantined_chunks = 0;
   u64 rereplicated_chunks = 0;
+
+  // Cluster membership & shard failover (src/cluster/), this round's view:
+  // shards re-homed off dead endpoints, requests that parked on a dead
+  // endpoint and replayed after the re-home (the caller-visible latency
+  // instead of an error), and consistent-hash rebalance movement when the
+  // shard count changed since the previous round.
+  u64 failover_rehomed_shards = 0;
+  u64 failover_replayed_requests = 0;
+  u64 rebalance_moved_keys = 0;
+  u64 rebalance_moved_bytes = 0;
   double avg_lookup_wait_seconds() const {
     return store_lookups == 0
                ? 0.0
@@ -141,6 +154,14 @@ struct DmtcpShared {
   /// Lookup/Store/Fetch/Drop requests, and tracks chunk placement.
   /// Created by DmtcpControl; its endpoint is set by the coordinator.
   std::shared_ptr<ckptstore::ChunkStoreService> store_service;
+  /// Cluster membership (heartbeat failure detection from the
+  /// coordinator's node) and the shard-failover manager consuming its
+  /// death events. Created alongside the store service; the membership's
+  /// fabric shares the service's NodeHealth map, so a killed node fails
+  /// heartbeats and store RPCs identically. Restart consults membership
+  /// before choosing a chunk's holder.
+  std::shared_ptr<cluster::Membership> membership;
+  std::shared_ptr<cluster::FailoverManager> failover;
   int ckpt_generation = 0;  // bumped per completed checkpoint
   /// Virtual pids in use across the computation (conflict detection, §4.5).
   std::set<Pid> active_vpids;

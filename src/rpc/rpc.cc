@@ -3,37 +3,88 @@
 #include <algorithm>
 
 #include "sim/model_params.h"
+#include "util/assertx.h"
 
 namespace dsim::rpc {
 
+namespace {
+
+/// Every endpoint-side charge (dispatch CPU, response NIC) funnels through
+/// this check: a dead node must never be charged for work — it would
+/// silently corrupt every latency result downstream of the failure. The
+/// graceful path is the caller's liveness branch; this is the invariant
+/// that catches any future charge site that forgets the branch.
+void assert_chargeable(const NodeHealth& health, NodeId node,
+                       const char* what) {
+  DSIM_CHECK_MSG(health.up(node), what);
+}
+
+}  // namespace
+
 void RpcFabric::call(NodeId from, NodeId to, u64 request_bytes,
                      u64 response_bytes, Handler serve,
-                     std::function<void()> done) {
+                     std::function<void()> done,
+                     std::function<void()> failed) {
   stats_.calls++;
-  stats_.net_bytes += request_bytes + response_bytes;
+  stats_.net_bytes += request_bytes;
   const SimTime sent = loop_.now();
+  // One shared frame per call: the three liveness checkpoints (arrival,
+  // dispatch, reply) share the closure set, and whichever outcome fires
+  // first consumes it.
+  struct Frame {
+    Handler serve;
+    std::function<void()> done;
+    std::function<void()> failed;
+  };
+  auto fr = std::make_shared<Frame>(
+      Frame{std::move(serve), std::move(done), std::move(failed)});
+  auto fail = [this, fr] {
+    stats_.failed_calls++;
+    if (fr->failed) loop_.post_now(std::move(fr->failed));
+  };
   net_.transfer(
       from, to, request_bytes,
-      [this, from, to, response_bytes, sent, serve = std::move(serve),
-       done = std::move(done)]() mutable {
+      [this, from, to, response_bytes, sent, fr, fail]() mutable {
         stats_.net_wait_seconds += to_seconds(loop_.now() - sent);
+        if (!health_->up(to)) {
+          // Dead on arrival: the request crossed the caller's NIC and fell
+          // on the floor. No endpoint charge of any kind.
+          fail();
+          return;
+        }
         // Dispatch CPU, serialized per endpoint node: requests that arrived
-        // together queue behind one message processor.
+        // together queue behind one message processor. The CPU is accounted
+        // when the dispatch actually runs (below), so a node that dies
+        // while requests sit in its dispatch queue is never charged for
+        // work it did not do.
         SimTime& busy = msg_cpu_busy_[to];
         busy = std::max(loop_.now(), busy) + sim::params::kRpcMessageCpu;
-        stats_.endpoint_cpu_seconds +=
-            to_seconds(sim::params::kRpcMessageCpu);
         loop_.post_at(
-            busy, [this, from, to, response_bytes, serve = std::move(serve),
-                   done = std::move(done)]() mutable {
-              serve([this, from, to, response_bytes,
-                     done = std::move(done)]() mutable {
+            busy, [this, from, to, response_bytes, fr, fail]() mutable {
+              if (!health_->up(to)) {
+                fail();  // died before dispatch: CPU never charged
+                return;
+              }
+              assert_chargeable(*health_, to,
+                                "RPC dispatch CPU charged to a dead node");
+              stats_.endpoint_cpu_seconds +=
+                  to_seconds(sim::params::kRpcMessageCpu);
+              fr->serve([this, from, to, response_bytes, fr,
+                         fail]() mutable {
+                if (!health_->up(to)) {
+                  fail();  // died while serving: the response never leaves
+                  return;
+                }
+                assert_chargeable(
+                    *health_, to,
+                    "RPC response charged to a dead node's NIC");
+                stats_.net_bytes += response_bytes;
                 const SimTime replied = loop_.now();
                 net_.transfer(to, from, response_bytes,
-                              [this, replied, done = std::move(done)] {
+                              [this, replied, fr] {
                                 stats_.net_wait_seconds +=
                                     to_seconds(loop_.now() - replied);
-                                done();
+                                fr->done();
                               });
               });
             });

@@ -18,6 +18,16 @@
 // the same egress devices as application sockets, so RPC traffic contends
 // with the computation's own traffic and inherits Network::set_jitter.
 //
+// Node death is first-class (PR 5): a NodeHealth map — shared between every
+// fabric of one cluster, so the membership service's heartbeat fabric and
+// the chunk store's request fabric agree on who is up — marks dead
+// endpoints. A call whose target dies before the response leaves fires its
+// `failed` callback instead of `done`, and nothing past the point of death
+// is charged: not the endpoint's message CPU, not its NIC (asserted — a
+// dead node burning CPU would silently corrupt every latency result
+// downstream). The request still crosses the *caller's* NIC: the caller
+// cannot know the target died until the silence.
+//
 // The fabric is deliberately one-way-at-a-time and callback-shaped: the
 // chunk-store service composes it with per-shard FIFO queues, and per-shard
 // ordering holds because every stage (caller egress, message CPU, shard
@@ -26,12 +36,35 @@
 
 #include <functional>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "sim/event_loop.h"
 #include "sim/net.h"
 #include "util/types.h"
 
 namespace dsim::rpc {
+
+/// Ground truth of node liveness for RPC purposes, shared by every fabric
+/// of one cluster (the membership heartbeat fabric and the chunk-store
+/// request fabric must agree). Modeled at the RPC layer, not the network:
+/// the simulations that kill a "storage" node may keep its compute
+/// processes running until the experimenter kills them separately.
+class NodeHealth {
+ public:
+  explicit NodeHealth(int num_nodes)
+      : up_(static_cast<size_t>(num_nodes), true) {}
+  void fail(NodeId n) { up_.at(static_cast<size_t>(n)) = false; }
+  void revive(NodeId n) { up_.at(static_cast<size_t>(n)) = true; }
+  bool up(NodeId n) const {
+    return n >= 0 && static_cast<size_t>(n) < up_.size() &&
+           up_[static_cast<size_t>(n)];
+  }
+  int num_nodes() const { return static_cast<int>(up_.size()); }
+
+ private:
+  std::vector<bool> up_;
+};
 
 /// Cumulative fabric statistics. The coordinator snapshots deltas into each
 /// CkptRound so per-round network bytes/waits on the lookup path are
@@ -41,12 +74,19 @@ struct RpcStats {
   u64 net_bytes = 0;            // request + response bytes over the fabric
   double net_wait_seconds = 0;  // cumulative in-flight time, both hops
   double endpoint_cpu_seconds = 0;
+  u64 failed_calls = 0;  // target died before the response could leave
 };
 
 class RpcFabric {
  public:
-  RpcFabric(sim::EventLoop& loop, sim::Network& net)
-      : loop_(loop), net_(net) {}
+  /// `health` is the shared liveness map; a fabric constructed without one
+  /// (standalone tests) gets a private all-up map.
+  RpcFabric(sim::EventLoop& loop, sim::Network& net,
+            std::shared_ptr<NodeHealth> health = nullptr)
+      : loop_(loop),
+        net_(net),
+        health_(health ? std::move(health)
+                       : std::make_shared<NodeHealth>(net.num_nodes())) {}
 
   using Reply = std::function<void()>;
   /// Runs at the endpoint once the request hop and message CPU are paid;
@@ -57,15 +97,20 @@ class RpcFabric {
   /// Issue one RPC from node `from` to node `to`. `done` fires back at the
   /// caller after the response hop completes. `from == to` rides the
   /// loopback path (a service colocated with its client still pays message
-  /// CPU, just not the wire).
+  /// CPU, just not the wire). If `to` is (or goes) down before the response
+  /// leaves its NIC, `failed` fires at the caller instead — no CPU or NIC
+  /// charge ever lands on the dead node.
   void call(NodeId from, NodeId to, u64 request_bytes, u64 response_bytes,
-            Handler serve, std::function<void()> done);
+            Handler serve, std::function<void()> done,
+            std::function<void()> failed = {});
 
   const RpcStats& stats() const { return stats_; }
+  const std::shared_ptr<NodeHealth>& health() const { return health_; }
 
  private:
   sim::EventLoop& loop_;
   sim::Network& net_;
+  std::shared_ptr<NodeHealth> health_;
   /// Per-node serial message processor: the busy-until chain that makes N
   /// concurrent requests to one endpoint node pay their dispatch CPU one
   /// after another.

@@ -41,6 +41,28 @@ void EventLoop::run() {
   }
 }
 
+void PeriodicTimer::start(SimTime interval, EventLoop::Fn fn) {
+  DSIM_CHECK_MSG(interval > 0, "periodic timer needs a positive interval");
+  stop();
+  interval_ = interval;
+  fn_ = std::move(fn);
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  loop_.cancel(pending_);
+  pending_ = kNoEvent;
+}
+
+void PeriodicTimer::arm() {
+  pending_ = loop_.post_in(interval_, [this] {
+    pending_ = kNoEvent;
+    // Re-arm before the callback: fn_ may call stop() to end the loop.
+    arm();
+    fn_();
+  });
+}
+
 bool EventLoop::run_until(SimTime deadline) {
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {

@@ -68,4 +68,31 @@ class EventLoop {
   std::unordered_set<EventId> cancelled_;
 };
 
+/// Cancellable repeating timer: fires `fn` every `interval` until stop().
+/// The hook background daemons (the cluster membership service's heartbeat
+/// loop) hang their periodic work on — re-arming by hand from inside the
+/// callback loses the ability to stop cleanly, and a dangling EventId after
+/// the owner dies would fire into freed state.
+class PeriodicTimer {
+ public:
+  explicit PeriodicTimer(EventLoop& loop) : loop_(loop) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Start (or restart) firing `fn` every `interval`, first fire one
+  /// interval from now.
+  void start(SimTime interval, EventLoop::Fn fn);
+  void stop();
+  bool running() const { return pending_ != kNoEvent; }
+
+ private:
+  void arm();
+
+  EventLoop& loop_;
+  SimTime interval_ = 0;
+  EventLoop::Fn fn_;
+  EventId pending_ = kNoEvent;
+};
+
 }  // namespace dsim::sim

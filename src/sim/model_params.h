@@ -113,6 +113,17 @@ inline constexpr u64 kRpcLookupVerdictBytes = 24;  // per-key reply payload
 inline constexpr SimTime kRereplicateDelay = 2 * timeconst::kMillisecond;
 inline constexpr int kRereplicateWindow = 8;
 
+// --- Cluster membership & shard failover (src/cluster/) ----------------------
+// Heartbeat probes are tiny fixed-size messages (sequence number + epoch on
+// the wire); detection latency is heartbeat_misses x heartbeat_interval,
+// configured via --heartbeat-interval / --heartbeat-misses.
+inline constexpr u64 kHeartbeatBytes = 64;
+// Shard rebalancing moves reassigned index entries between endpoints in
+// batches: each migration RPC carries up to this many keys (header + per-key
+// record on the wire, one index-probe's queue occupancy per key at both the
+// source and destination shard).
+inline constexpr u64 kRebalanceBatchKeys = 64;
+
 // --- Coordinator protocol ---------------------------------------------------
 inline constexpr SimTime kCoordMsgCpu = 6 * timeconst::kMicrosecond;
 

@@ -559,9 +559,12 @@ TEST(ServiceE2E, RereplicationHealsBeforeTheNextRoundCompletes) {
   svc.fail_node(1);
   ASSERT_GT(svc.placement().degraded_count(), 0u);
 
-  // The daemon heals in the background while the computation keeps
-  // running; by the time the next round closes every chunk is back at two
-  // copies.
+  // Death is now *detected*, not announced: the membership service needs
+  // ~heartbeat_misses x heartbeat_interval of silence before the failover
+  // manager kicks the heal daemon, which then drains in the background
+  // while the computation keeps running. Give detection + heal their
+  // window, then close another round over the healed store.
+  w.ctl.run_for(150 * timeconst::kMillisecond);
   const auto& round = w.ctl.checkpoint_now();
   EXPECT_EQ(svc.placement().degraded_count(), 0u);
   EXPECT_GT(svc.stats().rereplicated_chunks, 0u);

@@ -4,12 +4,14 @@
 Two modes, both stdlib-only:
 
 Absolute checks (always run): after the CI bench-smoke job runs
-bench_incremental, bench_cdc and bench_service with tiny parameters, assert
-the emitted files are well-formed and the headline numbers are in the
-physically sensible range (dedup actually happened, CDC actually
-resynchronized, the cluster store actually stored shared chunks once, the
-chunk-store service actually queued lookups and survived a replica
-failover).
+bench_incremental, bench_cdc, bench_service and bench_failover with tiny
+parameters, assert the emitted files are well-formed and the headline
+numbers are in the physically sensible range (dedup actually happened, CDC
+actually resynchronized, the cluster store actually stored shared chunks
+once, the chunk-store service actually queued lookups and survived a
+replica failover, the mid-round endpoint kill re-homed and replayed with
+zero lost chunks, and the shard rebalance moved ~1/new_shards of the
+bytes).
 
 Baseline diff (--baseline DIR): compare a fresh run against the committed
 baseline JSON in DIR (bench/baselines/, generated with the same smoke
@@ -208,10 +210,93 @@ def check_service(path, data):
     return rc
 
 
+def check_failover(path, data):
+    rc = 0
+    for key in (
+        "config",
+        "failover.baseline_ckpt_seconds",
+        "failover.kill_ckpt_seconds",
+        "failover.rehomed_shards",
+        "failover.replayed_requests",
+        "failover.recovery_rounds",
+        "failover.lost_chunks",
+        "failover.restart_ok",
+        "rebalance.old_shards",
+        "rebalance.new_shards",
+        "rebalance.moved_keys",
+        "rebalance.scanned_keys",
+        "rebalance.moved_fraction",
+        "rebalance.expected_fraction",
+        "rebalance.restart_ok",
+        "summary.failover_recovery_rounds",
+        "summary.post_failover_lost_chunks",
+        "summary.kill_overhead_ratio",
+        "summary.rebalance_moved_fraction",
+    ):
+        try:
+            require(data, path, key)
+        except (KeyError, TypeError):
+            rc |= fail(path, f"missing key '{key}'")
+    if rc:
+        return rc
+    fo = data["failover"]
+    # The failover must actually have engaged: a shard re-homed and parked
+    # requests replayed (callers saw latency, never errors).
+    if fo["rehomed_shards"] < 1:
+        rc |= fail(path, "no shard was re-homed by the mid-round kill")
+    if fo["replayed_requests"] <= 0:
+        rc |= fail(path, "no in-flight request was replayed after the "
+                         "re-home: the kill missed the write phase")
+    # Recovery must be bounded: the heal daemon restores full replica
+    # strength within the kill round or the next one.
+    if fo["recovery_rounds"] > 1:
+        rc |= fail(
+            path,
+            f"failover_recovery_rounds={fo['recovery_rounds']}: the store "
+            "took more than one extra round to re-replicate",
+        )
+    if fo["lost_chunks"] != 0:
+        rc |= fail(path, f"post-failover lost_chunks={fo['lost_chunks']} "
+                         "(must be 0 at R=2)")
+    if fo["restart_ok"] is not True:
+        rc |= fail(path, "restart after the endpoint kill did not succeed")
+    # Detection + replay cost time; the kill round must not be *faster*
+    # than the clean incremental baseline.
+    if data["summary"]["kill_overhead_ratio"] < 1.0:
+        rc |= fail(
+            path,
+            f"kill_overhead_ratio={data['summary']['kill_overhead_ratio']}: "
+            "the kill round was faster than the clean baseline "
+            "(mis-measured?)",
+        )
+    rb = data["rebalance"]
+    # Consistent hashing: growing S -> S+1 moves ~1/(S+1) of the stored
+    # bytes — nothing more (full reshuffle) and not nothing (no movement).
+    expected = rb["expected_fraction"]
+    moved = rb["moved_fraction"]
+    if not expected * 0.5 <= moved <= expected * 1.7:
+        rc |= fail(
+            path,
+            f"rebalance_moved_fraction={moved} not within tolerance of "
+            f"1/new_shards={expected}: key movement is not "
+            "consistent-hash-minimal",
+        )
+    if rb["moved_keys"] <= 0 or rb["moved_keys"] >= rb["scanned_keys"]:
+        rc |= fail(
+            path,
+            f"moved {rb['moved_keys']} of {rb['scanned_keys']} keys: "
+            "expected a strict, nonzero subset to move",
+        )
+    if rb["restart_ok"] is not True:
+        rc |= fail(path, "restart over the rebalanced store did not succeed")
+    return rc
+
+
 CHECKERS = {
     "BENCH_incremental.json": check_incremental,
     "BENCH_cdc.json": check_cdc,
     "BENCH_service.json": check_service,
+    "BENCH_failover.json": check_failover,
 }
 
 # Baseline-gated metrics per file: name -> (extractor, good direction).
@@ -242,6 +327,14 @@ BASELINE_METRICS = {
             lambda d: d["summary"]["wait_ms_shards4_at_max_ranks"], "lower"),
         "shard_speedup": (
             lambda d: d["summary"]["shard_speedup"], "higher"),
+    },
+    "BENCH_failover.json": {
+        "kill_ckpt_seconds": (
+            lambda d: d["failover"]["kill_ckpt_seconds"], "lower"),
+        "kill_overhead_ratio": (
+            lambda d: d["summary"]["kill_overhead_ratio"], "lower"),
+        "rebalance_seconds": (
+            lambda d: d["rebalance"]["rebalance_seconds"], "lower"),
     },
 }
 
