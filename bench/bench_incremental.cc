@@ -86,6 +86,7 @@ int main() {
          << ", \"new_chunks\": " << ri.new_chunks
          << ", \"total_chunks\": " << ri.total_chunks
          << ", \"dedup_ratio\": " << ri.dedup_ratio
+         << ", \"dirty_page_fraction\": " << ri.dirty_page_fraction
          << ", \"store_live_bytes\": " << ri.store_live_bytes
          << ", \"store_reclaimed_bytes\": " << ri.store_reclaimed_bytes
          << "}" << (g + 1 < gens ? "," : "") << "\n";

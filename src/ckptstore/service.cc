@@ -47,6 +47,30 @@ void ChunkStoreService::set_endpoints(std::vector<NodeId> nodes) {
                    "shard endpoint names a node outside the cluster");
   }
   endpoints_ = std::move(nodes);
+  assigned_endpoints_ = endpoints_;
+}
+
+int ChunkStoreService::rehome_to_owners() {
+  if (assigned_endpoints_.size() != shards_.size()) return 0;  // never set
+  int moved = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const NodeId owner = assigned_endpoints_[s];
+    if (endpoints_[s] == owner || !health_->up(owner)) continue;
+    LOG_INFO("chunk store: shard %zu re-homed back from node %d to revived "
+             "owner node %d",
+             s, endpoints_[s], owner);
+    endpoints_[s] = owner;
+    stats_.rehomed_back_shards++;
+    ++moved;
+    // Anything parked against the interim endpoint replays at the owner.
+    auto parked = std::move(shards_[s].parked);
+    shards_[s].parked.clear();
+    for (auto& req : parked) {
+      stats_.replayed_requests++;
+      shard_call(static_cast<int>(s), std::move(req));
+    }
+  }
+  return moved;
 }
 
 int ChunkStoreService::shard_of_n(const ChunkKey& key, int shards) {
@@ -527,6 +551,7 @@ void ChunkStoreService::rebalance(int new_shards,
                             {}});
   }
   endpoints_ = std::move(new_endpoints);
+  assigned_endpoints_ = endpoints_;
 
   // Count batches, then run them: each batch is an index read on the old
   // shard's queue, one metadata RPC old endpoint -> new endpoint (header +

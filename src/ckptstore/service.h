@@ -101,6 +101,13 @@ struct ServiceStats {
   u64 parked_requests = 0;
   u64 replayed_requests = 0;
   u64 rehomed_shards = 0;
+  /// Shards moved *back* to their assigned endpoint at a round boundary
+  /// after the endpoint was revived (rehome_to_owners()).
+  u64 rehomed_back_shards = 0;
+  /// Pre-codec logical bytes behind the accepted store_bytes (the async
+  /// pipeline and the coordinator derive the store-level compress ratio
+  /// from the two).
+  u64 store_raw_bytes = 0;
   // Consistent-hash rebalancing (shard-count changes between rounds).
   u64 rebalances = 0;
   u64 rebalance_moved_keys = 0;
@@ -239,6 +246,19 @@ class ChunkStoreService {
   /// declaration means no re-home to flush them). Idempotent.
   void handle_node_revival(NodeId node);
 
+  /// Move every shard whose current endpoint differs from its *assigned*
+  /// endpoint (set_endpoints()/rebalance()) back, provided the assigned
+  /// node is live again. Failover re-homes are meant to be temporary —
+  /// without this, a revived endpoint rejoins placement but its shards stay
+  /// wherever failover pushed them forever. Called by the coordinator at
+  /// the round boundary (no in-flight requests); replays anything parked on
+  /// the moved shards. Returns the number of shards moved back.
+  int rehome_to_owners();
+
+  /// Record pre-codec logical bytes behind accepted stores (see
+  /// ServiceStats::store_raw_bytes); called by the checkpoint writer.
+  void note_raw_bytes(u64 raw) { stats_.store_raw_bytes += raw; }
+
   /// True when no heal work is pending or in flight.
   bool rereplication_idle() const {
     return heal_in_flight_ == 0 && heal_pending_.empty() &&
@@ -329,6 +349,10 @@ class ChunkStoreService {
   rpc::RpcFabric fabric_;
   std::vector<Shard> shards_;
   std::vector<NodeId> endpoints_;
+  /// The coordinator-assigned (or rebalance-chosen) endpoint per shard:
+  /// where each shard *should* live when its node is up. endpoints_ drifts
+  /// from this under failover; rehome_to_owners() converges them.
+  std::vector<NodeId> assigned_endpoints_;
   int lookup_batch_;
   std::shared_ptr<Repository> repo_;
   ChunkPlacement placement_;

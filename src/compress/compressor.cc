@@ -147,6 +147,80 @@ class GzipishCodec final : public Codec {
   }
 };
 
+class Lz77Codec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kLz77; }
+
+  std::vector<std::byte> compress(
+      std::span<const std::byte> input) const override {
+    auto tokens = lz77_compress(input);
+    ByteWriter w;
+    if (tokens.size() + 1 < input.size()) {
+      w.put_u8(1);
+      w.put_bytes(tokens);
+    } else {
+      w.put_u8(0);  // incompressible; store raw
+      w.put_bytes(input);
+    }
+    auto payload = w.take();
+    return wrap(kind(), input, payload);
+  }
+
+  std::vector<std::byte> decompress(
+      std::span<const std::byte> container) const override {
+    const Header h = unwrap(container);
+    DSIM_CHECK(h.kind == CodecKind::kLz77);
+    ByteReader r(h.payload);
+    const u8 mode = r.get_u8();
+    std::vector<std::byte> out;
+    if (mode == 0) {
+      auto raw = r.get_bytes(r.remaining());
+      out.assign(raw.begin(), raw.end());
+    } else {
+      out = lz77_decompress(r.get_bytes(r.remaining()), h.orig_size);
+    }
+    verify(h, out);
+    return out;
+  }
+};
+
+class HuffmanCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kHuffman; }
+
+  std::vector<std::byte> compress(
+      std::span<const std::byte> input) const override {
+    auto entropy = huffman_encode(input);
+    ByteWriter w;
+    if (entropy.size() + 1 < input.size()) {
+      w.put_u8(1);
+      w.put_bytes(entropy);
+    } else {
+      w.put_u8(0);  // incompressible (or tiny); store raw
+      w.put_bytes(input);
+    }
+    auto payload = w.take();
+    return wrap(kind(), input, payload);
+  }
+
+  std::vector<std::byte> decompress(
+      std::span<const std::byte> container) const override {
+    const Header h = unwrap(container);
+    DSIM_CHECK(h.kind == CodecKind::kHuffman);
+    ByteReader r(h.payload);
+    const u8 mode = r.get_u8();
+    std::vector<std::byte> out;
+    if (mode == 0) {
+      auto raw = r.get_bytes(r.remaining());
+      out.assign(raw.begin(), raw.end());
+    } else {
+      out = huffman_decode(r.get_bytes(r.remaining()));
+    }
+    verify(h, out);
+    return out;
+  }
+};
+
 }  // namespace
 
 std::string codec_name(CodecKind kind) {
@@ -154,18 +228,45 @@ std::string codec_name(CodecKind kind) {
     case CodecKind::kNone: return "none";
     case CodecKind::kRle: return "rle";
     case CodecKind::kGzipish: return "gzip";
+    case CodecKind::kLz77: return "lz77";
+    case CodecKind::kHuffman: return "huffman";
   }
   return "?";
+}
+
+bool parse_codec(const std::string& name, CodecKind* out) {
+  if (name == "none") *out = CodecKind::kNone;
+  else if (name == "rle") *out = CodecKind::kRle;
+  else if (name == "lz77") *out = CodecKind::kLz77;
+  else if (name == "huffman") *out = CodecKind::kHuffman;
+  else if (name == "lz77+huffman" || name == "gzip") *out = CodecKind::kGzipish;
+  else return false;
+  return true;
+}
+
+double codec_cost_factor(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kNone: return 0.0;
+    case CodecKind::kRle: return 0.05;
+    case CodecKind::kHuffman: return 0.30;  // entropy stage only
+    case CodecKind::kLz77: return 0.70;     // match stage only
+    case CodecKind::kGzipish: return 1.0;   // both stages: the baseline
+  }
+  return 1.0;
 }
 
 const Codec& codec(CodecKind kind) {
   static const NoneCodec none;
   static const RleCodec rle;
   static const GzipishCodec gz;
+  static const Lz77Codec lz;
+  static const HuffmanCodec huff;
   switch (kind) {
     case CodecKind::kNone: return none;
     case CodecKind::kRle: return rle;
     case CodecKind::kGzipish: return gz;
+    case CodecKind::kLz77: return lz;
+    case CodecKind::kHuffman: return huff;
   }
   DSIM_UNREACHABLE("unknown codec");
 }

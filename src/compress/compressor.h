@@ -18,12 +18,26 @@
 namespace dsim::compress {
 
 enum class CodecKind : u8 {
-  kNone = 0,   // store; identity transform
-  kRle = 1,    // run-length encoding (ablation / tests)
-  kGzipish = 2 // LZ77 + canonical Huffman; the default "gzip"
+  kNone = 0,    // store; identity transform
+  kRle = 1,     // run-length encoding (ablation / tests)
+  kGzipish = 2, // LZ77 + canonical Huffman; the default "gzip"
+  kLz77 = 3,    // LZ77 token stream alone (no entropy stage)
+  kHuffman = 4, // order-0 canonical Huffman alone (no match stage)
 };
 
 std::string codec_name(CodecKind kind);
+
+/// Parse a --compress value into a codec: "none", "lz77", "huffman",
+/// "lz77+huffman" (the gzip-style two-stage default; "gzip" is accepted as
+/// an alias). Returns false on an unknown name.
+bool parse_codec(const std::string& name, CodecKind* out);
+
+/// Relative single-core CPU cost of compressing one input byte under
+/// `kind`, as a multiple of the gzip-class baseline (kGzipish == 1.0): the
+/// match stage dominates, the entropy stage alone is cheap, and the null
+/// codec costs nothing. The async pipeline prices its compress stage as
+/// cost_factor * input_bytes / kCompressBw.
+double codec_cost_factor(CodecKind kind);
 
 /// A compression codec. Implementations are pure functions of their input
 /// (no hidden state), so they are safe to share.

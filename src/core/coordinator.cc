@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "ckptasync/pipeline.h"
 #include "core/msg_io.h"
 #include "core/protocol.h"
 #include "core/restart_script.h"
@@ -52,6 +53,8 @@ struct CoordState {
   // time, network bytes, scrub/heal results).
   ckptstore::ServiceStats svc_last;
   rpc::RpcStats rpc_last;
+  // Async-pipeline stats at the previous round's close (same delta idiom).
+  ckptasync::PipelineStats pipe_last;
 };
 
 void refresh_discovery_epoch(CoordState* st) {
@@ -114,6 +117,12 @@ void finalize_endpoints(CoordState* st, sim::ProcessCtx& ctx) {
 Task<void> initiate_checkpoint(CoordState* st, sim::ProcessCtx& ctx) {
   if (st->shared->ckpt_active) co_return;  // a round is already in flight
   finalize_endpoints(st, ctx);
+  if (auto* svc = st->shared->store_service.get()) {
+    // Round boundary: move failover-re-homed shards back to their assigned
+    // endpoints if those nodes were revived (shard stickiness fix — no
+    // in-flight foreground traffic here, so the move is safe).
+    svc->rehome_to_owners();
+  }
   st->shared->ckpt_active = true;
   const int round = static_cast<int>(st->shared->stats.rounds.size());
   st->current_round = round;
@@ -215,6 +224,8 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
         ss.rehomed_shards - st->svc_last.rehomed_shards;
     r.failover_replayed_requests =
         ss.replayed_requests - st->svc_last.replayed_requests;
+    r.failover_rehomed_back_shards =
+        ss.rehomed_back_shards - st->svc_last.rehomed_back_shards;
     r.rebalance_moved_keys =
         ss.rebalance_moved_keys - st->svc_last.rebalance_moved_keys;
     r.rebalance_moved_bytes =
@@ -226,6 +237,36 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
     if (st->shared->opts.scrub_chunks > 0) {
       svc->scrub(st->shared->opts.scrub_chunks, st->shared->opts.codec);
     }
+  }
+  {
+    // Derived per-round signals from the managers' blob-v2 sums: the
+    // store-level compress ratio over this round's new chunks and the
+    // workload's dirty-locality fraction (generation 0 reads 1.0).
+    auto& r = st->shared->stats.rounds.back();
+    r.compress_ratio =
+        r.store_raw_new_bytes == 0
+            ? 1.0
+            : static_cast<double>(r.store_new_chunk_bytes) /
+                  static_cast<double>(r.store_raw_new_bytes);
+    r.dirty_page_fraction =
+        r.total_uncompressed == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(r.store_dup_bytes) /
+                        static_cast<double>(r.total_uncompressed);
+  }
+  if (auto* pipe = st->shared->async_pipeline.get()) {
+    const ckptasync::PipelineStats& ps = pipe->stats();
+    auto& r = st->shared->stats.rounds.back();
+    r.cow_pages_copied =
+        ps.cow_pages_copied - st->pipe_last.cow_pages_copied;
+    r.cow_copy_seconds = ps.cow_copy_seconds - st->pipe_last.cow_copy_seconds;
+    r.async_queued_bytes = ps.queued_bytes - st->pipe_last.queued_bytes;
+    r.async_blocked_seconds =
+        ps.blocked_seconds - st->pipe_last.blocked_seconds;
+    // Drain latency of the jobs that *completed* in this round's window
+    // (a round's own jobs usually finish after its refill barrier).
+    r.async_drain_seconds = ps.drain_seconds - st->pipe_last.drain_seconds;
+    st->pipe_last = ps;
   }
   RestartPlan plan;
   plan.coord_node = st->shared->opts.coord_node;
@@ -383,6 +424,13 @@ Task<void> client_handler(CoordState* st, sim::ProcessCtx* pctx, Fd fd) {
           r.total_chunks += br.get_u64();
           r.new_chunks += br.get_u64();
           r.store_dup_bytes += br.get_u64();
+          if (br.remaining() > 0) {
+            // Blob v2 (compressed-chunk + async extension).
+            r.store_new_chunk_bytes += br.get_u64();
+            r.store_raw_new_bytes += br.get_u64();
+            const u64 flags = br.get_u64();
+            if (flags & kImageFlagSkipped) r.async_skipped_procs++;
+          }
         }
         st->round_images[round][m->b].push_back(m->s);
         break;

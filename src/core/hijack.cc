@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "ckptasync/pipeline.h"
 #include "core/msg_io.h"
 #include "mtcp/mtcp.h"
 #include "sim/model_params.h"
@@ -25,6 +26,102 @@ std::string sanitize(std::string s) {
   }
   return s;
 }
+
+/// Store phase of one async drain job: replays the synchronous incremental
+/// store sequence (lookups -> stores/heals -> device charges -> manifest ->
+/// GC drops) as a callback chain off the event loop, so the checkpoint
+/// barrier releases without waiting on any of it. Kept alive by the
+/// callbacks it registers.
+struct AsyncStoreJob : std::enable_shared_from_this<AsyncStoreJob> {
+  sim::Kernel* k = nullptr;
+  std::shared_ptr<DmtcpShared> shared;
+  std::shared_ptr<ckptstore::ChunkStoreService> svc;  // null: local-repo path
+  NodeId node = 0;
+  std::string path;
+  std::vector<ckptstore::ChunkKey> probes;
+  std::vector<std::pair<ckptstore::ChunkKey, u64>> to_store;
+  std::vector<std::pair<ckptstore::ChunkKey, u64>> dup_chunks;
+  size_t fresh = 0;  // to_store[0..fresh) are new stores; the rest heals
+  u64 manifest_size = 0;
+  u64 submitted_bytes = 0;
+  std::function<void()> done;
+
+  int pending = 0;
+  std::map<NodeId, u64> home_bytes;
+
+  void run() {
+    auto self = shared_from_this();
+    if (!svc) {
+      k->charge_storage_bg(node, path, submitted_bytes, /*is_read=*/false,
+                           [self] { self->gc_and_done(); });
+      return;
+    }
+    svc->submit_lookups(node, probes, [self] { self->stores(); });
+  }
+
+  void stores() {
+    // Heal forward: dedup hits whose every replica died with its node are
+    // re-stored over the survivors (same rule as the synchronous path).
+    if (svc->placement().any_dead()) {
+      std::set<ckptstore::ChunkKey> healed;
+      for (const auto& [key, bytes] : dup_chunks) {
+        if (svc->placement().lost(key) && healed.insert(key).second) {
+          to_store.emplace_back(key, bytes);
+        }
+      }
+    }
+    if (to_store.empty()) {
+      charges();
+      return;
+    }
+    auto self = shared_from_this();
+    pending = static_cast<int>(to_store.size());
+    auto one = [self] {
+      if (--self->pending == 0) self->charges();
+    };
+    for (size_t i = 0; i < to_store.size(); ++i) {
+      const auto& [key, bytes] = to_store[i];
+      const auto homes = i < fresh
+                             ? svc->submit_store(node, key, bytes, one)
+                             : svc->submit_restore(node, key, bytes, one);
+      for (NodeId home : homes) home_bytes[home] += bytes;
+    }
+  }
+
+  void charges() {
+    auto self = shared_from_this();
+    pending = static_cast<int>(home_bytes.size()) + 1;  // +1: the manifest
+    auto one = [self] {
+      if (--self->pending == 0) self->gc_and_done();
+    };
+    for (const auto& [home, bytes] : home_bytes) {
+      k->charge_storage_bg(home, path, bytes, /*is_read=*/false, one);
+    }
+    k->charge_storage_bg(node, path, manifest_size, /*is_read=*/false, one);
+  }
+
+  void gc_and_done() {
+    ckptstore::Repository& repo = shared->repo_for(node);
+    if (svc) {
+      std::vector<ckptstore::Repository::ReclaimedChunk> dead;
+      const u64 reclaimed =
+          repo.collect_garbage(shared->opts.keep_generations, &dead);
+      if (reclaimed > 0) {
+        for (const auto& rc : dead) {
+          svc->submit_drop(node, rc.key, rc.bytes);
+          for (NodeId home : svc->placement().forget(rc.key)) {
+            k->discard_storage(home, path, rc.bytes);
+          }
+        }
+      }
+    } else {
+      const u64 reclaimed =
+          repo.collect_garbage(shared->opts.keep_generations);
+      if (reclaimed > 0) k->discard_storage(node, path, reclaimed);
+    }
+    done();
+  }
+};
 
 }  // namespace
 
@@ -510,6 +607,36 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     co_await k.sync_storage(ctx.thread(), p_.node(), ckpt_path());
   }
 
+  // Async backpressure: a new round reaching a process whose previous drain
+  // is still in flight either waits for it (block) or sits this round out
+  // (skip), leaving the previous generation's manifest in place. Resolved
+  // before the snapshot so a skipped process does zero encode work.
+  ckptasync::CkptAsyncPipeline* pipe =
+      shared_->opts.ckpt_async ? shared_->async_pipeline.get() : nullptr;
+  if (pipe != nullptr && pipe->busy(upid_.str())) {
+    if (shared_->opts.async_backpressure == AsyncBackpressure::kSkip) {
+      pipe->note_skip();
+      Msg stats;
+      stats.type = MsgType::kImageStats;
+      stats.upid = upid_;
+      stats.a = round;
+      stats.b = p_.node();
+      stats.ua = 0;
+      stats.s = ckpt_path();
+      ByteWriter bw;
+      for (int i = 0; i < 6; ++i) bw.put_u64(0);
+      bw.put_u64(kImageFlagAsync | kImageFlagSkipped);
+      stats.blob = bw.take();
+      co_await send_msg(k, ctx.thread(), *coord_sock(), stats);
+      co_return;
+    }
+    const SimTime blocked_from = k.loop().now();
+    while (pipe->busy(upid_.str())) {
+      co_await ctx.sleep(250 * timeconst::kMicrosecond);
+    }
+    pipe->note_blocked(to_seconds(k.loop().now() - blocked_from));
+  }
+
   mtcp::ProcessImage img = mtcp::capture(p_);
   img.virt_pid = vpid_;
   img.dmtcp_blob = table.encode();
@@ -526,12 +653,104 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     mtcp::EncodedDelta delta = mtcp::encode_incremental(
         img, shared_->opts.codec, shared_->opts.chunking_params(),
         std::to_string(vpid_), round, repo);
-    co_await ctx.cpu(delta.assemble_seconds + delta.compress_seconds);
+    if (pipe == nullptr) {
+      co_await ctx.cpu(delta.assemble_seconds + delta.compress_seconds);
+    } else {
+      // Async mode: the app pays only the fork/COW snapshot cost here; the
+      // scan/chunk and compress CPU are re-priced onto the background
+      // pipeline below.
+      const double rss_mb =
+          static_cast<double>(p_.mem().total_bytes()) / (1024.0 * 1024.0);
+      co_await ctx.sleep(params::kForkBase +
+                         static_cast<SimTime>(
+                             rss_mb * static_cast<double>(params::kForkPerMb)));
+    }
     inode->data = sim::ByteImage(delta.manifest_bytes.size());
     inode->data.write(0, delta.manifest_bytes);
     inode->charged_size = delta.submitted_bytes;
     ckptstore::ChunkStoreService* svc = shared_->store_service.get();
+    if (pipe != nullptr) {
+      // Hand the drain to the pipeline: chunk CPU, compress CPU (re-priced
+      // under --compress-bw and the codec's cost factor), then the same
+      // store sequence the synchronous path runs, as a callback chain.
+      double compress_seconds = 0;
+      if (shared_->opts.codec != compress::CodecKind::kNone) {
+        // Zero-class input flies through the codec at the same zero:data
+        // rate ratio the synchronous gzip model uses.
+        const double zero_speedup =
+            params::kGzipZeroBw / params::kGzipDataBw;
+        compress_seconds =
+            compress::codec_cost_factor(shared_->opts.codec) *
+            (static_cast<double>(delta.new_logical_data_bytes) /
+                 pipe->compress_bw() +
+             static_cast<double>(delta.new_logical_zero_bytes) /
+                 (pipe->compress_bw() * zero_speedup));
+      }
+      auto job = std::make_shared<AsyncStoreJob>();
+      job->k = &k;
+      job->shared = shared_;
+      job->svc = shared_->store_service;
+      job->node = p_.node();
+      job->path = path;
+      if (job->svc) {
+        job->probes.reserve(delta.dup_chunks.size() +
+                            delta.stored_chunks.size());
+        for (const auto& [key, bytes] : delta.dup_chunks) {
+          job->probes.push_back(key);
+        }
+        for (const auto& [key, bytes] : delta.stored_chunks) {
+          job->probes.push_back(key);
+        }
+      }
+      job->fresh = delta.stored_chunks.size();
+      job->to_store = std::move(delta.stored_chunks);
+      job->dup_chunks = std::move(delta.dup_chunks);
+      job->manifest_size = delta.manifest_bytes.size();
+      job->submitted_bytes = delta.submitted_bytes;
+      if (job->svc) job->svc->note_raw_bytes(delta.new_logical_bytes());
+
+      ckptasync::JobSpec spec;
+      spec.key = upid_.str();
+      spec.node = p_.node();
+      spec.chunk_seconds = delta.assemble_seconds;
+      spec.compress_seconds = compress_seconds;
+      spec.queued_bytes = delta.submitted_bytes;
+      spec.raw_new_bytes = delta.new_logical_bytes();
+      spec.compressed_new_bytes = delta.new_chunk_bytes;
+      spec.segments = p_.mem().segments();
+      spec.store = [job](std::function<void()> done) {
+        job->done = std::move(done);
+        job->run();
+      };
+      auto shared = shared_;
+      auto* kp = &k;
+      spec.on_complete = [kp, shared, round] {
+        auto& r = shared->stats.rounds[static_cast<size_t>(round)];
+        r.background_done = std::max(r.background_done, kp->loop().now());
+      };
+      pipe->start(std::move(spec));
+
+      Msg stats;
+      stats.type = MsgType::kImageStats;
+      stats.upid = upid_;
+      stats.a = round;
+      stats.b = p_.node();
+      stats.ua = delta.virtual_uncompressed;
+      stats.s = path;
+      ByteWriter bw;
+      bw.put_u64(delta.submitted_bytes);
+      bw.put_u64(delta.total_chunks);
+      bw.put_u64(delta.new_chunks);
+      bw.put_u64(delta.dup_chunk_bytes);
+      bw.put_u64(delta.new_chunk_bytes);      // post-codec stored bytes
+      bw.put_u64(delta.new_logical_bytes());  // pre-codec chunked bytes
+      bw.put_u64(kImageFlagAsync);
+      stats.blob = bw.take();
+      co_await send_msg(k, ctx.thread(), *coord_sock(), stats);
+      co_return;
+    }
     if (svc) {
+      svc->note_raw_bytes(delta.new_logical_bytes());
       // Remote chunk-store service: every chunk submission is a Lookup RPC
       // (hit or miss alike) routed to its key's shard — the probes cross
       // this node's NIC, pay the endpoint's message CPU, and serialize on
@@ -646,6 +865,9 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     bw.put_u64(delta.total_chunks);
     bw.put_u64(delta.new_chunks);
     bw.put_u64(delta.dup_chunk_bytes);  // logical bytes dedup answered
+    bw.put_u64(delta.new_chunk_bytes);      // post-codec stored bytes
+    bw.put_u64(delta.new_logical_bytes());  // pre-codec chunked bytes
+    bw.put_u64(0);                          // flags: synchronous drain
     stats.blob = bw.take();
     co_await send_msg(k, ctx.thread(), *coord_sock(), stats);
     co_return;

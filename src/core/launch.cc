@@ -2,12 +2,14 @@
 
 #include <set>
 
+#include "ckptasync/pipeline.h"
 #include "ckptstore/manifest.h"
 #include "cluster/failover.h"
 #include "cluster/membership.h"
 #include "core/coordinator.h"
 #include "core/hijack.h"
 #include "core/restart.h"
+#include "sim/model_params.h"
 #include "util/assertx.h"
 #include "util/logging.h"
 
@@ -71,6 +73,19 @@ DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
     shared_->store_service->set_revive_router(
         [membership](NodeId n) { membership->revive_node(n); });
     shared_->membership->start();
+  }
+  if (opts.ckpt_async) {
+    // Async COW checkpoint pipeline: background encode/store jobs charge
+    // their CPU stages on the snapshot node through the fluid share, so the
+    // app slowdown during a drain is emergent, not scripted.
+    sim::Kernel* kp = &k_;
+    shared_->async_pipeline = std::make_shared<ckptasync::CkptAsyncPipeline>(
+        [kp](NodeId node, double seconds, std::function<void()> done) {
+          kp->node(node).cpu().submit(seconds, std::move(done));
+        },
+        [kp] { return kp->loop().now(); },
+        opts.compress_bw > 0 ? opts.compress_bw
+                             : sim::params::kCompressBw);
   }
   k_.programs().add(make_coordinator_program(shared_));
   k_.programs().add(make_command_program(shared_));

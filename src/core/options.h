@@ -57,11 +57,30 @@ inline std::string validate_chunking(const ckptstore::ChunkingParams& p) {
   return "";
 }
 
+/// Backpressure policy when a checkpoint round starts while the previous
+/// async drain is still in flight.
+enum class AsyncBackpressure : u8 {
+  kBlock = 0,  // wait for the previous drain (app pauses until it finishes)
+  kSkip = 1,   // skip this round for the still-draining process
+};
+
 struct DmtcpOptions {
   NodeId coord_node = 0;
   u16 coord_port = 7779;
   compress::CodecKind codec = compress::CodecKind::kGzipish;  // gzip default
   bool forked_checkpointing = false;  // fork + copy-on-write writer (§5.3)
+  /// --ckpt-async: copy-on-write snapshot + background encode/store pipeline
+  /// (src/ckptasync/). The app is charged only the fork/COW snapshot cost at
+  /// checkpoint time; chunking, compression and store RPCs drain in the
+  /// background. Requires --incremental (the pipeline streams chunk deltas).
+  bool ckpt_async = false;
+  /// --async-backpressure: what happens when a round starts before the
+  /// previous drain finished ('block' or 'skip').
+  AsyncBackpressure async_backpressure = AsyncBackpressure::kBlock;
+  /// --compress-bw: background compress-stage input rate in bytes/second
+  /// for the async pipeline's gzip-class baseline (0 = model default
+  /// kCompressBw). Other codecs scale by compress::codec_cost_factor.
+  double compress_bw = 0;
   SyncMode sync = SyncMode::kNone;
   std::string ckpt_dir = "/ckpt";     // "/shared/ckpt" → SAN/NFS (Fig. 5b)
   SimTime interval = 0;               // --interval: periodic checkpoints
@@ -185,7 +204,18 @@ struct DmtcpOptions {
     }
     if (incremental && forked_checkpointing) {
       return "--incremental and forked checkpointing are mutually "
-             "exclusive (the chunk store serializes in-line)";
+             "exclusive (use --ckpt-async for a background chunk drain)";
+    }
+    if (ckpt_async && !incremental) {
+      return "--ckpt-async requires --incremental: the background pipeline "
+             "streams chunk deltas";
+    }
+    if (ckpt_async && forked_checkpointing) {
+      return "--ckpt-async and forked checkpointing are mutually exclusive "
+             "(the async pipeline already snapshots copy-on-write)";
+    }
+    if (compress_bw < 0) {
+      return "--compress-bw must be non-negative";
     }
     return "";
   }
@@ -240,6 +270,27 @@ struct DmtcpOptions {
       };
       if (a == "--incremental") {
         incremental = true;
+      } else if (a == "--ckpt-async") {
+        ckpt_async = true;
+      } else if (a == "--async-backpressure") {
+        const std::string v = strval("--async-backpressure");
+        if (!err.empty()) return err;
+        if (v == "block") async_backpressure = AsyncBackpressure::kBlock;
+        else if (v == "skip") async_backpressure = AsyncBackpressure::kSkip;
+        else
+          return "--async-backpressure: expected 'block' or 'skip', got '" +
+                 v + "'";
+      } else if (a == "--compress") {
+        const std::string v = strval("--compress");
+        if (!err.empty()) return err;
+        if (!compress::parse_codec(v, &codec)) {
+          return "--compress: expected 'none', 'lz77', 'huffman' or "
+                 "'lz77+huffman', got '" + v + "'";
+        }
+      } else if (a == "--compress-bw") {
+        const long n = intval("--compress-bw");
+        if (!err.empty()) return err;
+        compress_bw = static_cast<double>(n);
       } else if (a == "--chunk-bytes") {
         const long n = intval("--chunk-bytes");
         if (!err.empty()) return err;

@@ -35,6 +35,13 @@ enum class MsgType : u8 {
   kStageNote = 14,      // restart -> coord: s=stage name, ua=duration ns (restart breakdown)
 };
 
+/// kImageStats incremental-blob flag word (7th u64, appended after
+/// [submitted][total_chunks][new_chunks][dup_bytes][stored_new][raw_new]).
+/// Older 4-u64 blobs simply omit the extension; the coordinator parses
+/// behind remaining() checks.
+inline constexpr u64 kImageFlagAsync = 1;    // drained via --ckpt-async
+inline constexpr u64 kImageFlagSkipped = 2;  // round skipped (backpressure)
+
 struct Msg {
   MsgType type = MsgType::kRegister;
   UniquePid upid{};

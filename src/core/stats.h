@@ -19,6 +19,10 @@
 #include "core/options.h"
 #include "util/types.h"
 
+namespace dsim::ckptasync {
+class CkptAsyncPipeline;
+}  // namespace dsim::ckptasync
+
 namespace dsim::core {
 
 /// One checkpoint round, timestamped by the coordinator.
@@ -79,8 +83,27 @@ struct CkptRound {
   // shard count changed since the previous round.
   u64 failover_rehomed_shards = 0;
   u64 failover_replayed_requests = 0;
+  /// Shards moved *back* to their rendezvous owner at this round's start
+  /// after the owner endpoint was revived (stickiness fix).
+  u64 failover_rehomed_back_shards = 0;
   u64 rebalance_moved_keys = 0;
   u64 rebalance_moved_bytes = 0;
+
+  // Compressed-chunk accounting over this round's *new* chunks.
+  u64 store_new_chunk_bytes = 0;  // container (post-codec) bytes stored
+  u64 store_raw_new_bytes = 0;    // logical (pre-codec) bytes chunked
+  double compress_ratio = 0;      // stored/raw; 1.0 when nothing compresses
+  /// Fraction of logical image bytes NOT answered by resident chunks —
+  /// the workload's dirty-locality signal (generation 0 reads 1.0).
+  double dirty_page_fraction = 0;
+
+  // Async COW pipeline (--ckpt-async), this round's view.
+  u64 cow_pages_copied = 0;       // snapshot pages the app dirtied mid-drain
+  double cow_copy_seconds = 0;    // background CPU those copies charged
+  u64 async_queued_bytes = 0;     // logical bytes handed to the pipeline
+  double async_drain_seconds = 0;      // max job drain latency this round
+  double async_blocked_seconds = 0;    // backpressure=block wait, summed
+  u64 async_skipped_procs = 0;         // backpressure=skip rounds skipped
   double avg_lookup_wait_seconds() const {
     return store_lookups == 0
                ? 0.0
@@ -162,6 +185,9 @@ struct DmtcpShared {
   /// before choosing a chunk's holder.
   std::shared_ptr<cluster::Membership> membership;
   std::shared_ptr<cluster::FailoverManager> failover;
+  /// Async COW checkpoint pipeline (--ckpt-async): snapshot trackers +
+  /// background encode/store jobs. Created by DmtcpControl.
+  std::shared_ptr<ckptasync::CkptAsyncPipeline> async_pipeline;
   int ckpt_generation = 0;  // bumped per completed checkpoint
   /// Virtual pids in use across the computation (conflict detection, §4.5).
   std::set<Pid> active_vpids;

@@ -113,8 +113,9 @@ EncodedImage encode(const ProcessImage& img, compress::CodecKind codec) {
     // everything else crawls at data rate.
     const u64 nonzero = out.virtual_uncompressed - zero_bytes;
     out.compress_seconds =
-        static_cast<double>(zero_bytes) / sim::params::kGzipZeroBw +
-        static_cast<double>(nonzero) / sim::params::kGzipDataBw;
+        compress::codec_cost_factor(codec) *
+        (static_cast<double>(zero_bytes) / sim::params::kGzipZeroBw +
+         static_cast<double>(nonzero) / sim::params::kGzipDataBw);
     out.assemble_seconds = static_cast<double>(out.virtual_uncompressed) /
                            sim::params::kMemcpyBw;
   }
@@ -242,10 +243,13 @@ EncodedDelta encode_incremental(const ProcessImage& img,
     out.assemble_seconds += static_cast<double>(real_scanned_bytes) /
                             sim::params::kGearHashBw;
   }
+  out.new_logical_zero_bytes = new_zero_bytes;
+  out.new_logical_data_bytes = new_other_bytes;
   if (codec != compress::CodecKind::kNone) {
     out.compress_seconds =
-        static_cast<double>(new_zero_bytes) / sim::params::kGzipZeroBw +
-        static_cast<double>(new_other_bytes) / sim::params::kGzipDataBw;
+        compress::codec_cost_factor(codec) *
+        (static_cast<double>(new_zero_bytes) / sim::params::kGzipZeroBw +
+         static_cast<double>(new_other_bytes) / sim::params::kGzipDataBw);
   }
   repo.commit_generation(owner, generation, mf.all_keys(), mf.full_bytes());
   return out;

@@ -60,6 +60,15 @@ struct EncodedDelta {
   u64 dup_chunk_bytes = 0;
   u64 total_chunks = 0;
   u64 new_chunks = 0;
+  /// Logical (pre-codec) bytes of the *new* chunks, split by content class:
+  /// zero-dominated input compresses at a very different rate than typical
+  /// program data, and the async pipeline re-prices the compress stage from
+  /// these under its own --compress-bw knob.
+  u64 new_logical_zero_bytes = 0;
+  u64 new_logical_data_bytes = 0;
+  u64 new_logical_bytes() const {
+    return new_logical_zero_bytes + new_logical_data_bytes;
+  }
   double assemble_seconds = 0;  // scan + hash cost over the full image
   double compress_seconds = 0;  // codec cost over *new* chunk bytes only
   /// The chunks stored this generation (key, device-charged bytes), in

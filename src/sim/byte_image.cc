@@ -24,6 +24,8 @@ u8 ByteImage::rand_byte(u64 seed, u64 pos) {
 
 void ByteImage::resize(u64 new_size) {
   if (new_size == size_) return;
+  notify(std::min(size_, new_size),
+         std::max(size_, new_size) - std::min(size_, new_size));
   if (new_size > size_) {
     ext_.emplace(size_,
                  Extent{new_size - size_, ExtentKind::kZero, 0, nullptr, 0});
@@ -67,6 +69,7 @@ void ByteImage::replace_range(u64 off, u64 len, Extent ext) {
 void ByteImage::write(u64 off, std::span<const std::byte> bytes) {
   if (bytes.empty()) return;
   DSIM_CHECK_MSG(off + bytes.size() <= size_, "ByteImage write out of range");
+  notify(off, bytes.size());
 
   // Fast path: the range lies within a single uniquely-owned real extent.
   auto it = ext_.upper_bound(off);
@@ -92,6 +95,7 @@ void ByteImage::fill(u64 off, u64 len, ExtentKind kind, u64 seed) {
   if (len == 0) return;
   DSIM_CHECK_MSG(off + len <= size_, "ByteImage fill out of range");
   DSIM_CHECK_MSG(kind != ExtentKind::kReal, "use write() for real bytes");
+  notify(off, len);
   replace_range(off, len, Extent{len, kind, seed, nullptr, 0});
 }
 

@@ -15,6 +15,7 @@
 // kernel copy-on-write semantics (§5.3).
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <span>
@@ -41,9 +42,43 @@ class ByteImage {
     u64 data_off = 0;  // offset into *data (cheap splits)
   };
 
+  /// Observer of content mutations, used by the async checkpoint pipeline's
+  /// COW tracker to detect pages the application dirties while a snapshot
+  /// drain is in flight. The observer is a property of the *live* image, not
+  /// of its content: copies and moved-to images start with no observer (a
+  /// snapshot copy must never fire the original's tracker), and assignment
+  /// keeps the target's own observer, reporting the whole range as mutated.
+  struct WriteObserver {
+    virtual ~WriteObserver() = default;
+    virtual void on_mutate(u64 off, u64 len) = 0;
+  };
+
   ByteImage() = default;
   /// Zero-filled image of `size` bytes.
   explicit ByteImage(u64 size);
+
+  ByteImage(const ByteImage& other) : size_(other.size_), ext_(other.ext_) {}
+  ByteImage(ByteImage&& other) noexcept
+      : size_(other.size_), ext_(std::move(other.ext_)) {}
+  ByteImage& operator=(const ByteImage& other) {
+    if (this != &other) {
+      notify(0, std::max(size_, other.size_));
+      size_ = other.size_;
+      ext_ = other.ext_;
+    }
+    return *this;
+  }
+  ByteImage& operator=(ByteImage&& other) noexcept {
+    if (this != &other) {
+      notify(0, std::max(size_, other.size_));
+      size_ = other.size_;
+      ext_ = std::move(other.ext_);
+    }
+    return *this;
+  }
+
+  void set_write_observer(WriteObserver* obs) { observer_ = obs; }
+  WriteObserver* write_observer() const { return observer_; }
 
   u64 size() const { return size_; }
   /// Grow (zero-filled) or shrink.
@@ -89,9 +124,13 @@ class ByteImage {
   // first) and insert the replacement extent.
   void replace_range(u64 off, u64 len, Extent ext);
   void check_invariants() const;
+  void notify(u64 off, u64 len) {
+    if (observer_ != nullptr && len > 0) observer_->on_mutate(off, len);
+  }
 
   u64 size_ = 0;
   std::map<u64, Extent> ext_;  // key: start offset; contiguous, no holes
+  WriteObserver* observer_ = nullptr;  // not owned; never copied/moved
 };
 
 }  // namespace dsim::sim

@@ -84,6 +84,22 @@ inline constexpr SimTime kForkBase = 300 * timeconst::kMicrosecond;
 // Copy-on-write slowdown while a forked checkpoint is in flight is emergent:
 // the writer child occupies a core in the fluid-share CPU model.
 
+// --- Async COW checkpoint pipeline (src/ckptasync/) --------------------------
+// Snapshotted pages the application touches before the background drain
+// finishes pay a copy-on-write fault: trap + page copy, charged as
+// background CPU on the touching node so the slowdown stays emergent
+// through the fluid share (one full page copy at memcpy rate plus the
+// fault/TLB overhead).
+inline constexpr u64 kCowPageBytes = 4 * 1024;
+inline constexpr double kCowPageFaultSeconds = 2e-6;
+// Background compress-stage input rate (single core) for the async
+// pipeline's gzip-class baseline codec; other codecs scale by their
+// relative cost factor (compress::codec_cost_factor). This is the knob the
+// compress-vs-NIC/device crossover sweeps: a slow core makes compression
+// lose to shipping raw bytes over a fast fabric, a fast core makes it win
+// on a slow NIC/device. Overridable per run via --compress-bw.
+inline constexpr double kCompressBw = 30e6;
+
 // --- Chunk-store service (stdchk-style remote store) ------------------------
 // The cluster-scope store is a *service* with one FIFO request queue, not a
 // free in-memory index: every dedup Lookup, chunk Store, restart Fetch and

@@ -404,6 +404,46 @@ TEST(Failover, RestartFetchesPastADeadEndpointNode) {
             node2_nic_before);
 }
 
+TEST(Failover, RevivedEndpointGetsItsShardBackAtTheRoundBoundary) {
+  // Shard stickiness: a failover re-home is an *emergency* move, not a new
+  // assignment. Once the original endpoint node revives, the next round
+  // boundary must move the shard back to its assigned owner (and replay
+  // anything parked), instead of leaving it stuck on the stand-in forever.
+  World w(4, cluster_opts(/*replicas=*/2, /*shards=*/2, /*store_node=*/2));
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+  const Pid pb = w.ctl.launch(1, kComputeLoop, {"1000000", "200", "b"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  add_ballast(w, pa, 1024 * 1024, 0xAA);
+  add_ballast(w, pb, 1024 * 1024, 0xBB);
+  w.ctl.checkpoint_now();
+
+  auto& svc = *w.ctl.shared().store_service;
+  ASSERT_EQ(svc.endpoints()[0], 2);  // shard 0's assigned owner
+  svc.fail_node(2);
+  w.ctl.run_for(2 * timeconst::kSecond);  // let membership declare the death
+  EXPECT_NE(svc.endpoints()[0], 2);       // emergency re-home engaged
+
+  // A round while the owner is down must NOT move the shard back.
+  w.ctl.checkpoint_now();
+  EXPECT_NE(svc.endpoints()[0], 2);
+  EXPECT_EQ(svc.stats().rehomed_back_shards, 0u);
+
+  svc.revive_node(2);
+  const auto& round = w.ctl.checkpoint_now();
+  EXPECT_EQ(svc.endpoints()[0], 2) << "shard did not stick to its owner";
+  EXPECT_GE(svc.stats().rehomed_back_shards, 1u);
+  EXPECT_GE(round.failover_rehomed_back_shards, 1u);
+
+  // The store stayed coherent across the move-away and the move-back.
+  w.ctl.run_for(300 * timeconst::kMillisecond);  // heal daemon settles
+  EXPECT_EQ(svc.placement().lost_chunks(), 0u);
+  w.ctl.kill_computation();
+  const auto& rr = w.ctl.restart();
+  EXPECT_FALSE(rr.needs_restore);
+  EXPECT_EQ(rr.procs, 2);
+  ASSERT_TRUE(w.run_until_results({"a", "b"}));
+}
+
 // --- consistent-hash rebalancing ---------------------------------------------
 
 TEST(Rebalance, ShardCountChangeMovesOnlyReassignedKeys) {

@@ -292,11 +292,86 @@ def check_failover(path, data):
     return rc
 
 
+def check_async(path, data):
+    rc = 0
+    for key in (
+        "config",
+        "pause.generations",
+        "pause.speedup",
+        "pause.async_queued_bytes",
+        "identity.manifests_match",
+        "identity.restored_match",
+        "compression.raw_new_bytes",
+        "compression.compressed_new_bytes",
+        "failover.lost_chunks",
+        "failover.restart_ok",
+        "sweep",
+        "summary.pause_speedup",
+        "summary.compressed_lt_raw",
+        "summary.compress_loses_at_slow_cpu",
+        "summary.compress_wins_at_fast_cpu",
+    ):
+        try:
+            require(data, path, key)
+        except (KeyError, TypeError):
+            rc |= fail(path, f"missing key '{key}'")
+    if rc:
+        return rc
+    # The headline claim: the app-visible pause collapses once encode+store
+    # runs behind the app's back (target ~10x; gate at 5x).
+    speedup = data["summary"]["pause_speedup"]
+    if speedup < 5.0:
+        rc |= fail(path, f"pause_speedup={speedup} < 5x: the async pipeline "
+                         "is not off the critical path")
+    gens = data["pause"]["generations"]
+    if not gens:
+        return rc | fail(path, "no pause generations recorded")
+    for g in gens:
+        if g["async_seconds"] >= g["sync_seconds"]:
+            rc |= fail(
+                path,
+                f"gen {g['gen']}: async pause {g['async_seconds']}s is not "
+                f"below the sync pause {g['sync_seconds']}s",
+            )
+    if data["pause"]["async_queued_bytes"] <= 0:
+        rc |= fail(path, "the background pipeline queued no bytes")
+    # Moving the charging off the critical path must not move a byte.
+    if data["identity"]["manifests_match"] is not True:
+        rc |= fail(path, "sync and async generation-0 manifests diverged")
+    if data["identity"]["restored_match"] is not True:
+        rc |= fail(path, "restored content differs between --compress=none "
+                         "and --compress=lz77+huffman")
+    raw = data["compression"]["raw_new_bytes"]
+    packed = data["compression"]["compressed_new_bytes"]
+    if not 0 < packed < raw:
+        rc |= fail(path, f"compressed_new_bytes={packed} not strictly below "
+                         f"raw_new_bytes={raw} at lz77+huffman")
+    if data["failover"]["lost_chunks"] != 0:
+        rc |= fail(path, f"lost_chunks={data['failover']['lost_chunks']} "
+                         "after the mid-drain endpoint kill (must be 0)")
+    if data["failover"]["restart_ok"] is not True:
+        rc |= fail(path, "restart after the mid-drain endpoint kill failed")
+    if not data["sweep"]:
+        return rc | fail(path, "empty compress-bandwidth sweep")
+    if any(pt["gzip_drain_seconds"] <= 0 for pt in data["sweep"]):
+        rc |= fail(path, "a sweep point recorded no drain time")
+    # The kCompressBw crossover: a slow compressor loses the drain race to
+    # plain streaming, a fast one wins it.
+    if data["summary"]["compress_loses_at_slow_cpu"] is not True:
+        rc |= fail(path, "compression did not lose the drain race at the "
+                         "slow-compressor sweep point")
+    if data["summary"]["compress_wins_at_fast_cpu"] is not True:
+        rc |= fail(path, "compression did not win the drain race at the "
+                         "fast-compressor sweep point")
+    return rc
+
+
 CHECKERS = {
     "BENCH_incremental.json": check_incremental,
     "BENCH_cdc.json": check_cdc,
     "BENCH_service.json": check_service,
     "BENCH_failover.json": check_failover,
+    "BENCH_async.json": check_async,
 }
 
 # Baseline-gated metrics per file: name -> (extractor, good direction).
@@ -335,6 +410,16 @@ BASELINE_METRICS = {
             lambda d: d["summary"]["kill_overhead_ratio"], "lower"),
         "rebalance_seconds": (
             lambda d: d["rebalance"]["rebalance_seconds"], "lower"),
+    },
+    "BENCH_async.json": {
+        "pause_speedup": (
+            lambda d: d["summary"]["pause_speedup"], "higher"),
+        "async_pause_seconds": (
+            lambda d: d["pause"]["async_seconds"], "lower"),
+        "compress_ratio": (
+            lambda d: d["summary"]["compress_ratio"], "lower"),
+        "max_drain_seconds": (
+            lambda d: d["pause"]["max_drain_seconds"], "lower"),
     },
 }
 
