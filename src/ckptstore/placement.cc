@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckptstore/erasure.h"
 #include "util/assertx.h"
 #include "util/rng.h"
 
@@ -13,6 +14,35 @@ ChunkPlacement::ChunkPlacement(int num_nodes, int replicas)
   DSIM_CHECK_MSG(replicas >= 1, "placement needs at least one replica");
 }
 
+void ChunkPlacement::enable_erasure(int k, int m) {
+  DSIM_CHECK_MSG(entries_.empty(),
+                 "enable_erasure must precede the first record_store");
+  DSIM_CHECK_MSG(k >= 2 && m >= 1 && k + m <= 32,
+                 "erasure profile must satisfy 2 <= k, 1 <= m, k+m <= 32");
+  DSIM_CHECK_MSG(k + m <= num_nodes(),
+                 "erasure needs k+m distinct nodes for the fragments");
+  erasure_k_ = k;
+  erasure_m_ = m;
+}
+
+void ChunkPlacement::set_cold_profile(int k, int m) {
+  DSIM_CHECK_MSG(erasure_enabled(),
+                 "cold profile requires erasure mode (enable_erasure first)");
+  DSIM_CHECK_MSG(k >= 2 && m >= 1 && k + m <= 32,
+                 "cold profile must satisfy 2 <= k, 1 <= m, k+m <= 32");
+  DSIM_CHECK_MSG(k + m <= num_nodes(),
+                 "cold profile needs k+m distinct nodes for the fragments");
+  cold_k_ = k;
+  cold_m_ = m;
+}
+
+ChunkPlacement::ErasureInfo ChunkPlacement::erasure_info(
+    const ChunkKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.k == 0) return {};
+  return {it->second.k, it->second.m, it->second.frag_bytes};
+}
+
 u64 ChunkPlacement::score(const ChunkKey& key, NodeId node) {
   // Chained mix64 over (node, key.lo, key.hi): an independent uniform
   // draw per (key, node) pair — the highest-random-weight (rendezvous)
@@ -22,15 +52,15 @@ u64 ChunkPlacement::score(const ChunkKey& key, NodeId node) {
   return mix64(key.hi ^ mix64(key.lo ^ mix64(static_cast<u64>(node))));
 }
 
-std::vector<NodeId> ChunkPlacement::place(const ChunkKey& key) const {
+std::vector<NodeId> ChunkPlacement::place_n(const ChunkKey& key,
+                                            size_t want) const {
   std::vector<std::pair<u64, NodeId>> scored;
   for (size_t n = 0; n < alive_.size(); ++n) {
     if (!alive_[n]) continue;
     scored.emplace_back(score(key, static_cast<NodeId>(n)),
                         static_cast<NodeId>(n));
   }
-  const size_t want = std::min<size_t>(static_cast<size_t>(replicas_),
-                                       scored.size());
+  want = std::min(want, scored.size());
   std::partial_sort(scored.begin(),
                     scored.begin() + static_cast<ptrdiff_t>(want),
                     scored.end(), std::greater<>());
@@ -40,12 +70,23 @@ std::vector<NodeId> ChunkPlacement::place(const ChunkKey& key) const {
   return out;
 }
 
+std::vector<NodeId> ChunkPlacement::place(const ChunkKey& key) const {
+  return place_n(key, erasure_enabled()
+                          ? static_cast<size_t>(erasure_k_ + erasure_m_)
+                          : static_cast<size_t>(replicas_));
+}
+
 std::vector<NodeId> ChunkPlacement::record_store(const ChunkKey& key,
                                                  u64 charged_bytes) {
   auto [it, fresh] = entries_.try_emplace(key);
   if (!fresh) return {};  // dedup hit: the copies are already placed
   it->second.homes = place(key);
   it->second.bytes = charged_bytes;
+  if (erasure_enabled()) {
+    it->second.k = static_cast<u16>(erasure_k_);
+    it->second.m = static_cast<u16>(erasure_m_);
+    it->second.frag_bytes = erasure::fragment_bytes(charged_bytes, erasure_k_);
+  }
   DSIM_CHECK_MSG(!it->second.homes.empty(),
                  "chunk store has no alive node to place on");
   return it->second.homes;
@@ -54,10 +95,18 @@ std::vector<NodeId> ChunkPlacement::record_store(const ChunkKey& key,
 i32 ChunkPlacement::holder(const ChunkKey& key) const {
   auto it = entries_.find(key);
   if (it == entries_.end()) return kNoHolder;
-  for (NodeId n : it->second.homes) {
-    if (node_alive(n)) return n;
+  const Entry& e = it->second;
+  for (size_t i = 0; i < e.homes.size(); ++i) {
+    if (!node_alive(e.homes[i])) continue;
+    if (e.k > 0 && (e.corrupt_mask >> i) & 1u) continue;
+    return e.homes[i];
   }
   return kNoHolder;
+}
+
+bool ChunkPlacement::available(const ChunkKey& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && !entry_lost(it->second);
 }
 
 bool ChunkPlacement::lost(const ChunkKey& key) const {
@@ -70,17 +119,82 @@ std::vector<NodeId> ChunkPlacement::homes_of(const ChunkKey& key) const {
   return it == entries_.end() ? std::vector<NodeId>{} : it->second.homes;
 }
 
+std::vector<ChunkPlacement::FetchSource> ChunkPlacement::read_plan(
+    const ChunkKey& key, bool* needs_decode,
+    const std::function<bool(NodeId)>& also_alive) const {
+  *needs_decode = false;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  const Entry& e = it->second;
+  auto usable = [&](size_t i) {
+    if (!node_alive(e.homes[i])) return false;
+    if (e.k > 0 && (e.corrupt_mask >> i) & 1u) return false;
+    return !also_alive || also_alive(e.homes[i]);
+  };
+  if (e.k == 0) {
+    // Replication: any one surviving copy carries the whole chunk.
+    for (size_t i = 0; i < e.homes.size(); ++i) {
+      if (usable(i)) return {{e.homes[i], e.bytes}};
+    }
+    return {};
+  }
+  // Erasure: the k data fragments when healthy (systematic — no decode),
+  // else the first k usable fragments of any kind plus a decode pass.
+  const size_t k = e.k;
+  std::vector<size_t> picks;
+  picks.reserve(k);
+  for (size_t i = 0; i < e.homes.size() && picks.size() < k; ++i) {
+    if (usable(i)) picks.push_back(i);
+  }
+  if (picks.size() < k) return {};  // unreadable through this view
+  for (size_t i = 0; i < k; ++i) {
+    if (picks[i] != i) {
+      *needs_decode = true;  // a parity fragment substitutes for data
+      break;
+    }
+  }
+  std::vector<FetchSource> out;
+  out.reserve(k);
+  for (size_t i : picks) out.push_back({e.homes[i], e.frag_bytes});
+  return out;
+}
+
 bool ChunkPlacement::degraded(const ChunkKey& key) const {
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
-  const size_t alive_nodes = static_cast<size_t>(
-      std::count(alive_.begin(), alive_.end(), true));
-  const size_t want = std::min<size_t>(static_cast<size_t>(replicas_),
-                                       alive_nodes);
-  const size_t alive_homes = static_cast<size_t>(std::count_if(
-      it->second.homes.begin(), it->second.homes.end(),
-      [&](NodeId n) { return node_alive(n); }));
-  return alive_homes > 0 && alive_homes < want;
+  return entry_degraded(it->second, count_alive());
+}
+
+bool ChunkPlacement::corrupt_fragment(const ChunkKey& key, int index) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.k == 0) return false;
+  if (index < 0 || static_cast<size_t>(index) >= it->second.homes.size()) {
+    return false;
+  }
+  it->second.corrupt_mask |= 1u << index;
+  return true;
+}
+
+u32 ChunkPlacement::corrupt_mask(const ChunkKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.corrupt_mask;
+}
+
+std::vector<NodeId> ChunkPlacement::repair_fragments(const ChunkKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  Entry& e = it->second;
+  if (e.k == 0 || e.corrupt_mask == 0) return {};
+  if (clean_alive(e) < e.k) return {};  // beyond repair: quarantine path
+  std::vector<NodeId> rewritten;
+  for (size_t i = 0; i < e.homes.size(); ++i) {
+    if (!((e.corrupt_mask >> i) & 1u)) continue;
+    // A corrupt fragment on a dead node is the heal daemon's problem (the
+    // slot gets a fresh home anyway); repair rewrites the alive ones.
+    if (node_alive(e.homes[i])) rewritten.push_back(e.homes[i]);
+    e.corrupt_mask &= ~(1u << i);
+  }
+  return rewritten;
 }
 
 std::vector<NodeId> ChunkPlacement::forget(const ChunkKey& key) {
@@ -94,10 +208,17 @@ std::vector<NodeId> ChunkPlacement::forget(const ChunkKey& key) {
   return alive_homes;
 }
 
+u64 ChunkPlacement::home_charge(const ChunkKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return 0;
+  return it->second.k > 0 ? it->second.frag_bytes : it->second.bytes;
+}
+
 std::vector<NodeId> ChunkPlacement::re_place(const ChunkKey& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return {};
   it->second.homes = place(key);
+  it->second.corrupt_mask = 0;  // fresh fragments everywhere
   DSIM_CHECK_MSG(!it->second.homes.empty(),
                  "chunk store has no alive node to re-place on");
   return it->second.homes;
@@ -106,31 +227,19 @@ std::vector<NodeId> ChunkPlacement::re_place(const ChunkKey& key) {
 std::vector<ChunkKey> ChunkPlacement::degraded_chunks() const {
   std::vector<ChunkKey> out;
   if (!any_dead()) return out;  // full placements everywhere: nothing to heal
-  const size_t alive_nodes = static_cast<size_t>(
-      std::count(alive_.begin(), alive_.end(), true));
-  const size_t want = std::min<size_t>(static_cast<size_t>(replicas_),
-                                       alive_nodes);
+  const size_t alive_nodes = count_alive();
   for (const auto& [key, e] : entries_) {
-    const size_t alive_homes = static_cast<size_t>(std::count_if(
-        e.homes.begin(), e.homes.end(),
-        [&](NodeId n) { return node_alive(n); }));
-    if (alive_homes > 0 && alive_homes < want) out.push_back(key);
+    if (entry_degraded(e, alive_nodes)) out.push_back(key);
   }
   return out;
 }
 
 u64 ChunkPlacement::degraded_count() const {
   if (!any_dead()) return 0;
-  const size_t alive_nodes = static_cast<size_t>(
-      std::count(alive_.begin(), alive_.end(), true));
-  const size_t want = std::min<size_t>(static_cast<size_t>(replicas_),
-                                       alive_nodes);
+  const size_t alive_nodes = count_alive();
   u64 degraded = 0;
   for (const auto& [key, e] : entries_) {
-    const size_t alive_homes = static_cast<size_t>(std::count_if(
-        e.homes.begin(), e.homes.end(),
-        [&](NodeId n) { return node_alive(n); }));
-    if (alive_homes > 0 && alive_homes < want) ++degraded;
+    if (entry_degraded(e, alive_nodes)) ++degraded;
   }
   return degraded;
 }
@@ -138,30 +247,81 @@ u64 ChunkPlacement::degraded_count() const {
 std::vector<NodeId> ChunkPlacement::heal(const ChunkKey& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return {};
+  Entry& e = it->second;
   std::vector<NodeId> alive_homes;
-  for (NodeId n : it->second.homes) {
+  for (NodeId n : e.homes) {
     if (node_alive(n)) alive_homes.push_back(n);
   }
-  if (alive_homes.empty()) return {};  // lost: re_place()'s job, not heal's
-  const std::vector<NodeId> want = place(key);
-  if (want.size() <= alive_homes.size()) return {};  // already at strength
-  // Rendezvous scores are fixed per (key, node), so removing dead nodes only
-  // promotes the next-best scorers: `want` is a superset of the surviving
-  // homes, and the difference is exactly the copies to write.
-  std::vector<NodeId> fresh;
+  if (e.k == 0) {
+    if (alive_homes.empty()) return {};  // lost: re_place()'s job, not heal's
+    const std::vector<NodeId> want = place(key);
+    if (want.size() <= alive_homes.size()) return {};  // already at strength
+    // Rendezvous scores are fixed per (key, node), so removing dead nodes
+    // only promotes the next-best scorers: `want` is a superset of the
+    // surviving homes, and the difference is exactly the copies to write.
+    std::vector<NodeId> fresh;
+    for (NodeId n : want) {
+      if (std::find(alive_homes.begin(), alive_homes.end(), n) ==
+          alive_homes.end()) {
+        fresh.push_back(n);
+      }
+    }
+    e.homes = want;
+    return fresh;
+  }
+  // Erasure: surviving fragments stay pinned to their slots (their bytes
+  // are already right); only dead slots get fresh homes, and each fresh
+  // home receives a *rebuilt* fragment decoded from k survivors.
+  if (clean_alive(e) < e.k) return {};  // lost: nothing to rebuild from
+  const std::vector<NodeId> want =
+      place_n(key, static_cast<size_t>(e.k + e.m));
+  std::vector<NodeId> candidates;  // alive, not already hosting a fragment
   for (NodeId n : want) {
     if (std::find(alive_homes.begin(), alive_homes.end(), n) ==
         alive_homes.end()) {
-      fresh.push_back(n);
+      candidates.push_back(n);
     }
   }
-  it->second.homes = want;
+  std::vector<NodeId> fresh;
+  size_t next = 0;
+  for (size_t i = 0; i < e.homes.size() && next < candidates.size(); ++i) {
+    if (node_alive(e.homes[i])) continue;
+    e.homes[i] = candidates[next++];
+    e.corrupt_mask &= ~(1u << i);  // the rebuilt fragment is clean
+    fresh.push_back(e.homes[i]);
+  }
   return fresh;
 }
 
 u64 ChunkPlacement::bytes_of(const ChunkKey& key) const {
   auto it = entries_.find(key);
   return it == entries_.end() ? 0 : it->second.bytes;
+}
+
+ChunkPlacement::DemotePlan ChunkPlacement::demote(const ChunkKey& key) {
+  DemotePlan plan;
+  if (cold_k_ == 0) return plan;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return plan;
+  Entry& e = it->second;
+  if (e.k == 0) return plan;  // replication entries never re-stripe
+  if (e.k == cold_k_ && e.m == cold_m_) return plan;  // already cold
+  bool needs_decode = false;
+  plan.read = read_plan(key, &needs_decode);
+  if (plan.read.empty()) return plan;  // unreadable: heal/restore territory
+  plan.trim_bytes = e.frag_bytes;
+  for (NodeId n : e.homes) {
+    if (node_alive(n)) plan.trim.push_back(n);
+  }
+  e.k = static_cast<u16>(cold_k_);
+  e.m = static_cast<u16>(cold_m_);
+  e.frag_bytes = erasure::fragment_bytes(e.bytes, cold_k_);
+  e.corrupt_mask = 0;
+  e.homes = place_n(key, static_cast<size_t>(cold_k_ + cold_m_));
+  plan.write = e.homes;
+  plan.write_bytes = e.frag_bytes;
+  plan.logical_bytes = e.bytes;
+  return plan;
 }
 
 void ChunkPlacement::fail_node(NodeId node) {
@@ -185,9 +345,39 @@ bool ChunkPlacement::any_dead() const {
   return std::find(alive_.begin(), alive_.end(), false) != alive_.end();
 }
 
+size_t ChunkPlacement::clean_alive(const Entry& e) const {
+  size_t clean = 0;
+  for (size_t i = 0; i < e.homes.size(); ++i) {
+    if (!node_alive(e.homes[i])) continue;
+    if (e.k > 0 && (e.corrupt_mask >> i) & 1u) continue;
+    ++clean;
+  }
+  return clean;
+}
+
+size_t ChunkPlacement::want_homes(const Entry& e, size_t alive_nodes) const {
+  const size_t full = e.k > 0 ? static_cast<size_t>(e.k + e.m)
+                              : static_cast<size_t>(replicas_);
+  return std::min(full, alive_nodes);
+}
+
 bool ChunkPlacement::entry_lost(const Entry& e) const {
+  if (e.k > 0) return clean_alive(e) < e.k;
   return std::none_of(e.homes.begin(), e.homes.end(),
                       [&](NodeId n) { return node_alive(n); });
+}
+
+bool ChunkPlacement::entry_degraded(const Entry& e,
+                                    size_t alive_nodes) const {
+  const size_t clean = clean_alive(e);
+  if (e.k > 0 && clean < e.k) return false;  // lost, not degraded
+  if (e.k == 0 && clean == 0) return false;
+  return clean < want_homes(e, alive_nodes);
+}
+
+size_t ChunkPlacement::count_alive() const {
+  return static_cast<size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
 }
 
 u64 ChunkPlacement::lost_chunks() const {
@@ -209,7 +399,8 @@ u64 ChunkPlacement::lost_bytes() const {
 std::vector<u64> ChunkPlacement::bytes_per_node() const {
   std::vector<u64> out(alive_.size(), 0);
   for (const auto& [key, e] : entries_) {
-    for (NodeId n : e.homes) out[static_cast<size_t>(n)] += e.bytes;
+    const u64 per_home = e.k > 0 ? e.frag_bytes : e.bytes;
+    for (NodeId n : e.homes) out[static_cast<size_t>(n)] += per_home;
   }
   return out;
 }

@@ -1,17 +1,41 @@
-// Per-node chunk placement and replication for the cluster-wide store.
+// Per-node chunk placement, replication and erasure striping for the
+// cluster-wide store.
 //
 // The cluster-scope repository answers *what* is stored; this layer answers
-// *where*. Every stored chunk is rendezvous-hashed onto `replicas` distinct
-// node-local devices (highest-random-weight over (key, node)), so:
-//   - restart reads are charged to the device of the node that actually
-//     holds each chunk, not the restarting node's;
+// *where*. Two redundancy modes share the rendezvous-hash machinery:
+//
+//   Replication (default): every stored chunk is placed on `replicas`
+//   distinct node-local devices (highest-random-weight over (key, node)).
+//   Any surviving home serves reads; R-1 node losses are survivable at R×
+//   stored bytes.
+//
+//   Erasure (enable_erasure(k, m)): every stored chunk container is striped
+//   into k data + m parity fragments (src/ckptstore/erasure.*), fragment i
+//   living on the i-th rendezvous home. Any k clean, alive fragments
+//   reconstruct the chunk — m losses are survivable at (k+m)/k stored
+//   bytes, the better byte economics bench_erasure gates. The code is
+//   systematic, so a healthy read fetches only the k data fragments and
+//   skips the decode; reads through dead or corrupt fragments substitute
+//   parity and pay decode CPU (read_plan() reports which).
+//
+// Both modes keep the rendezvous properties:
+//   - restart reads are charged to the devices of the nodes that actually
+//     hold each chunk's bytes, not the restarting node's;
 //   - assignments are stable — a node failure moves nothing that survives,
-//     it only removes the failed node from every preference list;
-//   - with replicas > 1 a single node failure leaves every chunk readable
-//     from a surviving home, while replicas == 1 turns the failure into
-//     data loss the restart pre-flight must report as a forced re-store.
+//     it only removes the failed node from every preference list, so
+//     heal() rebuilds exactly the fragments/copies that died;
+//   - per-fragment corruption (corrupt_fragment(), the scrubber's fault
+//     model) is repairable in place from the k clean survivors
+//     (repair_fragments()) instead of quarantining the whole chunk.
+//
+// Tiering: set_cold_profile(k', m') arms demote(), which re-stripes a
+// chunk to the wider cold profile (background re-encode; the demotion
+// daemon in ChunkStoreService drives it for generations older than
+// --hot-generations). Entries record their own (k, m), so hot and cold
+// chunks coexist in one placement map.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -27,59 +51,142 @@ class ChunkPlacement {
   int num_nodes() const { return static_cast<int>(alive_.size()); }
   int replicas() const { return replicas_; }
 
-  /// The min(replicas, alive nodes) highest-scoring *alive* nodes for
-  /// `key`, best first. Pure function of (key, alive set).
+  /// Switch new stores to (k,m) erasure striping (2 <= k, 1 <= m,
+  /// fragment count capped at 32 by the corrupt-mask width). Call before
+  /// the first record_store; replaces `replicas` as the redundancy scheme.
+  void enable_erasure(int k, int m);
+  bool erasure_enabled() const { return erasure_k_ > 0; }
+  int erasure_k() const { return erasure_k_; }
+  int erasure_m() const { return erasure_m_; }
+  /// Arm demote(): the wider (k,m) profile cold chunks re-stripe to.
+  void set_cold_profile(int k, int m);
+
+  /// A recorded chunk's own erasure profile ({0,0,0} for replication
+  /// entries): the service uses frag_bytes to charge per-fragment device
+  /// and network traffic.
+  struct ErasureInfo {
+    int k = 0;
+    int m = 0;
+    u64 frag_bytes = 0;
+  };
+  ErasureInfo erasure_info(const ChunkKey& key) const;
+
+  /// The min(want, alive nodes) highest-scoring *alive* nodes for `key`,
+  /// best first, where want is replicas (replication) or k+m (erasure).
+  /// Pure function of (key, alive set).
   std::vector<NodeId> place(const ChunkKey& key) const;
 
   /// Record a chunk stored on its current placement. Returns the homes the
-  /// caller must charge the write to (one copy per home). Re-recording an
-  /// already-placed key is a no-op returning no homes (dedup hit: the
-  /// bytes are already on disk).
+  /// caller must charge the write to (one replica copy — or one fragment —
+  /// per home; see home_charge()). Re-recording an already-placed key is a
+  /// no-op returning no homes (dedup hit: the bytes are already on disk).
   std::vector<NodeId> record_store(const ChunkKey& key, u64 charged_bytes);
 
-  /// The preferred surviving home holding `key`, or kNoHolder when every
-  /// replica died with its node (or the key was never recorded).
+  /// The preferred surviving home holding readable bytes of `key` (first
+  /// alive, non-corrupt fragment home under erasure), or kNoHolder when
+  /// nothing survives (or the key was never recorded).
   static constexpr i32 kNoHolder = -1;
   i32 holder(const ChunkKey& key) const;
-  bool available(const ChunkKey& key) const { return holder(key) >= 0; }
+  /// True when `key` is recorded and readable: a surviving replica, or >= k
+  /// clean alive fragments under erasure.
+  bool available(const ChunkKey& key) const;
   /// The recorded homes of `key`, best-first as placed (dead ones
-  /// included). Restart filters this through the membership view so it
-  /// never fetches from a holder the cluster has declared dead.
+  /// included; fragment i lives on homes[i] under erasure). Restart uses
+  /// read_plan() instead — it additionally filters corruption and
+  /// membership.
   std::vector<NodeId> homes_of(const ChunkKey& key) const;
-  /// True when `key` is recorded, has a surviving copy, and fewer alive
-  /// homes than min(replicas, alive nodes) — the per-key form of
+
+  /// The devices to read `key` back from. Replication: one surviving home,
+  /// full bytes. Erasure: k clean alive fragment homes at frag_bytes each —
+  /// the k data fragments when all are healthy (`*needs_decode` = false:
+  /// systematic concatenation), otherwise any k survivors with
+  /// `*needs_decode` = true (the caller charges decode CPU at kErasureBw).
+  /// `also_alive`, when set, additionally filters sources (restart passes
+  /// the membership view — belt and braces over placement's ground truth).
+  /// Empty when the chunk is not readable (lost, or never recorded).
+  struct FetchSource {
+    NodeId node = 0;
+    u64 bytes = 0;
+  };
+  std::vector<FetchSource> read_plan(
+      const ChunkKey& key, bool* needs_decode,
+      const std::function<bool(NodeId)>& also_alive = nullptr) const;
+
+  /// True when `key` is recorded, readable, and below full redundancy
+  /// (alive, clean homes < min(want, alive nodes)) — the per-key form of
   /// degraded_chunks(), used by the scrubber to re-route stragglers into
   /// the heal path.
   bool degraded(const ChunkKey& key) const;
-  /// True only for a *recorded* chunk whose every home is dead — the heal
-  /// trigger. Distinct from !available(): an unrecorded key is not lost,
-  /// its Store is simply still in flight somewhere this round.
+  /// True only for a *recorded* chunk that is unreadable — every replica
+  /// dead, or fewer than k clean alive fragments. Distinct from
+  /// !available(): an unrecorded key is not lost, its Store is simply
+  /// still in flight somewhere this round.
   bool lost(const ChunkKey& key) const;
 
+  /// Simulated fragment rot (erasure only): mark fragment `index` of `key`
+  /// corrupt. Returns false when the key is unknown, not erasure-coded, or
+  /// the index is out of range. The scrubber repairs corrupt fragments in
+  /// place via repair_fragments().
+  bool corrupt_fragment(const ChunkKey& key, int index);
+  /// Bitmask of currently-corrupt fragment indices (0 when clean or not
+  /// erasure-coded).
+  u32 corrupt_mask(const ChunkKey& key) const;
+  /// Repair every corrupt fragment of `key` in place: requires >= k clean
+  /// alive fragments to reconstruct from. Clears the corrupt bits and
+  /// returns the *alive* homes whose fragments were rewritten (the caller
+  /// charges one frag_bytes write per home); empty when nothing is corrupt
+  /// or the chunk is beyond repair (> m bad fragments — quarantine path).
+  std::vector<NodeId> repair_fragments(const ChunkKey& key);
+
   /// Drop the chunk's placement record (GC reclaimed it). Returns the
-  /// *alive* homes whose devices the caller should trim; dead homes are
-  /// gone with their node.
+  /// *alive* homes whose devices the caller should trim (home_charge()
+  /// bytes each, read *before* forgetting); dead homes are gone with their
+  /// node.
   std::vector<NodeId> forget(const ChunkKey& key);
+  /// Device bytes one home of `key` holds: frag_bytes under erasure, the
+  /// full charged bytes under replication. 0 for unknown keys.
+  u64 home_charge(const ChunkKey& key) const;
 
   /// Recompute an existing entry's homes over the currently-alive nodes
-  /// (healing a chunk whose every replica died with its node). Returns
-  /// the new homes — the copies the caller must write — or empty when the
-  /// key was never recorded.
+  /// (healing a chunk whose content must be re-stored from scratch).
+  /// Returns the new homes — the copies/fragments the caller must write —
+  /// or empty when the key was never recorded. Under erasure this is a
+  /// full re-stripe: fresh fragments everywhere, corruption cleared.
   std::vector<NodeId> re_place(const ChunkKey& key);
 
-  /// Recorded chunks with at least one surviving copy but fewer alive homes
-  /// than min(replicas, alive nodes) — degraded, healable by copying from a
-  /// survivor. Disjoint from lost(): an all-dead entry is not degraded.
+  /// Recorded chunks that are readable but below full redundancy —
+  /// degraded, healable from survivors. Disjoint from lost(): an
+  /// unreadable entry is not degraded.
   std::vector<ChunkKey> degraded_chunks() const;
   u64 degraded_count() const;
 
-  /// Heal one degraded entry: recompute the full placement over the alive
-  /// nodes (rendezvous keeps every surviving home in it) and return only the
-  /// *fresh* homes — the copies the re-replication daemon must write. Empty
-  /// when the key is unknown, lost, or not degraded, so re-queued heal work
-  /// is a safe no-op. Device-charged bytes of one copy via bytes_of().
+  /// Heal one degraded entry. Replication: recompute the full placement
+  /// over the alive nodes (rendezvous keeps every surviving home) and
+  /// return the *fresh* homes — the copies the re-replication daemon must
+  /// write, charged bytes_of() each. Erasure: surviving fragments stay
+  /// pinned to their slots; each dead slot is reassigned to the next fresh
+  /// rendezvous node and its fragment must be *rebuilt* there from k
+  /// survivors (frag_bytes each — the caller reads a read_plan() taken
+  /// before this call). Empty when the key is unknown, lost, or not
+  /// degraded, so re-queued heal work is a safe no-op.
   std::vector<NodeId> heal(const ChunkKey& key);
   u64 bytes_of(const ChunkKey& key) const;
+
+  /// Re-stripe a hot erasure chunk to the cold profile (set_cold_profile).
+  /// The plan carries everything the demotion daemon charges: k read
+  /// sources at the hot frag_bytes, the alive hot homes to trim, and the
+  /// new cold homes to write. Empty (no reads, no writes) when the key is
+  /// unknown, not erasure-coded, already cold, unreadable, or no cold
+  /// profile is armed.
+  struct DemotePlan {
+    std::vector<FetchSource> read;  // k hot-fragment sources
+    std::vector<NodeId> trim;       // alive hot homes; trim_bytes each
+    u64 trim_bytes = 0;
+    std::vector<NodeId> write;  // cold homes; write_bytes each
+    u64 write_bytes = 0;
+    u64 logical_bytes = 0;  // the chunk's full charged bytes
+  };
+  DemotePlan demote(const ChunkKey& key);
 
   /// Simulated node failure / recovery. Failure does not touch the
   /// repository (content survives in the index) — it makes the bytes on
@@ -91,23 +198,42 @@ class ChunkPlacement {
   /// O(chunk-refs) loss scans: with every node alive nothing can be lost.
   bool any_dead() const;
 
-  /// Chunks / stored bytes with no surviving replica (the replicas == 1
-  /// data-loss path). O(placed chunks); called from pre-flight and tests.
+  /// Chunks / stored bytes that are unreadable (every replica gone, or
+  /// > m fragments gone). O(placed chunks); called from pre-flight and
+  /// tests.
   u64 lost_chunks() const;
   u64 lost_bytes() const;
   u64 placed_chunks() const { return entries_.size(); }
-  /// Stored bytes currently resident per node (replica copies included).
+  /// Stored bytes currently resident per node (replica copies counted in
+  /// full, erasure fragments at frag_bytes — the physical device footprint
+  /// bench_erasure's overhead comparison sums).
   std::vector<u64> bytes_per_node() const;
 
  private:
   struct Entry {
-    std::vector<NodeId> homes;  // best-first at store time
-    u64 bytes = 0;              // device-charged bytes of one copy
+    std::vector<NodeId> homes;  // best-first at store time; slot i = frag i
+    u64 bytes = 0;              // device-charged bytes of the whole chunk
+    u16 k = 0;                  // erasure profile; 0 = replication entry
+    u16 m = 0;
+    u64 frag_bytes = 0;     // per-fragment device bytes (erasure only)
+    u32 corrupt_mask = 0;   // bit i: fragment i rotten (erasure only)
   };
   static u64 score(const ChunkKey& key, NodeId node);
+  /// Top `want` alive nodes by rendezvous score, best first.
+  std::vector<NodeId> place_n(const ChunkKey& key, size_t want) const;
+  /// Alive, non-corrupt homes/fragments of an entry.
+  size_t clean_alive(const Entry& e) const;
+  /// Full-strength home count for an entry given the current alive set.
+  size_t want_homes(const Entry& e, size_t alive_nodes) const;
   bool entry_lost(const Entry& e) const;
+  bool entry_degraded(const Entry& e, size_t alive_nodes) const;
+  size_t count_alive() const;
 
   int replicas_;
+  int erasure_k_ = 0;
+  int erasure_m_ = 0;
+  int cold_k_ = 0;
+  int cold_m_ = 0;
   std::vector<bool> alive_;
   std::map<ChunkKey, Entry> entries_;
 };

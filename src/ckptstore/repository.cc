@@ -1,6 +1,7 @@
 #include "ckptstore/repository.h"
 
 #include <algorithm>
+#include <set>
 
 #include "util/assertx.h"
 
@@ -32,6 +33,27 @@ std::vector<std::pair<ChunkKey, const Chunk*>> Repository::chunks_after(
     ++it;
   }
   return out;
+}
+
+std::vector<ChunkKey> Repository::cold_keys(int hot_generations) const {
+  if (hot_generations <= 0) return {};
+  // Hot set: every key pinned by one of the newest `hot_generations` live
+  // generations of any owner. The generation maps are keyed by gen number,
+  // so the newest ones sit at the back.
+  std::set<ChunkKey> hot;
+  for (const auto& [owner, gens] : generations_) {
+    int taken = 0;
+    for (auto it = gens.rbegin(); it != gens.rend() && taken < hot_generations;
+         ++it, ++taken) {
+      hot.insert(it->second.keys.begin(), it->second.keys.end());
+    }
+  }
+  std::vector<ChunkKey> cold;
+  for (const auto& [key, slot] : chunks_) {
+    if (slot.quarantined) continue;
+    if (!hot.contains(key)) cold.push_back(key);
+  }
+  return cold;
 }
 
 bool Repository::put(const ChunkKey& key, Chunk chunk) {

@@ -125,6 +125,13 @@ class Repository {
   std::vector<std::pair<ChunkKey, const Chunk*>> chunks_after(
       const ChunkKey& cursor, size_t n) const;
 
+  /// Resident, non-quarantined chunks referenced by *no* hot generation —
+  /// hot meaning one of the newest `hot_generations` live generations of
+  /// any owner. These are the demotion daemon's candidates: content only
+  /// older checkpoints still pin, safe to re-stripe to the cold erasure
+  /// profile in the background.
+  std::vector<ChunkKey> cold_keys(int hot_generations) const;
+
   const RepoStats& stats() const { return stats_; }
 
  private:

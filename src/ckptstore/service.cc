@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "ckptstore/erasure.h"
 #include "sim/model_params.h"
 #include "util/assertx.h"
 #include "util/crc32.h"
@@ -15,17 +16,24 @@ namespace params = sim::params;
 
 ChunkStoreService::ChunkStoreService(sim::EventLoop& loop, sim::Network& net,
                                      int replicas, int shards,
-                                     int lookup_batch)
+                                     int lookup_batch, ErasureConfig erasure)
     : loop_(loop),
       net_(net),
       health_(std::make_shared<rpc::NodeHealth>(net.num_nodes())),
       fabric_(loop, net, health_),
       lookup_batch_(lookup_batch),
+      erasure_(erasure),
       repo_(std::make_shared<Repository>()),
       placement_(net.num_nodes(), replicas) {
   DSIM_CHECK_MSG(shards >= 1, "chunk-store service needs at least one shard");
   DSIM_CHECK_MSG(lookup_batch >= 1,
                  "lookup batch must carry at least one key per RPC");
+  if (erasure_.enabled()) {
+    placement_.enable_erasure(erasure_.k, erasure_.m);
+    if (erasure_.cold_enabled()) {
+      placement_.set_cold_profile(erasure_.cold_k, erasure_.cold_m);
+    }
+  }
   shards_.reserve(static_cast<size_t>(shards));
   endpoints_.reserve(static_cast<size_t>(shards));
   for (int s = 0; s < shards; ++s) {
@@ -224,25 +232,42 @@ void ChunkStoreService::queue_store(NodeId from, const ChunkKey& key,
   // physical writes land on the placement homes' node devices, charged by
   // the caller against the homes submit_store/submit_restore return — the
   // shard queue is the metadata path, so store bursts do not stall other
-  // ranks' probes beyond their index share.
-  shard_call(s, make_request(from, params::kRpcHeaderBytes + charged_bytes,
+  // ranks' probes beyond their index share. Under erasure the wire carries
+  // all k+m fragments — the (k+m)/k parity overhead is paid in NIC egress
+  // as well as device bytes.
+  const u64 wire_bytes =
+      erasure_.enabled()
+          ? erasure::fragment_bytes(charged_bytes, erasure_.k) *
+                static_cast<u64>(erasure_.k + erasure_.m)
+          : charged_bytes;
+  shard_call(s, make_request(from, params::kRpcHeaderBytes + wire_bytes,
                              params::kRpcHeaderBytes,
                              index_serve(s, /*is_read=*/false),
                              std::move(done)));
 }
 
-std::vector<NodeId> ChunkStoreService::submit_store(
-    NodeId from, const ChunkKey& key, u64 charged_bytes,
-    std::function<void()> done) {
-  queue_store(from, key, charged_bytes, std::move(done));
-  return placement_.record_store(key, charged_bytes);
+std::vector<ChunkStoreService::StoreTarget> ChunkStoreService::store_targets(
+    const ChunkKey& key, const std::vector<NodeId>& homes) {
+  if (homes.empty()) return {};
+  const u64 per_home = placement_.home_charge(key);
+  std::vector<StoreTarget> out;
+  out.reserve(homes.size());
+  for (NodeId n : homes) out.push_back({n, per_home});
+  return out;
 }
 
-std::vector<NodeId> ChunkStoreService::submit_restore(
+std::vector<ChunkStoreService::StoreTarget> ChunkStoreService::submit_store(
     NodeId from, const ChunkKey& key, u64 charged_bytes,
     std::function<void()> done) {
   queue_store(from, key, charged_bytes, std::move(done));
-  return placement_.re_place(key);
+  return store_targets(key, placement_.record_store(key, charged_bytes));
+}
+
+std::vector<ChunkStoreService::StoreTarget> ChunkStoreService::submit_restore(
+    NodeId from, const ChunkKey& key, u64 charged_bytes,
+    std::function<void()> done) {
+  queue_store(from, key, charged_bytes, std::move(done));
+  return store_targets(key, placement_.re_place(key));
 }
 
 void ChunkStoreService::submit_fetch(NodeId from, const ChunkKey& key,
@@ -277,6 +302,15 @@ void ChunkStoreService::charge_node(NodeId node, u64 bytes, bool is_read,
                                     std::function<void()> done) {
   if (charger_) {
     charger_(node, bytes, is_read, std::move(done));
+  } else {
+    loop_.post_now(std::move(done));
+  }
+}
+
+void ChunkStoreService::charge_cpu(NodeId node, double seconds,
+                                   std::function<void()> done) {
+  if (cpu_charger_) {
+    cpu_charger_(node, seconds, std::move(done));
   } else {
     loop_.post_now(std::move(done));
   }
@@ -334,10 +368,11 @@ int ChunkStoreService::handle_node_death(NodeId node) {
   // (fail_node's ground truth), but a death declared by membership alone
   // must land there too before heal scans run.
   placement_.fail_node(node);
-  // Degraded (some alive homes, fewer than R) chunks are healable — kick
-  // the daemon. Fully lost chunks are not: those wait for the encode path's
-  // forward-heal (submit_restore) at the next generation.
-  if (placement_.replicas() > 1) schedule_heal_scan();
+  // Degraded (some alive homes, fewer than R — or >= k but fewer than k+m
+  // clean fragments) chunks are healable — kick the daemon. Fully lost
+  // chunks are not: those wait for the encode path's forward-heal
+  // (submit_restore) at the next generation.
+  if (redundant()) schedule_heal_scan();
   // Re-home every shard stranded on the dead endpoint to the next live
   // node in its rendezvous order, then replay its parked requests there in
   // FIFO order — idempotent by chunk key, so callers see latency, never
@@ -383,6 +418,10 @@ void ChunkStoreService::pump_heal() {
 }
 
 void ChunkStoreService::heal_one(const ChunkKey& key) {
+  if (erasure_.enabled()) {
+    heal_one_erasure(key);
+    return;
+  }
   const i32 holder = placement_.holder(key);
   const u64 bytes = placement_.bytes_of(key);
   if (holder < 0 || bytes == 0) return;  // lost or unknown: not healable
@@ -390,6 +429,9 @@ void ChunkStoreService::heal_one(const ChunkKey& key) {
   if (fresh.empty()) return;  // raced with another heal / already whole
   stats_.rereplicated_chunks++;
   stats_.rereplicated_bytes += bytes;
+  // One full-copy read off the holder, then a NIC hop + device write per
+  // fresh home: 1 + 2F copies of physical movement for F lost replicas.
+  stats_.heal_moved_bytes += bytes * (1 + 2 * fresh.size());
   heal_in_flight_++;
   const size_t s = static_cast<size_t>(shard_of(key));
   auto finish = std::make_shared<std::function<void()>>([this] {
@@ -422,6 +464,77 @@ void ChunkStoreService::heal_one(const ChunkKey& key) {
       /*is_read=*/true);
 }
 
+void ChunkStoreService::heal_one_erasure(const ChunkKey& key) {
+  const auto info = placement_.erasure_info(key);
+  if (info.k == 0) return;  // unknown (or raced into a forget)
+  // Read sources *before* heal() — heal reassigns the dead slots, and the
+  // rebuild must stream from the fragments that existed when the node died.
+  bool needs_decode = false;
+  const auto sources = placement_.read_plan(key, &needs_decode);
+  if (sources.empty()) return;  // lost (< k survivors): forward-heal's job
+  const std::vector<NodeId> fresh = placement_.heal(key);
+  if (fresh.empty()) return;  // raced with another heal / already whole
+  stats_.rereplicated_chunks++;
+  stats_.rereplicated_bytes += info.frag_bytes * fresh.size();
+  stats_.rebuilt_fragments += fresh.size();
+  // k fragment reads, k NIC hops to the rebuilder, F fragment writes and
+  // F-1 onward hops: (2k + 2F - 1) fragments of movement, against the
+  // 1 + 2F *full copies* replication pays for the same F lost homes.
+  stats_.heal_moved_bytes +=
+      info.frag_bytes * (2 * sources.size() + 2 * fresh.size() - 1);
+  heal_in_flight_++;
+  const size_t s = static_cast<size_t>(shard_of(key));
+  const NodeId rebuilder = fresh.front();
+  const double decode_cpu = erasure::decode_seconds(placement_.bytes_of(key));
+  auto finish = std::make_shared<std::function<void()>>([this] {
+    heal_in_flight_--;
+    pump_heal();
+  });
+  // Index probe on the owning shard, then: stream k surviving fragments to
+  // the rebuilding node, decode there (real CPU through the fluid share),
+  // and land the rebuilt fragments on every fresh home — the first one
+  // locally, the rest over the rebuilder's NIC. This is the erasure
+  // economy bench_erasure gates: fragments move, never full copies.
+  shards_[s].dev->submit(
+      params::kStoreLookupBytes,
+      [this, sources, fresh, rebuilder, decode_cpu,
+       frag = info.frag_bytes, finish] {
+        auto gathered =
+            std::make_shared<int>(static_cast<int>(sources.size()));
+        auto decode_done = [this, fresh, rebuilder, frag, finish] {
+          auto left =
+              std::make_shared<int>(static_cast<int>(fresh.size()));
+          const auto landed = [left, finish] {
+            if (--*left == 0) (*finish)();
+          };
+          for (NodeId home : fresh) {
+            if (home == rebuilder) {
+              charge_node(home, frag, /*is_read=*/false, landed);
+            } else {
+              net_.transfer(rebuilder, home, frag,
+                            [this, home, frag, landed] {
+                              charge_node(home, frag, /*is_read=*/false,
+                                          landed);
+                            });
+            }
+          }
+        };
+        for (const auto& src : sources) {
+          charge_node(
+              src.node, src.bytes, /*is_read=*/true,
+              [this, src, rebuilder, gathered, decode_cpu, decode_done] {
+                net_.transfer(
+                    src.node, rebuilder, src.bytes,
+                    [this, rebuilder, gathered, decode_cpu, decode_done] {
+                      if (--*gathered > 0) return;
+                      charge_cpu(rebuilder, decode_cpu, decode_done);
+                    });
+              });
+        }
+      },
+      /*is_read=*/true);
+}
+
 void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
   bool saw_degraded = false;
   const auto batch =
@@ -429,13 +542,39 @@ void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
   for (const auto& [key, chunk] : batch) {
     scrub_cursor_ = key;
     stats_.scrubbed_chunks++;
+    // Fragment rot (erasure): a corrupt fragment is *repaired*, not
+    // quarantined — reconstructed from the k clean survivors and rewritten
+    // in place, charging the fragment reads, a decode at the first
+    // repaired home and the fragment rewrites. Only a chunk with > m bad
+    // fragments is beyond repair and falls through to the quarantine path
+    // below, exactly like a rotten replication container.
+    bool beyond_repair = false;
+    if (erasure_.enabled() && placement_.corrupt_mask(key) != 0) {
+      const auto info = placement_.erasure_info(key);
+      bool needs_decode = false;
+      const auto sources = placement_.read_plan(key, &needs_decode);
+      const std::vector<NodeId> rewritten = placement_.repair_fragments(key);
+      if (rewritten.empty()) {
+        beyond_repair = true;
+      } else {
+        stats_.scrub_repaired_fragments += rewritten.size();
+        for (const auto& src : sources) {
+          charge_node(src.node, src.bytes, /*is_read=*/true, [] {});
+        }
+        charge_cpu(rewritten.front(),
+                   erasure::decode_seconds(chunk->charged_bytes), [] {});
+        for (NodeId home : rewritten) {
+          charge_node(home, info.frag_bytes, /*is_read=*/false, [] {});
+        }
+      }
+    }
     // Verify synchronously (GC may reclaim the chunk before its shard queue
     // entry is served); the index probe + holder-device read below model
     // the verification cost. Pattern chunks are descriptors — only real
     // containers can rot.
-    const bool missing = !placement_.available(key);
-    bool corrupt = false;
-    if (!missing && chunk->kind == sim::ExtentKind::kReal) {
+    const bool missing = !beyond_repair && !placement_.available(key);
+    bool corrupt = beyond_repair;
+    if (!missing && !corrupt && chunk->kind == sim::ExtentKind::kReal) {
       corrupt = crc32(chunk->materialize(codec)) != chunk->crc;
     }
     if (!missing && !corrupt && placement_.degraded(key)) {
@@ -458,11 +597,14 @@ void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
       // surviving homes' devices and dropped from the owning shard's index
       // at metadata rate.
       stats_.scrub_quarantined_chunks++;
+      // Per-home trim: a home holds one fragment under erasure, the full
+      // container under replication (read before forget drops the entry).
+      const u64 per_home = placement_.home_charge(key);
       const u64 rotten = repo_->quarantine(key);
       const std::vector<NodeId> homes = placement_.forget(key);
       if (rotten > 0) {
         for (NodeId home : homes) {
-          if (trimmer_) trimmer_(home, rotten);
+          if (trimmer_) trimmer_(home, per_home > 0 ? per_home : rotten);
         }
         submit_drop(endpoint_of(static_cast<int>(s)), key, rotten);
       }
@@ -479,7 +621,71 @@ void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
         },
         /*is_read=*/true);
   }
-  if (saw_degraded && placement_.replicas() > 1) schedule_heal_scan();
+  if (saw_degraded && redundant()) schedule_heal_scan();
+}
+
+int ChunkStoreService::demote_cold(u64 max_chunks) {
+  if (!erasure_.cold_enabled() || erasure_.hot_generations <= 0) return 0;
+  int demoted = 0;
+  for (const ChunkKey& key : repo_->cold_keys(erasure_.hot_generations)) {
+    if (static_cast<u64>(demoted) >= max_chunks) break;
+    auto plan = std::make_shared<ChunkPlacement::DemotePlan>(
+        placement_.demote(key));
+    // Already cold (demoted in an earlier round), or currently unreadable:
+    // rescanning it next round is a free no-op either way.
+    if (plan->read.empty() || plan->write.empty()) continue;
+    ++demoted;
+    stats_.demoted_chunks++;
+    stats_.demoted_bytes += plan->logical_bytes;
+    const size_t s = static_cast<size_t>(shard_of(key));
+    const NodeId coder = plan->write.front();
+    const double cpu =
+        erasure::decode_seconds(plan->logical_bytes) +
+        erasure::encode_seconds(plan->logical_bytes, erasure_.cold_k,
+                                erasure_.cold_m);
+    // Index update on the owning shard (the fragment layout is re-keyed),
+    // then fire-and-forget: stream the k hot fragments to the first cold
+    // home, decode + re-encode there, trim the hot fragments, and land the
+    // cold ones — locally at the coder, over its NIC elsewhere. Background
+    // work end to end; nothing waits on it.
+    shards_[s].dev->submit(
+        params::kStoreLookupBytes,
+        [this, plan, coder, cpu] {
+          auto gathered =
+              std::make_shared<int>(static_cast<int>(plan->read.size()));
+          auto recode_done = [this, plan, coder] {
+            for (NodeId home : plan->trim) {
+              if (trimmer_) trimmer_(home, plan->trim_bytes);
+            }
+            for (NodeId home : plan->write) {
+              if (home == coder) {
+                charge_node(home, plan->write_bytes, /*is_read=*/false,
+                            [] {});
+              } else {
+                net_.transfer(coder, home, plan->write_bytes,
+                              [this, home, plan] {
+                                charge_node(home, plan->write_bytes,
+                                            /*is_read=*/false, [] {});
+                              });
+              }
+            }
+          };
+          for (const auto& src : plan->read) {
+            charge_node(src.node, src.bytes, /*is_read=*/true,
+                        [this, src, coder, gathered, cpu, recode_done] {
+                          net_.transfer(src.node, coder, src.bytes,
+                                        [this, coder, gathered, cpu,
+                                         recode_done] {
+                                          if (--*gathered > 0) return;
+                                          charge_cpu(coder, cpu,
+                                                     recode_done);
+                                        });
+                        });
+          }
+        },
+        /*is_read=*/true);
+  }
+  return demoted;
 }
 
 void ChunkStoreService::rebalance(int new_shards,

@@ -114,6 +114,23 @@ struct ServiceStats {
   u64 rebalance_moved_bytes = 0;    // stored bytes of reassigned keys
   u64 rebalance_scanned_keys = 0;   // resident keys examined across passes
   u64 rebalance_scanned_bytes = 0;  // stored bytes examined across passes
+  /// Bytes physically moved by heal repairs — device reads, network hops
+  /// and device writes summed, in both redundancy modes. The
+  /// rebuild-traffic comparison bench_erasure gates: a (k,m) fragment
+  /// rebuild moves ~(2k + 2F - 1)/k fragment-sizes where an R-way re-store
+  /// moves 1 + 2F full copies for the same F lost homes.
+  u64 heal_moved_bytes = 0;
+  /// Erasure heal: fragments rebuilt onto fresh homes from k survivors
+  /// (the replication counterpart is rereplicated_chunks' full copies).
+  u64 rebuilt_fragments = 0;
+  /// Corrupt fragments the scrubber reconstructed in place from the clean
+  /// survivors — repairs that under replication would have quarantined the
+  /// whole chunk for forward re-store.
+  u64 scrub_repaired_fragments = 0;
+  // Cold-tier demotion daemon: chunks re-striped to the wider cold (k,m)
+  // profile, and the logical bytes they carry.
+  u64 demoted_chunks = 0;
+  u64 demoted_bytes = 0;
   double avg_lookup_wait_seconds() const {
     return lookup_requests == 0 ? 0.0
                                 : lookup_wait_seconds /
@@ -123,12 +140,35 @@ struct ServiceStats {
 
 class ChunkStoreService {
  public:
+  /// Redundancy-scheme selection (--erasure / --cold-erasure /
+  /// --hot-generations): k = 0 keeps R-way replication; k > 0 stripes
+  /// every stored chunk into k data + m parity fragments and makes
+  /// `replicas` irrelevant. cold_k > 0 additionally arms the demotion
+  /// daemon, re-striping chunks referenced only by generations older than
+  /// `hot_generations` to the wider cold profile.
+  struct ErasureConfig {
+    int k = 0;
+    int m = 0;
+    int cold_k = 0;
+    int cold_m = 0;
+    int hot_generations = 0;
+    bool enabled() const { return k > 0; }
+    bool cold_enabled() const { return cold_k > 0; }
+  };
+
   /// `replicas` copies of each chunk across the cluster's node devices;
   /// `shards` independent service endpoints; `lookup_batch` keys per lookup
-  /// RPC. Until set_endpoints() overrides them, shard s lives on node
+  /// RPC; `erasure` optionally replaces replication with (k,m) striping.
+  /// Until set_endpoints() overrides them, shard s lives on node
   /// (s mod nodes) so directly-constructed services (tests) work.
   ChunkStoreService(sim::EventLoop& loop, sim::Network& net, int replicas,
-                    int shards = 1, int lookup_batch = 1);
+                    int shards, int lookup_batch, ErasureConfig erasure);
+  ChunkStoreService(sim::EventLoop& loop, sim::Network& net, int replicas,
+                    int shards = 1, int lookup_batch = 1)
+      : ChunkStoreService(loop, net, replicas, shards, lookup_batch,
+                          ErasureConfig{}) {}
+
+  const ErasureConfig& erasure() const { return erasure_; }
 
   /// Endpoint setup (done by the coordinator at startup: the shards run
   /// where the coordinator says they run, as dmtcp_coordinator itself does).
@@ -171,6 +211,16 @@ class ChunkStoreService {
   void set_device_trimmer(DeviceTrimmer trimmer) {
     trimmer_ = std::move(trimmer);
   }
+  /// Node-CPU charging hook (kernel cpu().submit, injected by core): the
+  /// erasure daemons burn real decode/encode CPU — a fragment rebuild
+  /// decodes at the rebuilding node, a demotion re-encodes at the first
+  /// cold home — and that work must contend with the application through
+  /// the fluid share. Unset: decode/encode completes instantly.
+  using CpuCharger =
+      std::function<void(NodeId node, double seconds, std::function<void()>)>;
+  void set_cpu_charger(CpuCharger charger) {
+    cpu_charger_ = std::move(charger);
+  }
 
   /// Death/revival routing hooks. When set (the wired DMTCP world),
   /// fail_node()/revive_node() report the ground-truth event here — the
@@ -193,22 +243,31 @@ class ChunkStoreService {
   void submit_lookups(NodeId from, const std::vector<ChunkKey>& keys,
                       std::function<void()> done);
 
-  /// Store one chunk from node `from`. Returns the placement homes the
-  /// caller must charge one copy of `charged_bytes` to (empty on a
-  /// placement dedup hit); `done` fires when the shard has accepted the
-  /// write. The request carries the chunk bytes over the caller's NIC.
-  std::vector<NodeId> submit_store(NodeId from, const ChunkKey& key,
-                                   u64 charged_bytes,
-                                   std::function<void()> done);
+  /// One device write a store fans out to: a full replica copy
+  /// (bytes == charged_bytes) under replication, one fragment
+  /// (bytes == frag_bytes) under erasure.
+  struct StoreTarget {
+    NodeId node = 0;
+    u64 bytes = 0;
+  };
+
+  /// Store one chunk from node `from`. Returns the placement writes the
+  /// caller must charge — one per home, `bytes` each (empty on a placement
+  /// dedup hit); `done` fires when the shard has accepted the write. The
+  /// request carries the chunk payload (all k+m fragments under erasure)
+  /// over the caller's NIC.
+  std::vector<StoreTarget> submit_store(NodeId from, const ChunkKey& key,
+                                        u64 charged_bytes,
+                                        std::function<void()> done);
 
   /// Re-Store of a dedup-hit chunk whose every replica died with its node:
   /// costs a fresh Store and the copies are re-placed over the surviving
   /// nodes (returned for the caller to charge). The caller checks
   /// placement().available() first — healthy dedup hits must not queue
   /// stores.
-  std::vector<NodeId> submit_restore(NodeId from, const ChunkKey& key,
-                                     u64 charged_bytes,
-                                     std::function<void()> done);
+  std::vector<StoreTarget> submit_restore(NodeId from, const ChunkKey& key,
+                                          u64 charged_bytes,
+                                          std::function<void()> done);
 
   /// Fetch `bytes` of chunk data (restart path) from node `from`; the
   /// caller additionally charges the holding node's device and NIC for the
@@ -269,8 +328,27 @@ class ChunkStoreService {
   /// cursor) against their recorded CRCs, charging each verification read
   /// to the owning shard's queue. `codec` decompresses real containers.
   /// Corrupt chunks are quarantined for forward re-store; degraded
-  /// survivors kick the heal daemon.
+  /// survivors kick the heal daemon. Under erasure, per-fragment rot
+  /// (corrupt_fragment()) is *repaired* in place — the fragment is
+  /// reconstructed from the k clean survivors and rewritten — and only a
+  /// chunk with > m bad fragments falls back to quarantine.
   void scrub(u64 max_chunks, compress::CodecKind codec);
+
+  /// Simulated fragment rot (erasure only): mark fragment `index` of `key`
+  /// corrupt, to be found and repaired by a later scrub pass. Returns
+  /// false when the key is unknown or not erasure-coded.
+  bool corrupt_fragment(const ChunkKey& key, int index) {
+    return placement_.corrupt_fragment(key, index);
+  }
+
+  /// Cold-tier demotion pass: re-stripe up to `max_chunks` chunks
+  /// referenced only by generations older than the config's
+  /// hot_generations to the cold (k,m) profile, charging fragment reads,
+  /// a decode + re-encode at the first cold home, old-fragment trims and
+  /// new-fragment writes in the background. Returns the number of chunks
+  /// demoted (0 when no cold profile is armed). The coordinator calls
+  /// this once per round, capped at params::kDemoteChunksPerRound.
+  int demote_cold(u64 max_chunks);
 
   /// Consistent-hash rebalance to `new_shards` endpoints (between rounds;
   /// no requests may be parked or in flight). Only the keys whose shard
@@ -339,9 +417,19 @@ class ChunkStoreService {
   NodeId pick_endpoint(int shard) const;
   void charge_node(NodeId node, u64 bytes, bool is_read,
                    std::function<void()> done);
+  void charge_cpu(NodeId node, double seconds, std::function<void()> done);
+  /// The placement homes of a just-recorded store as chargeable writes.
+  std::vector<StoreTarget> store_targets(const ChunkKey& key,
+                                         const std::vector<NodeId>& homes);
+  /// Any redundancy to heal back to? Replication needs R > 1; erasure
+  /// always has parity (m >= 1).
+  bool redundant() const {
+    return erasure_.enabled() || placement_.replicas() > 1;
+  }
   void schedule_heal_scan();
   void pump_heal();
   void heal_one(const ChunkKey& key);
+  void heal_one_erasure(const ChunkKey& key);
 
   sim::EventLoop& loop_;
   sim::Network& net_;
@@ -354,11 +442,13 @@ class ChunkStoreService {
   /// from this under failover; rehome_to_owners() converges them.
   std::vector<NodeId> assigned_endpoints_;
   int lookup_batch_;
+  ErasureConfig erasure_;
   std::shared_ptr<Repository> repo_;
   ChunkPlacement placement_;
   ServiceStats stats_;
   DeviceCharger charger_;
   DeviceTrimmer trimmer_;
+  CpuCharger cpu_charger_;
   std::function<void(NodeId)> death_router_;
   std::function<void(NodeId)> revive_router_;
   // Re-replication daemon state.

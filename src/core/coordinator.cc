@@ -230,12 +230,24 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
         ss.rebalance_moved_keys - st->svc_last.rebalance_moved_keys;
     r.rebalance_moved_bytes =
         ss.rebalance_moved_bytes - st->svc_last.rebalance_moved_bytes;
+    r.rebuilt_fragments =
+        ss.rebuilt_fragments - st->svc_last.rebuilt_fragments;
+    r.scrub_repaired_fragments =
+        ss.scrub_repaired_fragments - st->svc_last.scrub_repaired_fragments;
+    r.demoted_chunks = ss.demoted_chunks - st->svc_last.demoted_chunks;
+    r.demoted_bytes = ss.demoted_bytes - st->svc_last.demoted_bytes;
     st->svc_last = ss;
     st->rpc_last = rs;
     // Kick this round's scrub pass; its results land in the next round's
     // delta (the pass drains through the shard queues asynchronously).
     if (st->shared->opts.scrub_chunks > 0) {
       svc->scrub(st->shared->opts.scrub_chunks, st->shared->opts.codec);
+    }
+    // Cold-tier demotion rides the same round boundary: chunks only old
+    // generations still reference re-stripe to the wider cold profile in
+    // the background, capped per round so foreground traffic wins.
+    if (svc->erasure().cold_enabled()) {
+      svc->demote_cold(sim::params::kDemoteChunksPerRound);
     }
   }
   {

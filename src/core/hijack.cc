@@ -4,6 +4,7 @@
 #include <set>
 
 #include "ckptasync/pipeline.h"
+#include "ckptstore/erasure.h"
 #include "core/msg_io.h"
 #include "mtcp/mtcp.h"
 #include "sim/model_params.h"
@@ -81,10 +82,10 @@ struct AsyncStoreJob : std::enable_shared_from_this<AsyncStoreJob> {
     };
     for (size_t i = 0; i < to_store.size(); ++i) {
       const auto& [key, bytes] = to_store[i];
-      const auto homes = i < fresh
-                             ? svc->submit_store(node, key, bytes, one)
-                             : svc->submit_restore(node, key, bytes, one);
-      for (NodeId home : homes) home_bytes[home] += bytes;
+      const auto targets = i < fresh
+                               ? svc->submit_store(node, key, bytes, one)
+                               : svc->submit_restore(node, key, bytes, one);
+      for (const auto& t : targets) home_bytes[t.node] += t.bytes;
     }
   }
 
@@ -109,8 +110,11 @@ struct AsyncStoreJob : std::enable_shared_from_this<AsyncStoreJob> {
       if (reclaimed > 0) {
         for (const auto& rc : dead) {
           svc->submit_drop(node, rc.key, rc.bytes);
+          // One fragment per home under erasure, the full container under
+          // replication — read before forget drops the entry.
+          const u64 per_home = svc->placement().home_charge(rc.key);
           for (NodeId home : svc->placement().forget(rc.key)) {
-            k->discard_storage(home, path, rc.bytes);
+            k->discard_storage(home, path, per_home > 0 ? per_home : rc.bytes);
           }
         }
       }
@@ -653,8 +657,17 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     mtcp::EncodedDelta delta = mtcp::encode_incremental(
         img, shared_->opts.codec, shared_->opts.chunking_params(),
         std::to_string(vpid_), round, repo);
+    ckptstore::ChunkStoreService* svc = shared_->store_service.get();
+    // Striping new chunk containers into k+m fragments is checkpoint-path
+    // CPU like compression, priced by the parity rows at kErasureBw.
+    double erasure_seconds = 0;
+    if (svc != nullptr && svc->erasure().enabled()) {
+      erasure_seconds = ckptstore::erasure::encode_seconds(
+          delta.new_chunk_bytes, svc->erasure().k, svc->erasure().m);
+    }
     if (pipe == nullptr) {
-      co_await ctx.cpu(delta.assemble_seconds + delta.compress_seconds);
+      co_await ctx.cpu(delta.assemble_seconds + delta.compress_seconds +
+                       erasure_seconds);
     } else {
       // Async mode: the app pays only the fork/COW snapshot cost here; the
       // scan/chunk and compress CPU are re-priced onto the background
@@ -668,7 +681,6 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     inode->data = sim::ByteImage(delta.manifest_bytes.size());
     inode->data.write(0, delta.manifest_bytes);
     inode->charged_size = delta.submitted_bytes;
-    ckptstore::ChunkStoreService* svc = shared_->store_service.get();
     if (pipe != nullptr) {
       // Hand the drain to the pipeline: chunk CPU, compress CPU (re-priced
       // under --compress-bw and the codec's cost factor), then the same
@@ -713,7 +725,9 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
       spec.key = upid_.str();
       spec.node = p_.node();
       spec.chunk_seconds = delta.assemble_seconds;
-      spec.compress_seconds = compress_seconds;
+      // The background drain stripes compressed chunks on the way out, so
+      // the encode cost rides the pipeline's compress stage.
+      spec.compress_seconds = compress_seconds + erasure_seconds;
       spec.queued_bytes = delta.submitted_bytes;
       spec.raw_new_bytes = delta.new_logical_bytes();
       spec.compressed_new_bytes = delta.new_chunk_bytes;
@@ -797,13 +811,13 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
             static_cast<int>(to_store.size()));
         for (size_t i = 0; i < to_store.size(); ++i) {
           const auto& [key, bytes] = to_store[i];
-          const auto homes =
+          const auto targets =
               i < fresh
                   ? svc->submit_store(p_.node(), key, bytes,
                                       [st] { st->done_one(); })
                   : svc->submit_restore(p_.node(), key, bytes,
                                         [st] { st->done_one(); });
-          for (NodeId home : homes) home_bytes[home] += bytes;
+          for (const auto& t : targets) home_bytes[t.node] += t.bytes;
         }
         while (st->remaining > 0) co_await st->wq.wait(ctx.thread());
       }

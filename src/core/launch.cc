@@ -31,7 +31,10 @@ DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
     // assigns shard endpoints at startup.
     shared_->store_service = std::make_shared<ckptstore::ChunkStoreService>(
         k_.loop(), k_.net(), opts.chunk_replicas, opts.store_shards,
-        opts.lookup_batch);
+        opts.lookup_batch,
+        ckptstore::ChunkStoreService::ErasureConfig{
+            opts.erasure_k, opts.erasure_m, opts.cold_erasure_k,
+            opts.cold_erasure_m, opts.hot_generations});
     // The re-replication daemon lands replica copies (and verification
     // reads) on node devices; the service names the nodes, the kernel does
     // the charging.
@@ -48,6 +51,13 @@ DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
     shared_->store_service->set_device_trimmer(
         [kp, charge_path](NodeId node, u64 bytes) {
           kp->discard_storage(node, charge_path, bytes);
+        });
+    // Erasure decode/re-encode (fragment rebuilds, scrub repairs, cold
+    // demotions) is real CPU on the node doing the arithmetic, contending
+    // with the application through the fluid share.
+    shared_->store_service->set_cpu_charger(
+        [kp](NodeId node, double seconds, std::function<void()> done) {
+          kp->node(node).cpu().submit(seconds, std::move(done));
         });
     shared_->repos[DmtcpShared::kSharedRepo] =
         shared_->store_service->repo_ptr();

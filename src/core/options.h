@@ -122,6 +122,21 @@ struct DmtcpOptions {
   /// 0 disables scrubbing. Corrupt chunks are quarantined for forward
   /// re-store; degraded stragglers are routed to the heal daemon.
   u64 scrub_chunks = 0;
+  /// --erasure K,M: Reed-Solomon (k data, m parity) fragment striping
+  /// instead of replica copies — each stored chunk splits into k+m
+  /// fragments on distinct nodes, any k of which reconstruct it. Survives
+  /// m node losses at (k+m)/k byte overhead (vs R× for --chunk-replicas).
+  /// 0,0 keeps replication. Mutually exclusive with --chunk-replicas > 1.
+  int erasure_k = 0;
+  int erasure_m = 0;
+  /// --cold-erasure K,M: the wider profile chunks referenced only by
+  /// generations older than --hot-generations re-stripe to in the
+  /// background (the cold tier). Requires --erasure and --hot-generations.
+  int cold_erasure_k = 0;
+  int cold_erasure_m = 0;
+  /// --hot-generations N: per owner, the newest N live generations count
+  /// as hot; chunks referenced only by older ones are demotion candidates.
+  int hot_generations = 0;
   /// --heartbeat-interval: milliseconds between membership heartbeat
   /// probes from the coordinator's node to every other node. Together with
   /// --heartbeat-misses this sets the failure-detection latency
@@ -202,6 +217,42 @@ struct DmtcpOptions {
              "--scrub-chunks require --incremental: the chunk-store service "
              "only exists for the incremental store";
     }
+    if (erasure_k != 0 || erasure_m != 0) {
+      if (erasure_k < 2 || erasure_m < 1 || erasure_k + erasure_m > 32) {
+        return "--erasure K,M must satisfy 2 <= K, 1 <= M, K+M <= 32 (got " +
+               std::to_string(erasure_k) + "," + std::to_string(erasure_m) +
+               ")";
+      }
+      if (chunk_replicas > 1) {
+        return "--erasure and --chunk-replicas > 1 are mutually exclusive: "
+               "pick one redundancy scheme";
+      }
+      if (!incremental || !cluster_wide_store()) {
+        return "--erasure requires --incremental and a cluster-wide store "
+               "(--dedup-scope cluster or a /shared checkpoint directory): "
+               "fragments are placed by the store service";
+      }
+    }
+    if (cold_erasure_k != 0 || cold_erasure_m != 0) {
+      if (erasure_k == 0) {
+        return "--cold-erasure requires --erasure: the cold tier re-stripes "
+               "erasure-coded chunks to a wider profile";
+      }
+      if (cold_erasure_k < 2 || cold_erasure_m < 1 ||
+          cold_erasure_k + cold_erasure_m > 32) {
+        return "--cold-erasure K,M must satisfy 2 <= K, 1 <= M, K+M <= 32 "
+               "(got " + std::to_string(cold_erasure_k) + "," +
+               std::to_string(cold_erasure_m) + ")";
+      }
+      if (hot_generations < 1) {
+        return "--cold-erasure requires --hot-generations >= 1 to define "
+               "which generations stay hot";
+      }
+    }
+    if (hot_generations > 0 && cold_erasure_k == 0) {
+      return "--hot-generations only matters with --cold-erasure: there is "
+             "no cold tier to demote to";
+    }
     if (incremental && forked_checkpointing) {
       return "--incremental and forked checkpointing are mutually "
              "exclusive (use --ckpt-async for a background chunk drain)";
@@ -236,6 +287,20 @@ struct DmtcpOptions {
       return "coordinator node " + std::to_string(coord_node) +
              " is outside the cluster (" + std::to_string(num_nodes) +
              " node(s))";
+    }
+    if (erasure_k > 0 && erasure_k + erasure_m > num_nodes) {
+      return "--erasure " + std::to_string(erasure_k) + "," +
+             std::to_string(erasure_m) + " needs " +
+             std::to_string(erasure_k + erasure_m) +
+             " distinct fragment nodes but the cluster has " +
+             std::to_string(num_nodes);
+    }
+    if (cold_erasure_k > 0 && cold_erasure_k + cold_erasure_m > num_nodes) {
+      return "--cold-erasure " + std::to_string(cold_erasure_k) + "," +
+             std::to_string(cold_erasure_m) + " needs " +
+             std::to_string(cold_erasure_k + cold_erasure_m) +
+             " distinct fragment nodes but the cluster has " +
+             std::to_string(num_nodes);
     }
     return "";
   }
@@ -348,6 +413,31 @@ struct DmtcpOptions {
         const long n = intval("--scrub-chunks");
         if (!err.empty()) return err;
         scrub_chunks = static_cast<u64>(n);
+      } else if (a == "--erasure" || a == "--cold-erasure") {
+        const std::string flag = a;
+        const std::string v = strval(flag.c_str());
+        if (!err.empty()) return err;
+        const size_t comma = v.find(',');
+        char* kend = nullptr;
+        char* mend = nullptr;
+        const long k = comma == std::string::npos
+                           ? -1
+                           : std::strtol(v.c_str(), &kend, 10);
+        const long m = comma == std::string::npos
+                           ? -1
+                           : std::strtol(v.c_str() + comma + 1, &mend, 10);
+        if (comma == std::string::npos || kend != v.c_str() + comma ||
+            mend == nullptr || *mend != '\0' || k < 0 || m < 0) {
+          return flag + ": expected K,M (e.g. 4,2), got '" + v + "'";
+        }
+        (flag == "--erasure" ? erasure_k : cold_erasure_k) =
+            static_cast<int>(k);
+        (flag == "--erasure" ? erasure_m : cold_erasure_m) =
+            static_cast<int>(m);
+      } else if (a == "--hot-generations") {
+        const long n = intval("--hot-generations");
+        if (!err.empty()) return err;
+        hot_generations = static_cast<int>(n);
       } else if (a == "--heartbeat-interval") {
         const long n = intval("--heartbeat-interval");
         if (!err.empty()) return err;

@@ -1,9 +1,11 @@
 #include "core/restart.h"
 
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
 
+#include "ckptstore/erasure.h"
 #include "ckptstore/manifest.h"
 #include "core/hijack.h"
 #include "core/msg_io.h"
@@ -129,19 +131,34 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
         // (placement and membership share ground truth, but belt and
         // braces is exactly what a restart path wants).
         const auto& membership = shared->membership;
+        const std::function<bool(NodeId)> member_alive =
+            membership ? std::function<bool(NodeId)>([&membership](NodeId n) {
+              return membership->alive(n);
+            })
+                       : nullptr;
         for (const auto& sm : mf.segments) {
           for (const auto& ref : sm.chunks) {
             const ckptstore::Chunk* c = repo.find(ref.key);
             DSIM_CHECK(c != nullptr);
-            i32 holder = ckptstore::ChunkPlacement::kNoHolder;
-            for (NodeId home : svc->placement().homes_of(ref.key)) {
-              if (!svc->placement().node_alive(home)) continue;
-              if (membership && !membership->alive(home)) continue;
-              holder = home;
-              break;
+            // Replication: one surviving copy, full bytes. Erasure: k
+            // fragment reads — and when a data fragment is dead or
+            // corrupt, a parity fragment substitutes and the degraded
+            // read pays a decode pass on the restarting node's CPU.
+            bool needs_decode = false;
+            const auto plan = svc->placement().read_plan(
+                ref.key, &needs_decode, member_alive);
+            if (plan.empty()) {
+              // Pre-flight guarantees availability; an empty plan here
+              // means the membership view lags placement — read locally
+              // rather than off a node the cluster considers dead.
+              fetch_by_node[self.node()] += c->charged_bytes;
+            } else {
+              for (const auto& src : plan) fetch_by_node[src.node] += src.bytes;
+              if (needs_decode) {
+                decode_seconds +=
+                    ckptstore::erasure::decode_seconds(c->charged_bytes);
+              }
             }
-            fetch_by_node[holder >= 0 ? holder : self.node()] +=
-                c->charged_bytes;
             fetch_chunks.emplace_back(ref.key, c->charged_bytes);
           }
         }

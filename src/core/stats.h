@@ -75,6 +75,14 @@ struct CkptRound {
   u64 scrub_missing_chunks = 0;
   u64 scrub_quarantined_chunks = 0;
   u64 rereplicated_chunks = 0;
+  // Erasure-mode daemons (src/ckptstore/erasure.*), same delayed-delta
+  // convention: fragments rebuilt onto fresh homes by the heal daemon,
+  // corrupt fragments the scrubber repaired in place, and chunks the
+  // demotion daemon re-striped to the cold (k,m) profile.
+  u64 rebuilt_fragments = 0;
+  u64 scrub_repaired_fragments = 0;
+  u64 demoted_chunks = 0;
+  u64 demoted_bytes = 0;
 
   // Cluster membership & shard failover (src/cluster/), this round's view:
   // shards re-homed off dead endpoints, requests that parked on a dead

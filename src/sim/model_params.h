@@ -100,6 +100,18 @@ inline constexpr double kCowPageFaultSeconds = 2e-6;
 // on a slow NIC/device. Overridable per run via --compress-bw.
 inline constexpr double kCompressBw = 30e6;
 
+// --- Erasure coding (src/ckptstore/erasure.*) --------------------------------
+// Reed-Solomon GF(2^8) table arithmetic on a single 2008-era core: one
+// table lookup + XOR per (input byte x parity row). Far faster than gzip
+// (kCompressBw) but not free — restart decode with missing data fragments
+// and background fragment rebuilds charge CPU at this input rate.
+inline constexpr double kErasureBw = 400e6;
+// Cold-tier demotion daemon: generations older than --hot-generations are
+// re-encoded to the wider cold (k,m) profile in the background, at most
+// this many chunks per checkpoint round so demotion never swamps the
+// foreground store traffic.
+inline constexpr u64 kDemoteChunksPerRound = 256;
+
 // --- Chunk-store service (stdchk-style remote store) ------------------------
 // The cluster-scope store is a *service* with one FIFO request queue, not a
 // free in-memory index: every dedup Lookup, chunk Store, restart Fetch and

@@ -1,0 +1,487 @@
+// Reed-Solomon erasure striping for the chunk store: codec identity over
+// every survivable loss combination, fragment placement and degraded read
+// plans, in-place scrub repair of rotten fragments, fragment rebuild after
+// node death, cold-tier demotion, and restart through degraded reads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "ckptstore/erasure.h"
+#include "ckptstore/placement.h"
+#include "ckptstore/service.h"
+#include "core/launch.h"
+#include "sim/cluster.h"
+#include "sim/model_params.h"
+#include "tests/testprogs.h"
+#include "tests/testutil.h"
+
+namespace dsim::test {
+namespace {
+
+using ckptstore::ChunkKey;
+using ckptstore::ChunkPlacement;
+using ckptstore::ChunkStoreService;
+using core::DmtcpControl;
+using core::DmtcpOptions;
+using sim::ExtentKind;
+
+namespace erasure = ckptstore::erasure;
+
+ChunkKey key_of(u64 n) {
+  ChunkKey k;
+  k.hi = n * 0x9E3779B97F4A7C15ull + 7;
+  k.lo = n;
+  return k;
+}
+
+// --- codec -------------------------------------------------------------------
+
+TEST(ErasureCodec, RoundTripsAcrossProfilesAndLengths) {
+  // Identity through encode -> all-fragments reconstruct, including lengths
+  // that do not divide by k (the last data fragment is zero-padded).
+  const std::vector<std::pair<int, int>> profiles{{2, 1}, {4, 2}, {6, 3},
+                                                  {10, 4}};
+  const std::vector<u64> lengths{1, 255, 4096, 64 * 1024 + 13};
+  for (const auto& [k, m] : profiles) {
+    for (u64 len : lengths) {
+      const auto data = pseudo_bytes(len, len * 31 + static_cast<u64>(k));
+      const auto frags = erasure::encode(data, k, m);
+      ASSERT_EQ(frags.size(), static_cast<size_t>(k + m));
+      for (const auto& f : frags) {
+        EXPECT_EQ(f.size(), erasure::fragment_bytes(len, k));
+      }
+      std::vector<std::pair<int, std::vector<std::byte>>> all;
+      for (int i = 0; i < k + m; ++i) all.emplace_back(i, frags[static_cast<size_t>(i)]);
+      EXPECT_EQ(erasure::reconstruct(all, k, m, len), data)
+          << "(" << k << "," << m << ") len " << len;
+    }
+  }
+}
+
+TEST(ErasureCodec, EveryKSubsetReconstructsAtFourTwo) {
+  // (4,2): all C(6,4) = 15 four-fragment subsets decode to the original —
+  // which covers every single-fragment-loss and every two-fragment-loss
+  // combination the store is sold as surviving.
+  const int k = 4, m = 2;
+  const u64 len = 32 * 1024 + 5;
+  const auto data = pseudo_bytes(len, 0xE7A5);
+  const auto frags = erasure::encode(data, k, m);
+  int subsets = 0;
+  for (int a = 0; a < k + m; ++a) {
+    for (int b = a + 1; b < k + m; ++b) {
+      for (int c = b + 1; c < k + m; ++c) {
+        for (int d = c + 1; d < k + m; ++d) {
+          std::vector<std::pair<int, std::vector<std::byte>>> pick;
+          for (int i : {a, b, c, d}) {
+            pick.emplace_back(i, frags[static_cast<size_t>(i)]);
+          }
+          ASSERT_EQ(erasure::reconstruct(pick, k, m, len), data)
+              << "survivors {" << a << "," << b << "," << c << "," << d
+              << "}";
+          ++subsets;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(subsets, 15);
+}
+
+TEST(ErasureCodec, MoreThanMLossesAreUnrecoverable) {
+  const int k = 4, m = 2;
+  const auto data = pseudo_bytes(8192, 0xDEAD);
+  const auto frags = erasure::encode(data, k, m);
+  // Three losses leave three fragments: below k, reconstruct refuses.
+  std::vector<std::pair<int, std::vector<std::byte>>> three{
+      {0, frags[0]}, {2, frags[2]}, {5, frags[5]}};
+  EXPECT_TRUE(erasure::reconstruct(three, k, m, 8192).empty());
+  EXPECT_TRUE(erasure::reconstruct({}, k, m, 8192).empty());
+}
+
+TEST(ErasureCodec, CostModelPricesParityAndDecodePasses) {
+  // Encode charges the parity output (m/k of the input), decode one full
+  // pass, both at kErasureBw; healthy systematic reads are free.
+  EXPECT_DOUBLE_EQ(erasure::encode_seconds(4'000'000, 4, 2),
+                   4'000'000.0 * 2 / 4 / sim::params::kErasureBw);
+  EXPECT_DOUBLE_EQ(erasure::decode_seconds(4'000'000),
+                   4'000'000.0 / sim::params::kErasureBw);
+}
+
+// --- placement ---------------------------------------------------------------
+
+TEST(ErasurePlacement, FragmentsLandOnDistinctNodesWithFragmentCharges) {
+  ChunkPlacement pl(8, 1);
+  pl.enable_erasure(4, 2);
+  for (u64 i = 0; i < 100; ++i) {
+    const auto homes = pl.record_store(key_of(i), 4096);
+    ASSERT_EQ(homes.size(), 6u);
+    EXPECT_EQ(std::set<NodeId>(homes.begin(), homes.end()).size(), 6u);
+    const auto info = pl.erasure_info(key_of(i));
+    EXPECT_EQ(info.k, 4);
+    EXPECT_EQ(info.m, 2);
+    EXPECT_EQ(info.frag_bytes, erasure::fragment_bytes(4096, 4));
+    EXPECT_EQ(pl.home_charge(key_of(i)), info.frag_bytes);
+  }
+  // Stored footprint is (k+m)/k x logical: 1.5x at (4,2) — cheaper than
+  // the 2.0x an R=2 replication placement charges for the same chunks.
+  const auto per_node = pl.bytes_per_node();
+  u64 erasure_total = 0;
+  for (u64 b : per_node) erasure_total += b;
+  EXPECT_EQ(erasure_total, 100u * 6 * erasure::fragment_bytes(4096, 4));
+  ChunkPlacement repl(8, 2);
+  for (u64 i = 0; i < 100; ++i) repl.record_store(key_of(i), 4096);
+  u64 repl_total = 0;
+  for (u64 b : repl.bytes_per_node()) repl_total += b;
+  EXPECT_LT(static_cast<double>(erasure_total),
+            0.8 * static_cast<double>(repl_total));
+}
+
+TEST(ErasurePlacement, ReadPlanIsSystematicUntilFragmentsDie) {
+  ChunkPlacement pl(8, 1);
+  pl.enable_erasure(4, 2);
+  const ChunkKey key = key_of(42);
+  const auto homes = pl.record_store(key, 4096);
+  ASSERT_EQ(homes.size(), 6u);
+
+  bool needs_decode = true;
+  auto plan = pl.read_plan(key, &needs_decode);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_FALSE(needs_decode);  // healthy: the k data fragments concatenate
+  for (size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].node, homes[i]);
+    EXPECT_EQ(plan[i].bytes, erasure::fragment_bytes(4096, 4));
+  }
+
+  // One data fragment dies: the plan substitutes a parity fragment and the
+  // caller must pay decode CPU. Still no loss.
+  pl.fail_node(homes[1]);
+  plan = pl.read_plan(key, &needs_decode);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_TRUE(needs_decode);
+  for (const auto& src : plan) {
+    EXPECT_NE(src.node, homes[1]);
+    EXPECT_TRUE(pl.node_alive(src.node));
+  }
+  EXPECT_EQ(pl.lost_chunks(), 0u);
+  EXPECT_TRUE(pl.available(key));
+
+  // A *parity* loss alone never forces a decode: data fragments intact.
+  pl.revive_node(homes[1]);
+  pl.fail_node(homes[5]);
+  plan = pl.read_plan(key, &needs_decode);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_FALSE(needs_decode);
+
+  // Beyond m losses the chunk is gone: empty plan, counted lost.
+  pl.fail_node(homes[0]);
+  pl.fail_node(homes[1]);
+  EXPECT_TRUE(pl.read_plan(key, &needs_decode).empty());
+  EXPECT_FALSE(pl.available(key));
+  EXPECT_TRUE(pl.lost(key));
+  EXPECT_EQ(pl.lost_chunks(), 1u);
+}
+
+TEST(ErasurePlacement, HealPinsSurvivorsAndReassignsOnlyDeadSlots) {
+  ChunkPlacement pl(8, 1);
+  pl.enable_erasure(4, 2);
+  const ChunkKey key = key_of(7);
+  const auto before = pl.record_store(key, 8192);
+  ASSERT_EQ(before.size(), 6u);
+
+  pl.fail_node(before[2]);
+  ASSERT_TRUE(pl.degraded(key));
+  const auto fresh = pl.heal(key);
+  ASSERT_EQ(fresh.size(), 1u);  // exactly the dead slot is rebuilt
+  EXPECT_NE(fresh[0], before[2]);
+  const auto after = pl.homes_of(key);
+  ASSERT_EQ(after.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    if (i == 2) {
+      EXPECT_EQ(after[i], fresh[0]);
+    } else {
+      EXPECT_EQ(after[i], before[i]) << "surviving slot " << i << " moved";
+    }
+  }
+  EXPECT_FALSE(pl.degraded(key));
+  // Full strength again: two *more* losses are survivable.
+  pl.fail_node(after[0]);
+  pl.fail_node(after[4]);
+  EXPECT_EQ(pl.lost_chunks(), 0u);
+}
+
+TEST(ErasurePlacement, CorruptFragmentsRepairInPlace) {
+  ChunkPlacement pl(8, 1);
+  pl.enable_erasure(4, 2);
+  const ChunkKey key = key_of(3);
+  const auto homes = pl.record_store(key, 4096);
+  ASSERT_EQ(homes.size(), 6u);
+
+  EXPECT_FALSE(pl.corrupt_fragment(key_of(999), 0));  // unknown key
+  EXPECT_FALSE(pl.corrupt_fragment(key, 6));          // index out of range
+  ASSERT_TRUE(pl.corrupt_fragment(key, 1));
+  ASSERT_TRUE(pl.corrupt_fragment(key, 4));
+  EXPECT_EQ(pl.corrupt_mask(key), (1u << 1) | (1u << 4));
+  EXPECT_TRUE(pl.available(key));  // 4 clean fragments still reconstruct
+  bool needs_decode = false;
+  const auto plan = pl.read_plan(key, &needs_decode);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_TRUE(needs_decode);
+  for (const auto& src : plan) EXPECT_NE(src.node, homes[1]);
+
+  const auto rewritten = pl.repair_fragments(key);
+  EXPECT_EQ(rewritten.size(), 2u);
+  EXPECT_EQ(pl.corrupt_mask(key), 0u);
+  EXPECT_FALSE(pl.degraded(key));
+
+  // Three rotten fragments exceed m: beyond repair, quarantine territory.
+  ASSERT_TRUE(pl.corrupt_fragment(key, 0));
+  ASSERT_TRUE(pl.corrupt_fragment(key, 2));
+  ASSERT_TRUE(pl.corrupt_fragment(key, 5));
+  EXPECT_TRUE(pl.repair_fragments(key).empty());
+  EXPECT_TRUE(pl.lost(key));
+}
+
+// --- end to end through the DMTCP stack -------------------------------------
+
+struct World {
+  sim::Cluster cluster;
+  DmtcpControl ctl;
+  World(int nodes, DmtcpOptions opts, u64 seed = 0x5eed)
+      : cluster([&] {
+          auto cfg = sim::Cluster::lab_cluster(nodes);
+          cfg.seed = seed;
+          return cfg;
+        }()),
+        ctl(cluster.kernel(), opts) {
+    register_test_programs(cluster.kernel());
+  }
+  sim::Kernel& k() { return cluster.kernel(); }
+  bool run_until_results(std::initializer_list<const char*> names,
+                         SimTime deadline = 300 * timeconst::kSecond) {
+    return ctl.run_until(
+        [&] {
+          for (const char* n : names) {
+            if (read_result(k(), n).empty()) return false;
+          }
+          return true;
+        },
+        k().loop().now() + deadline);
+  }
+};
+
+DmtcpOptions erasure_opts(int k = 4, int m = 2) {
+  DmtcpOptions o;
+  o.incremental = true;
+  o.codec = compress::CodecKind::kNone;  // exact byte accounting
+  o.chunking = ckptstore::ChunkingMode::kCdc;
+  o.cdc_min_bytes = 2 * 1024;
+  o.cdc_avg_bytes = 8 * 1024;
+  o.cdc_max_bytes = 32 * 1024;
+  o.dedup_scope = core::DedupScope::kCluster;
+  o.erasure_k = k;
+  o.erasure_m = m;
+  return o;
+}
+
+void add_ballast(World& w, Pid pid, u64 bytes, u64 seed) {
+  sim::Process* p = w.k().find_process(pid);
+  ASSERT_NE(p, nullptr);
+  auto& seg = p->mem().add("ballast", sim::MemKind::kHeap, bytes);
+  seg.data.fill(0, bytes, ExtentKind::kRand, seed);
+}
+
+TEST(ErasureE2E, RestartSurvivesMNodeLossesViaDegradedReads) {
+  World w(8, erasure_opts(4, 2));
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+  const Pid pb = w.ctl.launch(1, kComputeLoop, {"1000000", "200", "b"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  add_ballast(w, pa, 1024 * 1024, 0xAA);
+  add_ballast(w, pb, 1024 * 1024, 0xBB);
+  w.ctl.checkpoint_now();
+
+  auto& svc = *w.ctl.shared().store_service;
+  ASSERT_GT(svc.placement().placed_chunks(), 0u);
+  // Two nodes die with their fragments and the heal daemon gets no window:
+  // restart must reconstruct every touched chunk from k survivors.
+  svc.fail_node(6);
+  svc.fail_node(7);
+  EXPECT_EQ(svc.placement().lost_chunks(), 0u);
+  w.ctl.kill_computation();
+  const auto& rr = w.ctl.restart();
+  EXPECT_FALSE(rr.needs_restore);
+  EXPECT_EQ(rr.lost_chunks, 0u);
+  EXPECT_EQ(rr.procs, 2);
+  ASSERT_TRUE(w.run_until_results({"a", "b"}));
+}
+
+TEST(ErasureE2E, BeyondMLossesReportLostChunksBeforeRestart) {
+  World w(8, erasure_opts(4, 2));
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  add_ballast(w, pa, 2 * 1024 * 1024, 0xCC);
+  w.ctl.checkpoint_now();
+
+  auto& svc = *w.ctl.shared().store_service;
+  // Three simultaneous node losses exceed m=2 for every chunk with three
+  // fragment homes among the dead — no heal can rebuild those. The
+  // pre-flight must refuse the restart and count them.
+  svc.fail_node(5);
+  svc.fail_node(6);
+  svc.fail_node(7);
+  ASSERT_GT(svc.placement().lost_chunks(), 0u);
+  w.ctl.kill_computation();
+  const auto& rr = w.ctl.restart();
+  EXPECT_TRUE(rr.needs_restore);
+  EXPECT_GT(rr.lost_chunks, 0u);
+  EXPECT_EQ(rr.lost_chunks, svc.placement().lost_chunks());
+}
+
+TEST(ErasureE2E, HealRebuildsDeadFragmentsFromSurvivors) {
+  World w(8, erasure_opts(4, 2));
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+  const Pid pb = w.ctl.launch(1, kComputeLoop, {"1000000", "200", "b"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  add_ballast(w, pa, 1024 * 1024, 0xAA);
+  add_ballast(w, pb, 1024 * 1024, 0xBB);
+  w.ctl.checkpoint_now();
+
+  auto& svc = *w.ctl.shared().store_service;
+  ASSERT_EQ(svc.placement().degraded_count(), 0u);
+  svc.fail_node(7);
+  ASSERT_GT(svc.placement().degraded_count(), 0u);
+
+  // Detection + rebuild drain in the background, as in the replication
+  // heal test — but here the daemon moves fragments, not full copies.
+  w.ctl.run_for(150 * timeconst::kMillisecond);
+  const auto& round = w.ctl.checkpoint_now();
+  EXPECT_EQ(svc.placement().degraded_count(), 0u);
+  EXPECT_GT(svc.stats().rebuilt_fragments, 0u);
+  EXPECT_GT(svc.stats().heal_moved_bytes, 0u);
+  EXPECT_GT(round.rebuilt_fragments, 0u);
+  // A single node death costs each degraded chunk exactly one fragment, so
+  // the accounting is exact: one rebuilt fragment per healed chunk, and
+  // moved bytes = frag x (2k + 2F - 1) = 9 x the rebuilt fragment bytes —
+  // well under the 3 x full-chunk bytes an R=2 replication heal ships.
+  EXPECT_EQ(svc.stats().rebuilt_fragments, svc.stats().rereplicated_chunks);
+  EXPECT_EQ(svc.stats().heal_moved_bytes,
+            9 * svc.stats().rereplicated_bytes);
+  // Full strength restored: two further losses are survivable again.
+  svc.fail_node(5);
+  svc.fail_node(6);
+  EXPECT_EQ(svc.placement().lost_chunks(), 0u);
+}
+
+TEST(ErasureE2E, ScrubRepairsRottenFragmentInPlace) {
+  auto opts = erasure_opts(4, 2);
+  opts.scrub_chunks = 1u << 20;  // scrub the whole store every round
+  World w(8, opts);
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "400", "a"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  add_ballast(w, pa, 1024 * 1024, 0xDD);
+  w.ctl.checkpoint_now();
+
+  auto& svc = *w.ctl.shared().store_service;
+  // Rot one fragment of a placed chunk. The next scrub pass must rebuild
+  // it in place from the five clean fragments — repaired, not
+  // quarantined, and the chunk never stops being readable.
+  ChunkKey victim{};
+  for (const auto& [key, chunk] : svc.repo().chunks_after(ChunkKey{}, 4096)) {
+    if (svc.placement().erasure_info(key).k > 0) {
+      victim = key;
+      break;
+    }
+  }
+  ASSERT_TRUE(svc.corrupt_fragment(victim, 2));
+  EXPECT_EQ(svc.placement().corrupt_mask(victim), 1u << 2);
+  EXPECT_TRUE(svc.placement().available(victim));
+
+  const u64 repaired_before = svc.stats().scrub_repaired_fragments;
+  svc.scrub(1u << 20, compress::CodecKind::kNone);
+  w.ctl.run_for(200 * timeconst::kMillisecond);
+  EXPECT_EQ(svc.stats().scrub_repaired_fragments, repaired_before + 1);
+  EXPECT_EQ(svc.stats().scrub_quarantined_chunks, 0u);
+  EXPECT_EQ(svc.placement().corrupt_mask(victim), 0u);
+  EXPECT_TRUE(svc.placement().available(victim));
+}
+
+TEST(ErasureE2E, ColdDemotionRestripesOldGenerationsWider) {
+  auto opts = erasure_opts(4, 2);
+  opts.cold_erasure_k = 6;
+  opts.cold_erasure_m = 2;
+  opts.hot_generations = 1;
+  World w(8, opts);
+  const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+  w.ctl.run_for(20 * timeconst::kMillisecond);
+  add_ballast(w, pa, 1024 * 1024, 0x11);
+  w.ctl.checkpoint_now();
+
+  // Rewrite half the ballast: generation 1 re-chunks it under new keys,
+  // which strands the old half's chunks outside the hot window
+  // (hot-generations=1) while --keep-generations=2 keeps them resident.
+  sim::Process* p = w.k().find_process(pa);
+  ASSERT_NE(p, nullptr);
+  p->mem().find("ballast")->data.fill(0, 512 * 1024, ExtentKind::kRand, 0x22);
+  w.ctl.checkpoint_now();
+
+  // The demotion daemon kicked at that round's close re-stripes the cold
+  // chunks to (6,2) in the background.
+  w.ctl.run_for(200 * timeconst::kMillisecond);
+  auto& svc = *w.ctl.shared().store_service;
+  ASSERT_GT(svc.stats().demoted_chunks, 0u);
+  EXPECT_GT(svc.stats().demoted_bytes, 0u);
+  u64 cold_entries = 0;
+  for (const auto& [key, chunk] : svc.repo().chunks_after(ChunkKey{}, 4096)) {
+    if (svc.placement().erasure_info(key).k == 6) ++cold_entries;
+  }
+  EXPECT_GT(cold_entries, 0u);
+
+  // The demotion surfaces in the next round's delta, and a cold store
+  // still restarts: any 6 of a cold chunk's 8 fragments reconstruct.
+  const auto& round = w.ctl.checkpoint_now();
+  EXPECT_GT(round.demoted_chunks, 0u);
+  svc.fail_node(6);
+  svc.fail_node(7);
+  EXPECT_EQ(svc.placement().lost_chunks(), 0u);
+  w.ctl.kill_computation();
+  const auto& rr = w.ctl.restart();
+  EXPECT_FALSE(rr.needs_restore);
+  EXPECT_EQ(rr.lost_chunks, 0u);
+  ASSERT_TRUE(w.run_until_results({"a"}));
+}
+
+TEST(ErasureOptions, FlagsParseAndValidate) {
+  DmtcpOptions o;
+  std::vector<std::string> argv{"--incremental", "--dedup-scope", "cluster",
+                                "--erasure",     "4,2",           "--cold-erasure",
+                                "6,2",           "--hot-generations", "1"};
+  EXPECT_EQ(o.apply_flags(argv), "");
+  EXPECT_TRUE(argv.empty());
+  EXPECT_EQ(o.erasure_k, 4);
+  EXPECT_EQ(o.erasure_m, 2);
+  EXPECT_EQ(o.cold_erasure_k, 6);
+  EXPECT_EQ(o.cold_erasure_m, 2);
+  EXPECT_EQ(o.hot_generations, 1);
+  EXPECT_NE(o.validate_cluster(6), "");  // cold 6+2 does not fit 6 nodes
+  EXPECT_EQ(o.validate_cluster(8), "");
+
+  DmtcpOptions repl;
+  std::vector<std::string> both{"--incremental",    "--dedup-scope", "cluster",
+                                "--chunk-replicas", "2",             "--erasure",
+                                "4,2"};
+  EXPECT_NE(repl.apply_flags(both), "");  // mutually exclusive schemes
+
+  DmtcpOptions bad;
+  std::vector<std::string> narrow{"--incremental", "--dedup-scope", "cluster",
+                                  "--erasure", "1,1"};
+  EXPECT_NE(bad.apply_flags(narrow), "");  // k < 2
+
+  DmtcpOptions orphan;
+  std::vector<std::string> hot_only{"--incremental", "--dedup-scope",
+                                    "cluster", "--hot-generations", "2"};
+  EXPECT_NE(orphan.apply_flags(hot_only), "");  // no cold tier to demote to
+}
+
+}  // namespace
+}  // namespace dsim::test

@@ -4,14 +4,16 @@
 Two modes, both stdlib-only:
 
 Absolute checks (always run): after the CI bench-smoke job runs
-bench_incremental, bench_cdc, bench_service and bench_failover with tiny
-parameters, assert the emitted files are well-formed and the headline
-numbers are in the physically sensible range (dedup actually happened, CDC
-actually resynchronized, the cluster store actually stored shared chunks
-once, the chunk-store service actually queued lookups and survived a
-replica failover, the mid-round endpoint kill re-homed and replayed with
-zero lost chunks, and the shard rebalance moved ~1/new_shards of the
-bytes).
+bench_incremental, bench_cdc, bench_service, bench_failover, bench_async
+and bench_erasure with tiny parameters, assert the emitted files are
+well-formed and the headline numbers are in the physically sensible range
+(dedup actually happened, CDC actually resynchronized, the cluster store
+actually stored shared chunks once, the chunk-store service actually
+queued lookups and survived a replica failover, the mid-round endpoint
+kill re-homed and replayed with zero lost chunks, the shard rebalance
+moved ~1/new_shards of the bytes, the async pipeline took the pause off
+the critical path, and (k,m) erasure striping beat 2x replication on
+stored bytes while surviving m losses).
 
 Baseline diff (--baseline DIR): compare a fresh run against the committed
 baseline JSON in DIR (bench/baselines/, generated with the same smoke
@@ -366,12 +368,81 @@ def check_async(path, data):
     return rc
 
 
+def check_erasure(path, data):
+    rc = 0
+    for key in (
+        "config",
+        "overhead.erasure_stored_bytes",
+        "overhead.replication_stored_bytes",
+        "overhead.erasure_factor",
+        "overhead.overhead_ratio",
+        "restart_sweep",
+        "rebuild.erasure_moved_per_chunk",
+        "rebuild.replication_moved_per_chunk",
+        "rebuild.per_chunk_ratio",
+        "tiering.demoted_chunks",
+        "tiering.restart_ok",
+        "summary.overhead_ratio",
+        "summary.rebuild_per_chunk_ratio",
+        "summary.sweep_all_restarts_ok",
+    ):
+        try:
+            require(data, path, key)
+        except (KeyError, TypeError):
+            rc |= fail(path, f"missing key '{key}'")
+    if rc:
+        return rc
+    # The byte-economics headline: (k+m)/k striping must store materially
+    # fewer bytes than 2x replication — (4,2) is 1.5x vs 2.0x, ratio 0.75.
+    ratio = data["summary"]["overhead_ratio"]
+    if not 0 < ratio <= 0.8:
+        rc |= fail(
+            path,
+            f"overhead_ratio={ratio}: erasure striping must store at most "
+            "0.8x of the R=2 replication footprint",
+        )
+    # Every restart in the 0..m loss sweep must complete with nothing lost:
+    # <= m fragment losses are survivable by construction.
+    sweep = data["restart_sweep"]
+    if not sweep:
+        return rc | fail(path, "empty restart_sweep")
+    for pt in sweep:
+        if pt["lost_chunks"] != 0:
+            rc |= fail(
+                path,
+                f"restart with {pt['losses']} losses reported "
+                f"lost_chunks={pt['lost_chunks']} (must be 0 for <= m)",
+            )
+        if pt["restart_ok"] is not True:
+            rc |= fail(path, f"restart with {pt['losses']} losses failed")
+    # Rebuilding a dead fragment moves (2k + 2F - 1) x frag_bytes per
+    # chunk; a full R=2 re-store moves 3x the container. Per healed chunk
+    # the fragment rebuild must come out strictly cheaper.
+    rb_ratio = data["rebuild"]["per_chunk_ratio"]
+    if not 0 < rb_ratio < 1.0:
+        rc |= fail(
+            path,
+            f"rebuild per_chunk_ratio={rb_ratio}: fragment rebuild must "
+            "move fewer bytes per healed chunk than an R=2 full re-store",
+        )
+    if data["rebuild"].get("erasure_post_heal_lost_chunks", 0) != 0:
+        rc |= fail(path, "chunks were lost during the erasure rebuild")
+    # The cold tier actually demoted something and the wider-striped store
+    # still restarts.
+    if data["tiering"]["demoted_chunks"] <= 0:
+        rc |= fail(path, "no chunk was demoted to the cold profile")
+    if data["tiering"]["restart_ok"] is not True:
+        rc |= fail(path, "restart over the demoted (cold) store failed")
+    return rc
+
+
 CHECKERS = {
     "BENCH_incremental.json": check_incremental,
     "BENCH_cdc.json": check_cdc,
     "BENCH_service.json": check_service,
     "BENCH_failover.json": check_failover,
     "BENCH_async.json": check_async,
+    "BENCH_erasure.json": check_erasure,
 }
 
 # Baseline-gated metrics per file: name -> (extractor, good direction).
@@ -420,6 +491,15 @@ BASELINE_METRICS = {
             lambda d: d["summary"]["compress_ratio"], "lower"),
         "max_drain_seconds": (
             lambda d: d["pause"]["max_drain_seconds"], "lower"),
+    },
+    "BENCH_erasure.json": {
+        "overhead_ratio": (
+            lambda d: d["summary"]["overhead_ratio"], "lower"),
+        "rebuild_per_chunk_ratio": (
+            lambda d: d["summary"]["rebuild_per_chunk_ratio"], "lower"),
+        "restart_seconds_at_max_losses": (
+            lambda d: d["summary"]["restart_seconds_at_max_losses"],
+            "lower"),
     },
 }
 

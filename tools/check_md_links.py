@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Check that markdown links and code pointers reference real files.
+
+Stdlib-only, run by the CI docs job over README.md and docs/. Two classes
+of reference are verified:
+
+1. Relative markdown links: `[text](path)` and `[text](path#anchor)`.
+   External schemes (http, https, mailto) are skipped — CI must not
+   depend on the network — as are pure-anchor links (`#section`). The
+   path is resolved against the linking file's directory, then against
+   the repository root.
+
+2. Backtick code pointers: `src/ckptstore/erasure.cc`,
+   `tools/check_bench_json.py:42`, `docs/ckptstore.md`, `src/cluster/`.
+   A token is treated as a pointer when it contains a path separator and
+   either ends with '/' (a directory) or with a known source extension,
+   optionally suffixed with a :line number. Tokens under build/ are
+   skipped (generated artifacts). This keeps prose like `--erasure 4,2`
+   or `a.k.a.` out of scope while still catching a doc that names a file
+   the tree no longer has.
+
+Usage: check_md_links.py PATH [PATH ...]   (files or directories)
+Exits nonzero after printing every broken reference.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — non-greedy so adjacent links split correctly; images
+# ([!text](target)) match the same way and are checked the same way.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `token` spans one line; the pointer filter below decides relevance.
+BACKTICK = re.compile(r"`([^`\n]+)`")
+CODE_EXTS = (".h", ".cc", ".py", ".md", ".yml", ".json", ".txt", ".cmake")
+POINTER = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_./-]*(:\d+)?$")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def repo_root():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(here)
+
+
+def is_code_pointer(token):
+    """A backtick token that names a path in the tree (see module doc)."""
+    if "/" not in token or not POINTER.match(token):
+        return False
+    path = token.rsplit(":", 1)[0] if re.search(r":\d+$", token) else token
+    if path.startswith("build/"):
+        return False  # generated artifacts are not in the tree
+    return path.endswith("/") or path.endswith(CODE_EXTS)
+
+
+def resolve(target, md_dir, root):
+    """True when `target` exists relative to the md file or the repo root."""
+    path = target.split("#", 1)[0]
+    if not path:
+        return True  # pure-anchor link into the same document
+    path = path.rstrip("/") or path
+    for base in (md_dir, root):
+        cand = os.path.normpath(os.path.join(base, path))
+        if os.path.exists(cand):
+            return True
+    return False
+
+
+def check_file(md_path, root):
+    broken = []
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    md_dir = os.path.dirname(os.path.abspath(md_path))
+
+    for match in MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        # GitHub web-UI routes (CI badge and its click-through) resolve on
+        # github.com relative to the repo page, never in the tree.
+        if "/actions/workflows/" in target:
+            continue
+        if not resolve(target, md_dir, root):
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append((line, f"link target '{target}' not found"))
+
+    # Strip fenced code blocks before scanning backticks: shell transcripts
+    # legitimately mention files that only exist after a build.
+    prose = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in BACKTICK.finditer(prose):
+        token = match.group(1).strip()
+        if not is_code_pointer(token):
+            continue
+        path = re.sub(r":\d+$", "", token)
+        if not resolve(path, md_dir, root):
+            line = text.count("\n", 0, text.find(f"`{token}`")) + 1
+            broken.append((line, f"code pointer '{token}' not found"))
+    return broken
+
+
+def collect(paths):
+    out = []
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, _, files in os.walk(p):
+                out.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(files)
+                    if f.endswith(".md")
+                )
+        else:
+            out.append(p)
+    return out
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = repo_root()
+    rc = 0
+    checked = 0
+    for md in collect(argv[1:]):
+        checked += 1
+        for line, msg in check_file(md, root):
+            print(f"FAIL {md}:{line}: {msg}", file=sys.stderr)
+            rc = 1
+    if rc == 0:
+        print(f"OK   {checked} markdown file(s): all links and code "
+              "pointers resolve")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
