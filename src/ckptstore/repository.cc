@@ -37,13 +37,23 @@ std::vector<std::pair<ChunkKey, const Chunk*>> Repository::chunks_after(
 
 std::vector<ChunkKey> Repository::cold_keys(int hot_generations) const {
   if (hot_generations <= 0) return {};
-  // Hot set: every key pinned by one of the newest `hot_generations` live
-  // generations of any owner. The generation maps are keyed by gen number,
-  // so the newest ones sit at the back.
+  return cold_keys(
+      [hot_generations](const std::string&) { return hot_generations; });
+}
+
+std::vector<ChunkKey> Repository::cold_keys(
+    const std::function<int(const std::string&)>& hot_for) const {
+  // Hot set: every key pinned by one of the newest `hot_for(owner)` live
+  // generations of that owner. The generation maps are keyed by gen
+  // number, so the newest ones sit at the back. A chunk shared across
+  // owners (or tenants) stays hot while *any* referencing owner's hot
+  // window still covers it.
   std::set<ChunkKey> hot;
   for (const auto& [owner, gens] : generations_) {
+    const int depth = hot_for(owner);
+    if (depth <= 0) continue;
     int taken = 0;
-    for (auto it = gens.rbegin(); it != gens.rend() && taken < hot_generations;
+    for (auto it = gens.rbegin(); it != gens.rend() && taken < depth;
          ++it, ++taken) {
       hot.insert(it->second.keys.begin(), it->second.keys.end());
     }
@@ -54,6 +64,29 @@ std::vector<ChunkKey> Repository::cold_keys(int hot_generations) const {
     if (!hot.contains(key)) cold.push_back(key);
   }
   return cold;
+}
+
+std::map<std::pair<std::string, std::string>, u64>
+Repository::shared_bytes_by_group() const {
+  std::map<std::pair<std::string, std::string>, u64> out;
+  const auto group_of = [](const std::string& owner) {
+    const size_t slash = owner.find('/');
+    return slash == std::string::npos ? owner : owner.substr(0, slash);
+  };
+  for (const auto& [key, slot] : chunks_) {
+    if (slot.quarantined) continue;
+    std::set<std::string> groups;
+    for (const auto& [owner, refs] : slot.owner_refs) {
+      groups.insert(group_of(owner));
+    }
+    if (groups.size() < 2) continue;
+    for (auto a = groups.begin(); a != groups.end(); ++a) {
+      for (auto b = std::next(a); b != groups.end(); ++b) {
+        out[{*a, *b}] += slot.chunk.charged_bytes;
+      }
+    }
+  }
+  return out;
 }
 
 bool Repository::put(const ChunkKey& key, Chunk chunk) {
@@ -150,10 +183,12 @@ u64 Repository::release_generation(
 }
 
 u64 Repository::collect_garbage(int keep,
-                                std::vector<ReclaimedChunk>* reclaimed_out) {
+                                std::vector<ReclaimedChunk>* reclaimed_out,
+                                const std::string& owner_prefix) {
   DSIM_CHECK_MSG(keep >= 1, "retention must keep at least one generation");
   u64 reclaimed = 0;
   for (auto& [owner, gens] : generations_) {
+    if (!owner_prefix.empty() && owner.rfind(owner_prefix, 0) != 0) continue;
     while (static_cast<int>(gens.size()) > keep) {
       auto oldest = gens.begin();  // map is gen-ordered
       reclaimed += release_generation(owner, oldest->second, reclaimed_out);

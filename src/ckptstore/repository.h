@@ -8,8 +8,10 @@
 // the storage of chunks no live generation references.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ckptstore/chunk.h"
@@ -87,11 +89,17 @@ class Repository {
   /// Returns the stored bytes reclaimed from chunks that became dead.
   /// Refcounts span owners: a chunk shared by several processes (the same
   /// mapped library chunked to the same key) stays resident until the last
-  /// referencing generation of the last referencing owner dies. When
-  /// `reclaimed_out` is given, every reclaimed chunk is appended to it
-  /// (the chunk-store service trims each one from its placement homes).
+  /// referencing generation of the last referencing owner dies — including
+  /// owners of *other tenants* in a multi-tenant store, which is exactly
+  /// why one tenant's GC can never drop a chunk another tenant still
+  /// references. When `reclaimed_out` is given, every reclaimed chunk is
+  /// appended to it (the chunk-store service trims each one from its
+  /// placement homes). A non-empty `owner_prefix` scopes the pass to
+  /// owners starting with it (one tenant's "t<id>/" namespace), so each
+  /// tenant applies its own keep-last-N independently.
   u64 collect_garbage(int keep,
-                      std::vector<ReclaimedChunk>* reclaimed_out = nullptr);
+                      std::vector<ReclaimedChunk>* reclaimed_out = nullptr,
+                      const std::string& owner_prefix = "");
 
   /// Drop every generation of `owner` (the process left the computation
   /// for good — exited without a pending restart, or its images were
@@ -118,6 +126,16 @@ class Repository {
   /// incrementally (commit/GC), so reading it per round is O(1).
   u64 shared_chunk_count() const { return shared_chunks_; }
 
+  /// Stored bytes of chunks referenced by more than one owner *group*,
+  /// keyed by unordered group pair. A group is the owner prefix before the
+  /// first '/' (the tenant namespace "t<id>"); owners without a '/' form
+  /// their own group. This is the cross-tenant dedup report: bytes the
+  /// store holds once although two tenants both reference them (shared
+  /// mapped libraries across jobs). Walks the index — call it per round or
+  /// per bench, not per request.
+  std::map<std::pair<std::string, std::string>, u64> shared_bytes_by_group()
+      const;
+
   /// Up to `n` resident chunks with keys strictly after `cursor`, wrapping
   /// to the start when the end is reached — the scrub daemon's round-robin
   /// walk. Pointers are valid until the next mutation (the scrubber
@@ -131,6 +149,12 @@ class Repository {
   /// older checkpoints still pin, safe to re-stripe to the cold erasure
   /// profile in the background.
   std::vector<ChunkKey> cold_keys(int hot_generations) const;
+  /// Same walk with a per-owner hot depth (multi-tenant stores resolve
+  /// --hot-generations per tenant): `hot_for(owner)` returns how many of
+  /// that owner's newest generations count as hot. A chunk is cold only
+  /// when *every* owner referencing it considers it cold.
+  std::vector<ChunkKey> cold_keys(
+      const std::function<int(const std::string&)>& hot_for) const;
 
   const RepoStats& stats() const { return stats_; }
 

@@ -37,11 +37,11 @@ ChunkStoreService::ChunkStoreService(sim::EventLoop& loop, sim::Network& net,
   shards_.reserve(static_cast<size_t>(shards));
   endpoints_.reserve(static_cast<size_t>(shards));
   for (int s = 0; s < shards; ++s) {
-    shards_.push_back(Shard{std::make_shared<sim::StorageDevice>(
-                                loop, "chunkstore" + std::to_string(s),
-                                params::kStoreServiceBw,
-                                params::kStoreServiceLatency),
-                            {}});
+    auto q = std::make_shared<IndexQueue>();
+    q->dev = std::make_shared<sim::StorageDevice>(
+        loop, "chunkstore" + std::to_string(s), params::kStoreServiceBw,
+        params::kStoreServiceLatency);
+    shards_.push_back(Shard{std::move(q), {}});
     // Default spread until the coordinator assigns real endpoints.
     endpoints_.push_back(static_cast<NodeId>(s % net.num_nodes()));
   }
@@ -113,11 +113,52 @@ ChunkStoreService::make_request(NodeId from, u64 request_bytes,
   return req;
 }
 
+void ChunkStoreService::enqueue_index(std::shared_ptr<IndexQueue> q,
+                                      TenantId tenant, QosClass qos, u64 cost,
+                                      std::function<void()> run) {
+  if (!fair_queueing_) {
+    // Arrival FIFO: hand the work straight to the device queue, exactly
+    // the pre-multi-tenant discipline (the bench_tenants ablation arm).
+    run();
+    return;
+  }
+  q->fq.push(qos, tenant, tenants_.weight(tenant),
+             FairQueue::Item{cost, std::move(run)});
+  pump_queue(std::move(q));
+}
+
+void ChunkStoreService::pump_queue(std::shared_ptr<IndexQueue> q) {
+  // Dispatch while the device is free. Each dispatched item submits into
+  // the device and advances its busy_until, so exactly one item is in
+  // service at a time and everything else waits *in the FairQueue*, where
+  // a late-arriving restart-band probe can still overtake a queued
+  // checkpoint storm. With unchanged dispatch order this is
+  // timing-identical to direct FIFO submission: submitting at busy_until
+  // or earlier lands the same max(now, busy_until) + service chain.
+  while (!q->fq.empty() && q->dev->busy_until() <= loop_.now()) {
+    FairQueue::Item item = q->fq.pop();
+    item.run();
+  }
+  if (!q->fq.empty() && !q->pump_scheduled) {
+    q->pump_scheduled = true;
+    loop_.post_at(q->dev->busy_until(), [this, q] {
+      q->pump_scheduled = false;
+      pump_queue(q);
+    });
+  }
+}
+
 rpc::RpcFabric::Handler ChunkStoreService::index_serve(int shard,
-                                                       bool is_read) const {
-  return [dev = shards_[static_cast<size_t>(shard)].dev,
-          is_read](rpc::RpcFabric::Reply reply) {
-    dev->submit(params::kStoreLookupBytes, std::move(reply), is_read);
+                                                       bool is_read,
+                                                       TenantId tenant,
+                                                       QosClass qos) {
+  return [this, q = shards_[static_cast<size_t>(shard)].q, is_read, tenant,
+          qos](rpc::RpcFabric::Reply reply) {
+    enqueue_index(q, tenant, qos, params::kStoreLookupBytes,
+                  [q, is_read, reply = std::move(reply)]() mutable {
+                    q->dev->submit(params::kStoreLookupBytes,
+                                   std::move(reply), is_read);
+                  });
   };
 }
 
@@ -169,25 +210,46 @@ NodeId ChunkStoreService::pick_endpoint(int shard) const {
   return best;
 }
 
-void ChunkStoreService::submit_lookups(NodeId from,
-                                       const std::vector<ChunkKey>& keys,
-                                       std::function<void()> done) {
-  if (keys.empty()) {
-    loop_.post_now(std::move(done));
+StoreReply ChunkStoreService::submit(StoreRequest req) {
+  switch (req.op) {
+    case StoreOp::kLookup:
+      do_lookups(std::move(req));
+      return {};
+    case StoreOp::kStore:
+    case StoreOp::kRestore:
+      return do_store(std::move(req));
+    case StoreOp::kFetch:
+      do_fetch(std::move(req));
+      return {};
+    case StoreOp::kDrop:
+      do_drop(std::move(req));
+      return {};
+  }
+  DSIM_CHECK_MSG(false, "unknown StoreOp");
+  return {};
+}
+
+void ChunkStoreService::do_lookups(StoreRequest req) {
+  if (req.keys.empty()) {
+    if (req.done) loop_.post_now(std::move(req.done));
     return;
   }
-  stats_.lookup_requests += keys.size();
+  stats_.lookup_requests += req.keys.size();
+  tenants_.stats(req.tenant).lookups += req.keys.size();
   // Route keys to their shards in submit order, then cut each shard's run
   // into batches of at most lookup_batch_ keys — one RPC per batch, one
   // queue probe's occupancy per key. A rank's batches interleave with every
-  // other rank's FIFO at the shard, and each batch records the full
+  // other rank's at the shard scheduler, and each batch records the full
   // submit -> response wait for each of its keys.
   std::vector<std::vector<ChunkKey>> routed(shards_.size());
-  for (const ChunkKey& key : keys) {
+  for (const ChunkKey& key : req.keys) {
     routed[static_cast<size_t>(shard_of(key))].push_back(key);
   }
-  auto remaining = std::make_shared<u64>(keys.size());
-  auto all_done = std::make_shared<std::function<void()>>(std::move(done));
+  auto remaining = std::make_shared<u64>(req.keys.size());
+  auto all_done =
+      std::make_shared<std::function<void()>>(std::move(req.done));
+  const TenantId tenant = req.tenant;
+  const QosClass qos = req.qos;
   for (size_t s = 0; s < routed.size(); ++s) {
     const auto& run = routed[s];
     for (size_t at = 0; at < run.size(); at += static_cast<size_t>(
@@ -196,32 +258,41 @@ void ChunkStoreService::submit_lookups(NodeId from,
                                   run.size() - at);
       stats_.lookup_batches++;
       const SimTime submitted = loop_.now();
-      auto req = std::make_shared<ShardRequest>();
-      req->from = from;
-      req->request_bytes =
+      auto sreq = std::make_shared<ShardRequest>();
+      sreq->from = req.from;
+      sreq->request_bytes =
           params::kRpcHeaderBytes + n * params::kRpcLookupKeyBytes;
-      req->response_bytes =
+      sreq->response_bytes =
           params::kRpcHeaderBytes + n * params::kRpcLookupVerdictBytes;
-      req->serve = [dev = shards_[s].dev, n](rpc::RpcFabric::Reply reply) {
+      sreq->serve = [this, q = shards_[s].q, n, tenant,
+                     qos](rpc::RpcFabric::Reply reply) {
         // The batch's probes occupy the shard queue back to back; the
         // response leaves when the last probe is served.
-        dev->submit(n * params::kStoreLookupBytes, std::move(reply),
-                    /*is_read=*/true);
+        enqueue_index(q, tenant, qos, n * params::kStoreLookupBytes,
+                      [q, n, reply = std::move(reply)]() mutable {
+                        q->dev->submit(n * params::kStoreLookupBytes,
+                                       std::move(reply), /*is_read=*/true);
+                      });
       };
-      req->done = [this, submitted, n, remaining, all_done] {
+      sreq->done = [this, submitted, n, tenant, remaining, all_done] {
         const double wait = to_seconds(loop_.now() - submitted);
         stats_.lookup_wait_seconds += wait * static_cast<double>(n);
         if (wait > stats_.max_lookup_wait_seconds) {
           stats_.max_lookup_wait_seconds = wait;
         }
-        if ((*remaining -= n) == 0) (*all_done)();
+        TenantStats& ts = tenants_.stats(tenant);
+        ts.lookup_wait_seconds += wait * static_cast<double>(n);
+        ts.wait_samples.insert(ts.wait_samples.end(),
+                               static_cast<size_t>(n), wait);
+        if ((*remaining -= n) == 0 && *all_done) (*all_done)();
       };
-      shard_call(static_cast<int>(s), std::move(req));
+      shard_call(static_cast<int>(s), std::move(sreq));
     }
   }
 }
 
-void ChunkStoreService::queue_store(NodeId from, const ChunkKey& key,
+void ChunkStoreService::queue_store(NodeId from, TenantId tenant,
+                                    QosClass qos, const ChunkKey& key,
                                     u64 charged_bytes,
                                     std::function<void()> done) {
   stats_.store_requests++;
@@ -230,11 +301,11 @@ void ChunkStoreService::queue_store(NodeId from, const ChunkKey& key,
   // The chunk travels to the shard in the request (caller NIC); the shard
   // does an index insert's worth of queue work and acks. The payload's
   // physical writes land on the placement homes' node devices, charged by
-  // the caller against the homes submit_store/submit_restore return — the
-  // shard queue is the metadata path, so store bursts do not stall other
-  // ranks' probes beyond their index share. Under erasure the wire carries
-  // all k+m fragments — the (k+m)/k parity overhead is paid in NIC egress
-  // as well as device bytes.
+  // the caller against the homes the StoreReply returns — the shard queue
+  // is the metadata path, so store bursts do not stall other ranks' probes
+  // beyond their index share. Under erasure the wire carries all k+m
+  // fragments — the (k+m)/k parity overhead is paid in NIC egress as well
+  // as device bytes.
   const u64 wire_bytes =
       erasure_.enabled()
           ? erasure::fragment_bytes(charged_bytes, erasure_.k) *
@@ -242,11 +313,11 @@ void ChunkStoreService::queue_store(NodeId from, const ChunkKey& key,
           : charged_bytes;
   shard_call(s, make_request(from, params::kRpcHeaderBytes + wire_bytes,
                              params::kRpcHeaderBytes,
-                             index_serve(s, /*is_read=*/false),
+                             index_serve(s, /*is_read=*/false, tenant, qos),
                              std::move(done)));
 }
 
-std::vector<ChunkStoreService::StoreTarget> ChunkStoreService::store_targets(
+std::vector<StoreTarget> ChunkStoreService::store_targets(
     const ChunkKey& key, const std::vector<NodeId>& homes) {
   if (homes.empty()) return {};
   const u64 per_home = placement_.home_charge(key);
@@ -256,46 +327,128 @@ std::vector<ChunkStoreService::StoreTarget> ChunkStoreService::store_targets(
   return out;
 }
 
-std::vector<ChunkStoreService::StoreTarget> ChunkStoreService::submit_store(
-    NodeId from, const ChunkKey& key, u64 charged_bytes,
-    std::function<void()> done) {
-  queue_store(from, key, charged_bytes, std::move(done));
-  return store_targets(key, placement_.record_store(key, charged_bytes));
+StoreReply ChunkStoreService::do_store(StoreRequest req) {
+  DSIM_CHECK_MSG(req.keys.size() == 1,
+                 "a store request carries exactly one chunk key");
+  const ChunkKey key = req.keys.front();
+  const u64 bytes = req.bytes;
+  const TenantId tenant = req.tenant;
+  // Placement is synchronous — the caller charges the returned targets
+  // concurrently with the index RPC — and admission control only defers
+  // the RPC dispatch at the tenant edge.
+  StoreReply reply;
+  reply.targets = store_targets(
+      key, req.op == StoreOp::kStore ? placement_.record_store(key, bytes)
+                                     : placement_.re_place(key));
+  TenantStats& ts = tenants_.stats(tenant);
+  ts.stores++;
+  ts.store_bytes += bytes;
+  // Store completions drain the tenant's edge queue (and budget).
+  auto done = [this, tenant, bytes,
+               inner = std::move(req.done)]() mutable {
+    TenantEdge& e = edges_[tenant];
+    DSIM_CHECK(e.inflight_bytes >= bytes);
+    e.inflight_bytes -= bytes;
+    if (inner) inner();
+    drain_edge(tenant);
+  };
+  TenantEdge& edge = edges_[tenant];
+  const u64 budget = tenants_.config(tenant).inflight_budget_bytes;
+  // Hold at the edge only when something is already in flight: a single
+  // store larger than the whole budget must still be admitted, or the
+  // tenant deadlocks.
+  if (budget > 0 && (edge.inflight_bytes > 0 || !edge.held.empty()) &&
+      edge.inflight_bytes + bytes > budget) {
+    reply.admitted = false;
+    ts.admission_held++;
+    stats_.admission_held_requests++;
+    edge.held.push_back(TenantEdge::Held{
+        bytes, loop_.now(),
+        [this, from = req.from, tenant, qos = req.qos, key, bytes,
+         done = std::move(done)]() mutable {
+          queue_store(from, tenant, qos, key, bytes, std::move(done));
+        }});
+    return reply;
+  }
+  edge.inflight_bytes += bytes;
+  queue_store(req.from, tenant, req.qos, key, bytes, std::move(done));
+  return reply;
 }
 
-std::vector<ChunkStoreService::StoreTarget> ChunkStoreService::submit_restore(
-    NodeId from, const ChunkKey& key, u64 charged_bytes,
-    std::function<void()> done) {
-  queue_store(from, key, charged_bytes, std::move(done));
-  return store_targets(key, placement_.re_place(key));
+void ChunkStoreService::drain_edge(TenantId tenant) {
+  TenantEdge& e = edges_[tenant];
+  const u64 budget = tenants_.config(tenant).inflight_budget_bytes;
+  while (!e.held.empty()) {
+    TenantEdge::Held& h = e.held.front();
+    if (budget > 0 && e.inflight_bytes > 0 &&
+        e.inflight_bytes + h.bytes > budget) {
+      break;
+    }
+    e.inflight_bytes += h.bytes;
+    const double wait = to_seconds(loop_.now() - h.held_at);
+    TenantStats& ts = tenants_.stats(tenant);
+    ts.admission_wait_seconds += wait;
+    stats_.admission_wait_seconds += wait;
+    auto dispatch = std::move(h.dispatch);
+    e.held.pop_front();
+    dispatch();
+  }
 }
 
-void ChunkStoreService::submit_fetch(NodeId from, const ChunkKey& key,
-                                     u64 bytes, std::function<void()> done) {
+void ChunkStoreService::do_fetch(StoreRequest req) {
+  DSIM_CHECK_MSG(req.keys.size() == 1,
+                 "a fetch request carries exactly one chunk key");
   stats_.fetch_requests++;
-  stats_.fetch_bytes += bytes;
-  const int s = shard_of(key);
+  stats_.fetch_bytes += req.bytes;
+  TenantStats& ts = tenants_.stats(req.tenant);
+  ts.fetches++;
+  const int s = shard_of(req.keys.front());
+  const SimTime submitted = loop_.now();
+  const TenantId tenant = req.tenant;
   // Redirect-style fetch: the RPC carries metadata both ways, the shard
   // queue does an index probe to name the holder, and the bulk bytes
   // stream off the holding node (device + NIC, charged by the caller).
-  shard_call(s, make_request(from, params::kRpcHeaderBytes,
-                             params::kRpcHeaderBytes,
-                             index_serve(s, /*is_read=*/true),
-                             std::move(done)));
+  // Fetch waits land in the tenant's sample stream alongside lookups —
+  // together they are the victim-tenant latency bench_tenants gates.
+  auto done = [this, submitted, tenant,
+               inner = std::move(req.done)]() mutable {
+    const double wait = to_seconds(loop_.now() - submitted);
+    TenantStats& t = tenants_.stats(tenant);
+    t.lookup_wait_seconds += wait;
+    t.wait_samples.push_back(wait);
+    if (inner) inner();
+  };
+  shard_call(s,
+             make_request(req.from, params::kRpcHeaderBytes,
+                          params::kRpcHeaderBytes,
+                          index_serve(s, /*is_read=*/true, tenant, req.qos),
+                          std::move(done)));
 }
 
-void ChunkStoreService::submit_drop(NodeId from, const ChunkKey& key,
-                                    u64 bytes) {
+void ChunkStoreService::do_drop(StoreRequest req) {
+  DSIM_CHECK_MSG(req.keys.size() == 1,
+                 "a drop request carries exactly one chunk key");
   stats_.drop_requests++;
-  const int s = shard_of(key);
-  shard_call(s, make_request(
-                    from, params::kRpcHeaderBytes, params::kRpcHeaderBytes,
-                    [dev = shards_[static_cast<size_t>(s)].dev,
-                     bytes](rpc::RpcFabric::Reply reply) {
-                      dev->discard(bytes);
-                      reply();
-                    },
-                    [] {}));
+  tenants_.stats(req.tenant).drops++;
+  const int s = shard_of(req.keys.front());
+  const u64 bytes = req.bytes;
+  const TenantId tenant = req.tenant;
+  const QosClass qos = req.qos;
+  shard_call(
+      s, make_request(
+             req.from, params::kRpcHeaderBytes, params::kRpcHeaderBytes,
+             [this, q = shards_[static_cast<size_t>(s)].q, bytes, tenant,
+              qos](rpc::RpcFabric::Reply reply) {
+               // Trims run at the device's 64x discard speedup; their DRR
+               // cost is scaled to match so a GC burst is charged what it
+               // actually occupies.
+               enqueue_index(q, tenant, qos, std::max<u64>(bytes >> 6, 1),
+                             [q, bytes, reply = std::move(reply)]() mutable {
+                               q->dev->discard(bytes);
+                               reply();
+                             });
+             },
+             req.done ? std::move(req.done) : [] {}));
 }
 
 void ChunkStoreService::charge_node(NodeId node, u64 bytes, bool is_read,
@@ -371,7 +524,7 @@ int ChunkStoreService::handle_node_death(NodeId node) {
   // Degraded (some alive homes, fewer than R — or >= k but fewer than k+m
   // clean fragments) chunks are healable — kick the daemon. Fully lost
   // chunks are not: those wait for the encode path's forward-heal
-  // (submit_restore) at the next generation.
+  // (StoreOp::kRestore) at the next generation.
   if (redundant()) schedule_heal_scan();
   // Re-home every shard stranded on the dead endpoint to the next live
   // node in its rendezvous order, then replay its parked requests there in
@@ -438,30 +591,37 @@ void ChunkStoreService::heal_one(const ChunkKey& key) {
     heal_in_flight_--;
     pump_heal();
   });
-  // Walk the repair through the owning shard's queue (an index probe that
-  // contends with foreground lookups, as a real repair stream does), read
-  // the surviving copy off the holder's device, then stream it over the
-  // holder's NIC to each fresh home and land it on that home's device.
-  shards_[s].dev->submit(
-      params::kStoreLookupBytes,
-      [this, holder, bytes, fresh, finish] {
-        charge_node(holder, bytes, /*is_read=*/true,
-                    [this, holder, bytes, fresh, finish] {
-                      auto left = std::make_shared<int>(
-                          static_cast<int>(fresh.size()));
-                      for (NodeId home : fresh) {
-                        net_.transfer(
-                            holder, home, bytes,
-                            [this, home, bytes, left, finish] {
-                              charge_node(home, bytes, /*is_read=*/false,
-                                          [left, finish] {
-                                            if (--*left == 0) (*finish)();
-                                          });
-                            });
-                      }
-                    });
-      },
-      /*is_read=*/true);
+  // Walk the repair through the owning shard's scheduler as system-tenant
+  // work (an index probe that contends with foreground lookups, as a real
+  // repair stream does), read the surviving copy off the holder's device,
+  // then stream it over the holder's NIC to each fresh home and land it on
+  // that home's device.
+  const auto q = shards_[s].q;
+  enqueue_index(
+      q, kSystemTenant, QosClass::kCheckpoint, params::kStoreLookupBytes,
+      [this, q, holder, bytes, fresh, finish] {
+        q->dev->submit(
+            params::kStoreLookupBytes,
+            [this, holder, bytes, fresh, finish] {
+              charge_node(
+                  holder, bytes, /*is_read=*/true,
+                  [this, holder, bytes, fresh, finish] {
+                    auto left = std::make_shared<int>(
+                        static_cast<int>(fresh.size()));
+                    for (NodeId home : fresh) {
+                      net_.transfer(
+                          holder, home, bytes,
+                          [this, home, bytes, left, finish] {
+                            charge_node(home, bytes, /*is_read=*/false,
+                                        [left, finish] {
+                                          if (--*left == 0) (*finish)();
+                                        });
+                          });
+                    }
+                  });
+            },
+            /*is_read=*/true);
+      });
 }
 
 void ChunkStoreService::heal_one_erasure(const ChunkKey& key) {
@@ -490,49 +650,57 @@ void ChunkStoreService::heal_one_erasure(const ChunkKey& key) {
     heal_in_flight_--;
     pump_heal();
   });
-  // Index probe on the owning shard, then: stream k surviving fragments to
-  // the rebuilding node, decode there (real CPU through the fluid share),
-  // and land the rebuilt fragments on every fresh home — the first one
-  // locally, the rest over the rebuilder's NIC. This is the erasure
-  // economy bench_erasure gates: fragments move, never full copies.
-  shards_[s].dev->submit(
-      params::kStoreLookupBytes,
-      [this, sources, fresh, rebuilder, decode_cpu,
+  // Index probe on the owning shard (system tenant, through the
+  // scheduler), then: stream k surviving fragments to the rebuilding node,
+  // decode there (real CPU through the fluid share), and land the rebuilt
+  // fragments on every fresh home — the first one locally, the rest over
+  // the rebuilder's NIC. This is the erasure economy bench_erasure gates:
+  // fragments move, never full copies.
+  const auto q = shards_[s].q;
+  enqueue_index(
+      q, kSystemTenant, QosClass::kCheckpoint, params::kStoreLookupBytes,
+      [this, q, sources, fresh, rebuilder, decode_cpu,
        frag = info.frag_bytes, finish] {
-        auto gathered =
-            std::make_shared<int>(static_cast<int>(sources.size()));
-        auto decode_done = [this, fresh, rebuilder, frag, finish] {
-          auto left =
-              std::make_shared<int>(static_cast<int>(fresh.size()));
-          const auto landed = [left, finish] {
-            if (--*left == 0) (*finish)();
-          };
-          for (NodeId home : fresh) {
-            if (home == rebuilder) {
-              charge_node(home, frag, /*is_read=*/false, landed);
-            } else {
-              net_.transfer(rebuilder, home, frag,
-                            [this, home, frag, landed] {
-                              charge_node(home, frag, /*is_read=*/false,
-                                          landed);
-                            });
-            }
-          }
-        };
-        for (const auto& src : sources) {
-          charge_node(
-              src.node, src.bytes, /*is_read=*/true,
-              [this, src, rebuilder, gathered, decode_cpu, decode_done] {
-                net_.transfer(
-                    src.node, rebuilder, src.bytes,
-                    [this, rebuilder, gathered, decode_cpu, decode_done] {
-                      if (--*gathered > 0) return;
-                      charge_cpu(rebuilder, decode_cpu, decode_done);
+        q->dev->submit(
+            params::kStoreLookupBytes,
+            [this, sources, fresh, rebuilder, decode_cpu, frag, finish] {
+              auto gathered =
+                  std::make_shared<int>(static_cast<int>(sources.size()));
+              auto decode_done = [this, fresh, rebuilder, frag, finish] {
+                auto left =
+                    std::make_shared<int>(static_cast<int>(fresh.size()));
+                const auto landed = [left, finish] {
+                  if (--*left == 0) (*finish)();
+                };
+                for (NodeId home : fresh) {
+                  if (home == rebuilder) {
+                    charge_node(home, frag, /*is_read=*/false, landed);
+                  } else {
+                    net_.transfer(rebuilder, home, frag,
+                                  [this, home, frag, landed] {
+                                    charge_node(home, frag,
+                                                /*is_read=*/false, landed);
+                                  });
+                  }
+                }
+              };
+              for (const auto& src : sources) {
+                charge_node(
+                    src.node, src.bytes, /*is_read=*/true,
+                    [this, src, rebuilder, gathered, decode_cpu,
+                     decode_done] {
+                      net_.transfer(
+                          src.node, rebuilder, src.bytes,
+                          [this, rebuilder, gathered, decode_cpu,
+                           decode_done] {
+                            if (--*gathered > 0) return;
+                            charge_cpu(rebuilder, decode_cpu, decode_done);
+                          });
                     });
-              });
-        }
-      },
-      /*is_read=*/true);
+              }
+            },
+            /*is_read=*/true);
+      });
 }
 
 void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
@@ -606,20 +774,31 @@ void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
         for (NodeId home : homes) {
           if (trimmer_) trimmer_(home, per_home > 0 ? per_home : rotten);
         }
-        submit_drop(endpoint_of(static_cast<int>(s)), key, rotten);
+        StoreRequest drop;
+        drop.op = StoreOp::kDrop;
+        drop.tenant = kSystemTenant;
+        drop.from = endpoint_of(static_cast<int>(s));
+        drop.keys = {key};
+        drop.bytes = rotten;
+        submit(std::move(drop));
       }
     }
-    shards_[s].dev->submit(
-        params::kStoreLookupBytes,
-        [this, corrupt, missing, holder, read_bytes] {
-          // The verification reread streams off the surviving holder.
-          if (holder >= 0 && read_bytes > 0) {
-            charge_node(holder, read_bytes, /*is_read=*/true, [] {});
-          }
-          if (corrupt) stats_.scrub_corrupt_chunks++;
-          if (missing) stats_.scrub_missing_chunks++;
-        },
-        /*is_read=*/true);
+    const auto q = shards_[s].q;
+    enqueue_index(
+        q, kSystemTenant, QosClass::kCheckpoint, params::kStoreLookupBytes,
+        [this, q, corrupt, missing, holder, read_bytes] {
+          q->dev->submit(
+              params::kStoreLookupBytes,
+              [this, corrupt, missing, holder, read_bytes] {
+                // The verification reread streams off the surviving holder.
+                if (holder >= 0 && read_bytes > 0) {
+                  charge_node(holder, read_bytes, /*is_read=*/true, [] {});
+                }
+                if (corrupt) stats_.scrub_corrupt_chunks++;
+                if (missing) stats_.scrub_missing_chunks++;
+              },
+              /*is_read=*/true);
+        });
   }
   if (saw_degraded && redundant()) schedule_heal_scan();
 }
@@ -627,7 +806,13 @@ void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
 int ChunkStoreService::demote_cold(u64 max_chunks) {
   if (!erasure_.cold_enabled() || erasure_.hot_generations <= 0) return 0;
   int demoted = 0;
-  for (const ChunkKey& key : repo_->cold_keys(erasure_.hot_generations)) {
+  // Per-tenant hot depth: a tenant override of --hot-generations shifts
+  // *its* owners' hot window; everyone else uses the global config.
+  const auto hot_for = [this](const std::string& owner) {
+    return tenants_.hot_for(tenant_of_owner(owner),
+                            erasure_.hot_generations);
+  };
+  for (const ChunkKey& key : repo_->cold_keys(hot_for)) {
     if (static_cast<u64>(demoted) >= max_chunks) break;
     auto plan = std::make_shared<ChunkPlacement::DemotePlan>(
         placement_.demote(key));
@@ -648,42 +833,47 @@ int ChunkStoreService::demote_cold(u64 max_chunks) {
     // home, decode + re-encode there, trim the hot fragments, and land the
     // cold ones — locally at the coder, over its NIC elsewhere. Background
     // work end to end; nothing waits on it.
-    shards_[s].dev->submit(
-        params::kStoreLookupBytes,
-        [this, plan, coder, cpu] {
-          auto gathered =
-              std::make_shared<int>(static_cast<int>(plan->read.size()));
-          auto recode_done = [this, plan, coder] {
-            for (NodeId home : plan->trim) {
-              if (trimmer_) trimmer_(home, plan->trim_bytes);
-            }
-            for (NodeId home : plan->write) {
-              if (home == coder) {
-                charge_node(home, plan->write_bytes, /*is_read=*/false,
-                            [] {});
-              } else {
-                net_.transfer(coder, home, plan->write_bytes,
-                              [this, home, plan] {
-                                charge_node(home, plan->write_bytes,
-                                            /*is_read=*/false, [] {});
-                              });
-              }
-            }
-          };
-          for (const auto& src : plan->read) {
-            charge_node(src.node, src.bytes, /*is_read=*/true,
-                        [this, src, coder, gathered, cpu, recode_done] {
-                          net_.transfer(src.node, coder, src.bytes,
-                                        [this, coder, gathered, cpu,
-                                         recode_done] {
-                                          if (--*gathered > 0) return;
-                                          charge_cpu(coder, cpu,
-                                                     recode_done);
-                                        });
-                        });
-          }
-        },
-        /*is_read=*/true);
+    const auto q = shards_[s].q;
+    enqueue_index(
+        q, kSystemTenant, QosClass::kCheckpoint, params::kStoreLookupBytes,
+        [this, q, plan, coder, cpu] {
+          q->dev->submit(
+              params::kStoreLookupBytes,
+              [this, plan, coder, cpu] {
+                auto gathered = std::make_shared<int>(
+                    static_cast<int>(plan->read.size()));
+                auto recode_done = [this, plan, coder] {
+                  for (NodeId home : plan->trim) {
+                    if (trimmer_) trimmer_(home, plan->trim_bytes);
+                  }
+                  for (NodeId home : plan->write) {
+                    if (home == coder) {
+                      charge_node(home, plan->write_bytes, /*is_read=*/false,
+                                  [] {});
+                    } else {
+                      net_.transfer(coder, home, plan->write_bytes,
+                                    [this, home, plan] {
+                                      charge_node(home, plan->write_bytes,
+                                                  /*is_read=*/false, [] {});
+                                    });
+                    }
+                  }
+                };
+                for (const auto& src : plan->read) {
+                  charge_node(
+                      src.node, src.bytes, /*is_read=*/true,
+                      [this, src, coder, gathered, cpu, recode_done] {
+                        net_.transfer(src.node, coder, src.bytes,
+                                      [this, coder, gathered, cpu,
+                                       recode_done] {
+                                        if (--*gathered > 0) return;
+                                        charge_cpu(coder, cpu, recode_done);
+                                      });
+                      });
+                }
+              },
+              /*is_read=*/true);
+        });
   }
   return demoted;
 }
@@ -743,25 +933,28 @@ void ChunkStoreService::rebalance(int new_shards,
   // between rounds, but restarts may race in tests) immediately uses the
   // new assignment, while the migration traffic below drains through both
   // the old queues (index reads) and the new ones (index inserts). The old
-  // devices stay alive inside the batch closures until the last batch
+  // queues stay alive inside the batch closures until the last batch
   // lands.
   auto old_set =
       std::make_shared<std::vector<Shard>>(std::move(shards_));
   shards_.clear();
   shards_.reserve(static_cast<size_t>(new_shards));
   for (int s = 0; s < new_shards; ++s) {
-    shards_.push_back(Shard{std::make_shared<sim::StorageDevice>(
-                                loop_, "chunkstore" + std::to_string(s),
-                                params::kStoreServiceBw,
-                                params::kStoreServiceLatency),
-                            {}});
+    auto q = std::make_shared<IndexQueue>();
+    q->dev = std::make_shared<sim::StorageDevice>(
+        loop_, "chunkstore" + std::to_string(s), params::kStoreServiceBw,
+        params::kStoreServiceLatency);
+    shards_.push_back(Shard{std::move(q), {}});
   }
   endpoints_ = std::move(new_endpoints);
   assigned_endpoints_ = endpoints_;
 
   // Count batches, then run them: each batch is an index read on the old
   // shard's queue, one metadata RPC old endpoint -> new endpoint (header +
-  // per-key record), and an index insert on the new shard's queue.
+  // per-key record), and an index insert on the new shard's queue. The
+  // migration runs between rounds with nothing in flight, so it rides the
+  // device queues directly (system-tenant work with no foreground traffic
+  // to be fair against).
   u64 batches = 0;
   for (const auto& [route, keys] : moves) {
     batches += (keys.size() + params::kRebalanceBatchKeys - 1) /
@@ -777,7 +970,7 @@ void ChunkStoreService::rebalance(int new_shards,
     const auto [from_s, to_s] = route;
     const NodeId from_ep = old_endpoints[static_cast<size_t>(from_s)];
     const NodeId to_ep = endpoint_of(to_s);
-    const auto to_dev = shards_[static_cast<size_t>(to_s)].dev;
+    const auto to_q = shards_[static_cast<size_t>(to_s)].q;
     for (size_t at = 0; at < keys.size();
          at += params::kRebalanceBatchKeys) {
       const u64 n =
@@ -788,16 +981,16 @@ void ChunkStoreService::rebalance(int new_shards,
         if (--*remaining == 0) (*all_done)();
       };
       // Old shard queue: read the n index entries out...
-      (*old_set)[static_cast<size_t>(from_s)].dev->submit(
+      (*old_set)[static_cast<size_t>(from_s)].q->dev->submit(
           n * params::kStoreLookupBytes,
-          [this, old_set, from_ep, to_ep, to_dev, n, wire, finish_batch] {
+          [this, old_set, from_ep, to_ep, to_q, n, wire, finish_batch] {
             // ...ship them endpoint to endpoint as one metadata RPC...
             fabric_.call(
                 from_ep, to_ep, wire, params::kRpcHeaderBytes,
-                [to_dev, n](rpc::RpcFabric::Reply reply) {
+                [to_q, n](rpc::RpcFabric::Reply reply) {
                   // ...and insert them into the new shard's queue.
-                  to_dev->submit(n * params::kStoreLookupBytes,
-                                 std::move(reply), /*is_read=*/false);
+                  to_q->dev->submit(n * params::kStoreLookupBytes,
+                                    std::move(reply), /*is_read=*/false);
                 },
                 finish_batch,
                 // An endpoint death mid-rebalance: the batch's accounting

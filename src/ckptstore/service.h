@@ -1,18 +1,20 @@
 // The remote chunk-store service (stdchk-style storage service), sharded
-// across RPC endpoints on the simulated network.
+// across RPC endpoints on the simulated network — now multi-tenant.
 //
 // PR 3 funneled every dedup Lookup/Store/Fetch/Drop through one FIFO queue,
 // but requests teleported there: no NIC hop, no message CPU. This version
-// makes each request a real RPC (src/rpc/) and shards the service:
+// makes each request a real RPC (src/rpc/) and shards the service. Every
+// request arrives through one typed envelope (StoreRequest, tenant.h):
 //
-//   Lookup    one dedup probe per submitted chunk key, batched K keys per
+//   kLookup   one dedup probe per submitted chunk key, batched K keys per
 //             RPC (`--lookup-batch`); each probe occupies its shard's queue,
-//   Store     a chunk accepted (payload over the caller's NIC, an index
+//   kStore    a chunk accepted (payload over the caller's NIC, an index
 //             insert on the shard) and placed on `replicas` node devices,
-//   Fetch     a restart locating a chunk (index probe; the bulk bytes
+//   kRestore  re-store of a dedup-hit chunk whose every replica died,
+//   kFetch    a restart locating a chunk (index probe; the bulk bytes
 //             stream off the holding node's device and NIC, charged by the
 //             caller),
-//   Drop      GC trim for a reclaimed chunk at metadata rate.
+//   kDrop     GC trim for a reclaimed chunk at metadata rate.
 //
 // The shard queue is the *metadata/index* path — chunk payloads physically
 // live on placement-home node devices and travel the network as RPC request
@@ -21,9 +23,22 @@
 //
 // Chunk keys are rendezvous-hashed onto `shards` endpoints (stable: the same
 // key always reaches the same shard while the shard count holds), each shard
-// owning its own FIFO sim::StorageDevice queue, so the contention knee
-// bench_service exposes moves right as shards are added. The coordinator
-// assigns shard -> node at startup.
+// owning its own sim::StorageDevice queue. The coordinator assigns
+// shard -> node at startup.
+//
+// Multi-tenancy (this PR): N computations share one service. Each shard's
+// single arrival FIFO is replaced by weighted deficit-round-robin over
+// per-(QoS band, tenant) sub-queues: restart traffic (QosClass::kRestart)
+// drains with strict priority over checkpoint-storm stores, and within a
+// band tenants share device-bytes by their registry weight — a noisy
+// tenant's checkpoint storm cannot starve a victim tenant's restart probes.
+// Admission control holds a tenant's over-budget stores at the *tenant
+// edge* (per-tenant in-flight byte budget) so they queue outside the shard
+// scheduler instead of occupying slots; they dispatch as earlier stores
+// complete. Chunk content stays tenant-blind: identical bytes dedup across
+// tenants and are stored once, while manifests/GC are owned per tenant via
+// the "t<id>/<vpid>" owner convention (tenant.h). `--fair-queueing off`
+// reverts every shard to the PR-3 arrival FIFO (the bench_tenants ablation).
 //
 // Failure tolerance (PR 5, src/cluster/): every service RPC carries a
 // failure path. A request whose endpoint node died *parks* on its shard
@@ -35,7 +50,9 @@
 // consistent-hash rebalance: only the keys whose rendezvous winner changed
 // migrate, in batched metadata RPCs through the normal queues.
 //
-// Three background activities ride the same queues:
+// Three background activities ride the same queues (as kSystemTenant, on
+// the checkpoint band — repair storms are weighed against foreground
+// traffic, not above it):
 //   - re-replication: after a node death, replica-degraded chunks (alive
 //     homes < R but > 0) are re-copied from a surviving holder to fresh
 //     rendezvous homes until the store is back at `replicas` copies;
@@ -53,12 +70,14 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "ckptstore/placement.h"
 #include "ckptstore/repository.h"
+#include "ckptstore/tenant.h"
 #include "compress/compressor.h"
 #include "rpc/rpc.h"
 #include "sim/net.h"
@@ -68,7 +87,8 @@
 namespace dsim::ckptstore {
 
 /// Request statistics, cumulative over the computation. The coordinator
-/// snapshots deltas into each CkptRound.
+/// snapshots deltas into each CkptRound. Per-tenant breakdowns live in the
+/// TenantRegistry (tenants()).
 struct ServiceStats {
   u64 lookup_requests = 0;
   u64 lookup_batches = 0;  // lookup RPCs issued (K keys amortize one RPC)
@@ -85,6 +105,11 @@ struct ServiceStats {
   /// Max single-lookup wait since construction or the last
   /// take_max_lookup_wait() (the coordinator drains it per round).
   double max_lookup_wait_seconds = 0;
+  // Admission control: stores held at their tenant edge because the
+  // tenant's in-flight byte budget was exhausted, and the cumulative time
+  // they waited there before dispatching.
+  u64 admission_held_requests = 0;
+  double admission_wait_seconds = 0;
   // Re-replication daemon: chunks restored to full replica strength after a
   // node failure, and the copy bytes written doing it.
   u64 rereplicated_chunks = 0;
@@ -194,6 +219,17 @@ class ChunkStoreService {
   /// the membership service's fabric shares it).
   const std::shared_ptr<rpc::NodeHealth>& health() const { return health_; }
 
+  /// Per-tenant config (DRR weights, admission budgets, retention
+  /// overrides) and per-tenant request statistics. Each computation's
+  /// control handle registers its tenant here at startup.
+  TenantRegistry& tenants() { return tenants_; }
+  const TenantRegistry& tenants() const { return tenants_; }
+  /// Fair queueing on (default): per-shard DRR over (QoS band, tenant)
+  /// sub-queues. Off: the PR-3 single arrival FIFO per shard — requests
+  /// hit the shard device in arrival order regardless of tenant or QoS.
+  void set_fair_queueing(bool on) { fair_queueing_ = on; }
+  bool fair_queueing() const { return fair_queueing_; }
+
   /// Node-device charging hook (kernel charge_storage_bg, injected by core:
   /// the daemons must land replica copies and verification reads on node
   /// devices, but this layer does not own the kernel). Unset: bytes are
@@ -235,50 +271,19 @@ class ChunkStoreService {
     revive_router_ = std::move(router);
   }
 
-  /// Look up `keys` (dedup probes, hit or miss alike) from node `from`:
-  /// keys are routed to their shards, batched `lookup_batch` per RPC, and
-  /// each probe occupies its shard's queue. `done` fires at the caller when
-  /// the last probe's response lands. Per-shard batches complete in submit
-  /// order (every stage of the path is FIFO).
-  void submit_lookups(NodeId from, const std::vector<ChunkKey>& keys,
-                      std::function<void()> done);
-
-  /// One device write a store fans out to: a full replica copy
-  /// (bytes == charged_bytes) under replication, one fragment
-  /// (bytes == frag_bytes) under erasure.
-  struct StoreTarget {
-    NodeId node = 0;
-    u64 bytes = 0;
-  };
-
-  /// Store one chunk from node `from`. Returns the placement writes the
-  /// caller must charge — one per home, `bytes` each (empty on a placement
-  /// dedup hit); `done` fires when the shard has accepted the write. The
-  /// request carries the chunk payload (all k+m fragments under erasure)
-  /// over the caller's NIC.
-  std::vector<StoreTarget> submit_store(NodeId from, const ChunkKey& key,
-                                        u64 charged_bytes,
-                                        std::function<void()> done);
-
-  /// Re-Store of a dedup-hit chunk whose every replica died with its node:
-  /// costs a fresh Store and the copies are re-placed over the surviving
-  /// nodes (returned for the caller to charge). The caller checks
-  /// placement().available() first — healthy dedup hits must not queue
-  /// stores.
-  std::vector<StoreTarget> submit_restore(NodeId from, const ChunkKey& key,
-                                          u64 charged_bytes,
-                                          std::function<void()> done);
-
-  /// Fetch `bytes` of chunk data (restart path) from node `from`; the
-  /// caller additionally charges the holding node's device and NIC for the
-  /// bulk read (the shard answers with the holder — it does not proxy the
-  /// bytes).
-  void submit_fetch(NodeId from, const ChunkKey& key, u64 bytes,
-                    std::function<void()> done);
-
-  /// GC trim for one reclaimed chunk: drop `bytes` at metadata rate on the
-  /// owning shard (fire-and-forget).
-  void submit_drop(NodeId from, const ChunkKey& key, u64 bytes);
+  /// THE service entry point: every Lookup/Store/Restore/Fetch/Drop flows
+  /// through this one typed envelope (the per-op signatures of PRs 3-7 are
+  /// gone). The reply is the synchronous half: placement targets for
+  /// stores (the caller charges one device write per home; empty on a
+  /// placement dedup hit) and whether admission control dispatched the
+  /// request immediately. `req.done` fires when the service has finished —
+  /// the last probe's response for lookups, the shard ack for stores (even
+  /// when held at the tenant edge first), the index probe's response for
+  /// fetches. Drops are fire-and-forget (`done` may be empty).
+  ///
+  /// Per-(tenant, QoS band) order is FIFO end to end; cross-tenant order
+  /// within a shard is the fair-queueing scheduler's business.
+  StoreReply submit(StoreRequest req);
 
   /// Simulated node failure. Ground truth lands immediately — the node's
   /// chunk copies become unreachable (placement) and its RPCs stop being
@@ -342,7 +347,7 @@ class ChunkStoreService {
   }
 
   /// Cold-tier demotion pass: re-stripe up to `max_chunks` chunks
-  /// referenced only by generations older than the config's
+  /// referenced only by generations older than the per-tenant effective
   /// hot_generations to the cold (k,m) profile, charging fragment reads,
   /// a decode + re-encode at the first cold home, old-fragment trims and
   /// new-fragment writes in the background. Returns the number of chunks
@@ -360,7 +365,7 @@ class ChunkStoreService {
                  std::function<void()> done);
 
   sim::StorageDevice& shard_device(int shard) {
-    return *shards_[static_cast<size_t>(shard)].dev;
+    return *shards_[static_cast<size_t>(shard)].q->dev;
   }
   const rpc::RpcFabric& fabric() const { return fabric_; }
   const ServiceStats& stats() const { return stats_; }
@@ -384,14 +389,37 @@ class ChunkStoreService {
     rpc::RpcFabric::Handler serve;
     std::function<void()> done;
   };
+  /// One shard's index queue: the device that prices metadata work plus
+  /// the fair-queueing scheduler in front of it. Dispatch discipline: an
+  /// item leaves the FairQueue only when the device is free, so the DRR
+  /// decides order while the device keeps pricing service time — with a
+  /// single tenant this is timing-identical to submitting straight into
+  /// the device FIFO.
+  struct IndexQueue {
+    std::shared_ptr<sim::StorageDevice> dev;
+    FairQueue fq;
+    bool pump_scheduled = false;
+  };
   struct Shard {
-    /// shared_ptr: in-flight serve closures capture the device they were
+    /// shared_ptr: in-flight serve closures capture the queue they were
     /// aimed at, so a rebalance that swaps the shard set mid-flight (a
     /// racing restart) can never leave a closure indexing a vector that
     /// shrank under it — the request drains through its original queue.
-    std::shared_ptr<sim::StorageDevice> dev;
+    std::shared_ptr<IndexQueue> q;
     /// Requests whose endpoint died mid-flight, FIFO, awaiting re-home.
     std::deque<std::shared_ptr<ShardRequest>> parked;
+  };
+  /// Admission control state for one tenant: bytes of dispatched,
+  /// not-yet-acked stores, plus the stores held back because dispatching
+  /// them would exceed the tenant's budget.
+  struct TenantEdge {
+    u64 inflight_bytes = 0;
+    struct Held {
+      u64 bytes = 0;
+      SimTime held_at = 0;
+      std::function<void()> dispatch;
+    };
+    std::deque<Held> held;
   };
 
   NodeId endpoint_of(int shard) const {
@@ -403,14 +431,34 @@ class ChunkStoreService {
   static std::shared_ptr<ShardRequest> make_request(
       NodeId from, u64 request_bytes, u64 response_bytes,
       rpc::RpcFabric::Handler serve, std::function<void()> done);
-  /// Serve handler for a single index probe/insert on the shard's queue
-  /// (captures the device, not the index — rebalance-safe).
-  rpc::RpcFabric::Handler index_serve(int shard, bool is_read) const;
-  /// The shared body of submit_store/submit_restore: account the store and
-  /// queue its index insert; the two entry points differ only in how
-  /// placement assigns homes.
-  void queue_store(NodeId from, const ChunkKey& key, u64 charged_bytes,
+  /// Hand one unit of index work to the shard's scheduler: `run` performs
+  /// the actual device submission (or discard) when the scheduler
+  /// dispatches it. Bypasses the FairQueue entirely when fair queueing is
+  /// off — `run` executes immediately, the PR-3 arrival-FIFO behavior.
+  void enqueue_index(std::shared_ptr<IndexQueue> q, TenantId tenant,
+                     QosClass qos, u64 cost, std::function<void()> run);
+  /// Dispatch queued items while the shard device is free; re-arm at
+  /// busy_until() otherwise. One item dispatches per device-free instant,
+  /// so late-arriving restart-band work can still overtake a queued
+  /// checkpoint storm.
+  void pump_queue(std::shared_ptr<IndexQueue> q);
+  /// Serve handler for a single index probe/insert on the shard's queue,
+  /// routed through the fair-queueing scheduler under (tenant, qos).
+  rpc::RpcFabric::Handler index_serve(int shard, bool is_read,
+                                      TenantId tenant, QosClass qos);
+  // The envelope's per-op bodies.
+  void do_lookups(StoreRequest req);
+  StoreReply do_store(StoreRequest req);
+  void do_fetch(StoreRequest req);
+  void do_drop(StoreRequest req);
+  /// The shared tail of kStore/kRestore: account the store and queue its
+  /// index insert RPC.
+  void queue_store(NodeId from, TenantId tenant, QosClass qos,
+                   const ChunkKey& key, u64 charged_bytes,
                    std::function<void()> done);
+  /// Dispatch held stores whose tenant budget has room again (called from
+  /// every store completion).
+  void drain_edge(TenantId tenant);
   void park(int shard, std::shared_ptr<ShardRequest> req);
   /// Next live node in the shard's rendezvous order (highest-random-weight
   /// over (shard, node), restricted to NodeHealth-up nodes).
@@ -446,6 +494,9 @@ class ChunkStoreService {
   std::shared_ptr<Repository> repo_;
   ChunkPlacement placement_;
   ServiceStats stats_;
+  TenantRegistry tenants_;
+  std::map<TenantId, TenantEdge> edges_;
+  bool fair_queueing_ = true;
   DeviceCharger charger_;
   DeviceTrimmer trimmer_;
   CpuCharger cpu_charger_;

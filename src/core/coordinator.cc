@@ -90,9 +90,9 @@ void finalize_endpoints(CoordState* st, sim::ProcessCtx& ctx) {
   if (st->endpoints_finalized) return;
   st->endpoints_finalized = true;
   auto* svc = st->shared->store_service.get();
-  if (svc == nullptr ||
+  if (svc == nullptr || !st->shared->owns_store ||
       st->shared->opts.store_node != DmtcpOptions::kStoreNodeCoord) {
-    return;  // no service, or the operator pinned the base explicitly
+    return;  // no service, an attached tenant, or an explicitly pinned base
   }
   std::set<NodeId> compute;
   for (const auto& [fd, c] : st->clients) compute.insert(c.node);
@@ -117,7 +117,8 @@ void finalize_endpoints(CoordState* st, sim::ProcessCtx& ctx) {
 Task<void> initiate_checkpoint(CoordState* st, sim::ProcessCtx& ctx) {
   if (st->shared->ckpt_active) co_return;  // a round is already in flight
   finalize_endpoints(st, ctx);
-  if (auto* svc = st->shared->store_service.get()) {
+  if (auto* svc = st->shared->store_service.get();
+      svc != nullptr && st->shared->owns_store) {
     // Round boundary: move failover-re-homed shards back to their assigned
     // endpoints if those nodes were revived (shard stickiness fix — no
     // in-flight foreground traffic here, so the move is safe).
@@ -195,11 +196,14 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
                               : static_cast<double>(logical) /
                                     static_cast<double>(live);
   }
-  if (auto* svc = st->shared->store_service.get()) {
+  if (auto* svc = st->shared->store_service.get();
+      svc != nullptr && st->shared->owns_store) {
     // Request-queue view of the round: the lookups this round's managers
     // queued and how long they waited in line behind every other rank's —
     // plus the RPC fabric's view (requests really crossed the network) and
-    // the background daemons' results since the previous round.
+    // the background daemons' results since the previous round. Only the
+    // computation that owns the service snapshots the deltas and kicks the
+    // daemons; attached tenants would double-consume both.
     const ckptstore::ServiceStats& ss = svc->stats();
     const rpc::RpcStats& rs = svc->fabric().stats();
     auto& r = st->shared->stats.rounds.back();
@@ -207,6 +211,10 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
     r.lookup_wait_seconds =
         ss.lookup_wait_seconds - st->svc_last.lookup_wait_seconds;
     r.max_lookup_wait_seconds = svc->take_max_lookup_wait();
+    r.store_admission_held =
+        ss.admission_held_requests - st->svc_last.admission_held_requests;
+    r.store_admission_wait_seconds =
+        ss.admission_wait_seconds - st->svc_last.admission_wait_seconds;
     r.store_rpcs = rs.calls - st->rpc_last.calls;
     r.store_rpc_net_bytes = rs.net_bytes - st->rpc_last.net_bytes;
     r.store_rpc_net_wait_seconds =
@@ -501,7 +509,7 @@ Task<int> coordinator_main(sim::ProcessCtx& ctx,
   DSIM_CHECK_MSG(ok, "coordinator: port already in use");
   co_await ctx.listen_raw(lfd);
 
-  if (shared->store_service) {
+  if (shared->store_service && shared->owns_store) {
     // Endpoint setup: shard 0 runs where --store-node says (default:
     // alongside the coordinator, as dmtcp's helper daemons do) and the
     // remaining shards spread round-robin from there. Managers reach every
@@ -563,19 +571,21 @@ Task<int> command_main(sim::ProcessCtx& ctx,
 
 }  // namespace
 
-sim::Program make_coordinator_program(std::shared_ptr<DmtcpShared> shared) {
+sim::Program make_coordinator_program(SharedResolver resolve) {
   sim::Program p;
   p.name = "dmtcp_coordinator";
-  p.main = [shared](sim::ProcessCtx& ctx) {
-    return coordinator_main(ctx, shared);
+  p.main = [resolve](sim::ProcessCtx& ctx) {
+    return coordinator_main(ctx, resolve(ctx.process()));
   };
   return p;
 }
 
-sim::Program make_command_program(std::shared_ptr<DmtcpShared> shared) {
+sim::Program make_command_program(SharedResolver resolve) {
   sim::Program p;
   p.name = "dmtcp_command";
-  p.main = [shared](sim::ProcessCtx& ctx) { return command_main(ctx, shared); };
+  p.main = [resolve](sim::ProcessCtx& ctx) {
+    return command_main(ctx, resolve(ctx.process()));
+  };
   return p;
 }
 

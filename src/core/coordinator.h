@@ -22,8 +22,10 @@
 
 namespace dsim::core {
 
-/// Program factories registered into the kernel by DmtcpControl.
-sim::Program make_coordinator_program(std::shared_ptr<DmtcpShared> shared);
-sim::Program make_command_program(std::shared_ptr<DmtcpShared> shared);
+/// Program factories registered into the kernel by DmtcpControl. The
+/// resolver maps a spawned process to its computation's shared state (by
+/// DMTCP_COORD_PORT when several computations share the kernel).
+sim::Program make_coordinator_program(SharedResolver resolve);
+sim::Program make_command_program(SharedResolver resolve);
 
 }  // namespace dsim::core

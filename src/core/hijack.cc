@@ -5,6 +5,7 @@
 
 #include "ckptasync/pipeline.h"
 #include "ckptstore/erasure.h"
+#include "ckptstore/tenant.h"
 #include "core/msg_io.h"
 #include "mtcp/mtcp.h"
 #include "sim/model_params.h"
@@ -37,6 +38,7 @@ struct AsyncStoreJob : std::enable_shared_from_this<AsyncStoreJob> {
   sim::Kernel* k = nullptr;
   std::shared_ptr<DmtcpShared> shared;
   std::shared_ptr<ckptstore::ChunkStoreService> svc;  // null: local-repo path
+  ckptstore::TenantId tenant = ckptstore::kDefaultTenant;
   NodeId node = 0;
   std::string path;
   std::vector<ckptstore::ChunkKey> probes;
@@ -57,7 +59,13 @@ struct AsyncStoreJob : std::enable_shared_from_this<AsyncStoreJob> {
                            [self] { self->gc_and_done(); });
       return;
     }
-    svc->submit_lookups(node, probes, [self] { self->stores(); });
+    ckptstore::StoreRequest lk;
+    lk.op = ckptstore::StoreOp::kLookup;
+    lk.tenant = tenant;
+    lk.from = node;
+    lk.keys = probes;
+    lk.done = [self] { self->stores(); };
+    svc->submit(std::move(lk));
   }
 
   void stores() {
@@ -82,10 +90,16 @@ struct AsyncStoreJob : std::enable_shared_from_this<AsyncStoreJob> {
     };
     for (size_t i = 0; i < to_store.size(); ++i) {
       const auto& [key, bytes] = to_store[i];
-      const auto targets = i < fresh
-                               ? svc->submit_store(node, key, bytes, one)
-                               : svc->submit_restore(node, key, bytes, one);
-      for (const auto& t : targets) home_bytes[t.node] += t.bytes;
+      ckptstore::StoreRequest st;
+      st.op = i < fresh ? ckptstore::StoreOp::kStore
+                        : ckptstore::StoreOp::kRestore;
+      st.tenant = tenant;
+      st.from = node;
+      st.keys = {key};
+      st.bytes = bytes;
+      st.done = one;
+      const auto reply = svc->submit(std::move(st));
+      for (const auto& t : reply.targets) home_bytes[t.node] += t.bytes;
     }
   }
 
@@ -106,10 +120,17 @@ struct AsyncStoreJob : std::enable_shared_from_this<AsyncStoreJob> {
     if (svc) {
       std::vector<ckptstore::Repository::ReclaimedChunk> dead;
       const u64 reclaimed =
-          repo.collect_garbage(shared->opts.keep_generations, &dead);
+          repo.collect_garbage(shared->opts.keep_generations, &dead,
+                               ckptstore::tenant_prefix(tenant));
       if (reclaimed > 0) {
         for (const auto& rc : dead) {
-          svc->submit_drop(node, rc.key, rc.bytes);
+          ckptstore::StoreRequest dr;
+          dr.op = ckptstore::StoreOp::kDrop;
+          dr.tenant = tenant;
+          dr.from = node;
+          dr.keys = {rc.key};
+          dr.bytes = rc.bytes;
+          svc->submit(std::move(dr));
           // One fragment per home under erasure, the full container under
           // replication — read before forget drops the entry.
           const u64 per_home = svc->placement().home_charge(rc.key);
@@ -654,9 +675,14 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     // plus the generation manifest. The scan still walks the full image;
     // the codec only runs over new chunk bytes.
     ckptstore::Repository& repo = shared_->repo_for(p_.node());
+    // Manifest/GC ownership is tenant-namespaced ("t<id>/<vpid>") so each
+    // tenant's retention runs independently while chunk content — keyed by
+    // content alone — still dedups across tenants.
     mtcp::EncodedDelta delta = mtcp::encode_incremental(
         img, shared_->opts.codec, shared_->opts.chunking_params(),
-        std::to_string(vpid_), round, repo);
+        ckptstore::tenant_owner(shared_->opts.tenant_id,
+                                std::to_string(vpid_)),
+        round, repo);
     ckptstore::ChunkStoreService* svc = shared_->store_service.get();
     // Striping new chunk containers into k+m fragments is checkpoint-path
     // CPU like compression, priced by the parity rows at kErasureBw.
@@ -702,6 +728,7 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
       job->k = &k;
       job->shared = shared_;
       job->svc = shared_->store_service;
+      job->tenant = shared_->opts.tenant_id;
       job->node = p_.node();
       job->path = path;
       if (job->svc) {
@@ -781,7 +808,13 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
         }
         DSIM_CHECK(probes.size() == delta.total_chunks);
         auto lk = std::make_shared<sim::CountLatch>(1);
-        svc->submit_lookups(p_.node(), probes, [lk] { lk->done_one(); });
+        ckptstore::StoreRequest req;
+        req.op = ckptstore::StoreOp::kLookup;
+        req.tenant = shared_->opts.tenant_id;
+        req.from = p_.node();
+        req.keys = std::move(probes);
+        req.done = [lk] { lk->done_one(); };
+        svc->submit(std::move(req));
         while (lk->remaining > 0) co_await lk->wq.wait(ctx.thread());
       }
       // Store phase: new chunks go through the service queue and land as
@@ -811,13 +844,16 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
             static_cast<int>(to_store.size()));
         for (size_t i = 0; i < to_store.size(); ++i) {
           const auto& [key, bytes] = to_store[i];
-          const auto targets =
-              i < fresh
-                  ? svc->submit_store(p_.node(), key, bytes,
-                                      [st] { st->done_one(); })
-                  : svc->submit_restore(p_.node(), key, bytes,
-                                        [st] { st->done_one(); });
-          for (const auto& t : targets) home_bytes[t.node] += t.bytes;
+          ckptstore::StoreRequest req;
+          req.op = i < fresh ? ckptstore::StoreOp::kStore
+                             : ckptstore::StoreOp::kRestore;
+          req.tenant = shared_->opts.tenant_id;
+          req.from = p_.node();
+          req.keys = {key};
+          req.bytes = bytes;
+          req.done = [st] { st->done_one(); };
+          const auto reply = svc->submit(std::move(req));
+          for (const auto& t : reply.targets) home_bytes[t.node] += t.bytes;
         }
         while (st->remaining > 0) co_await st->wq.wait(ctx.thread());
       }
@@ -847,15 +883,25 @@ Task<void> Hijack::write_image(sim::ProcessCtx& ctx, int round,
     // DropOwner-style metadata request through its queue); without the
     // service the trim lands on the GC-triggering node's device.
     if (svc) {
+      // Per-tenant retention: scope the GC pass to this tenant's owner
+      // namespace, so each tenant applies its own keep-last-N without
+      // touching the generations of tenants sharing the store.
       std::vector<ckptstore::Repository::ReclaimedChunk> dead;
-      const u64 reclaimed =
-          repo.collect_garbage(shared_->opts.keep_generations, &dead);
+      const u64 reclaimed = repo.collect_garbage(
+          shared_->opts.keep_generations, &dead,
+          ckptstore::tenant_prefix(shared_->opts.tenant_id));
       if (reclaimed > 0) {
         for (const auto& rc : dead) {
           // One Drop RPC per reclaimed chunk, routed to the shard that
           // owns the key; the trim lands on the placement homes that
           // actually hold the copies.
-          svc->submit_drop(p_.node(), rc.key, rc.bytes);
+          ckptstore::StoreRequest dr;
+          dr.op = ckptstore::StoreOp::kDrop;
+          dr.tenant = shared_->opts.tenant_id;
+          dr.from = p_.node();
+          dr.keys = {rc.key};
+          dr.bytes = rc.bytes;
+          svc->submit(std::move(dr));
           for (NodeId home : svc->placement().forget(rc.key)) {
             k.discard_storage(home, path, rc.bytes);
           }

@@ -4,6 +4,7 @@
 
 #include "ckptasync/pipeline.h"
 #include "ckptstore/manifest.h"
+#include "ckptstore/tenant.h"
 #include "cluster/failover.h"
 #include "cluster/membership.h"
 #include "core/coordinator.h"
@@ -16,7 +17,9 @@
 namespace dsim::core {
 
 DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
-    : k_(kernel), shared_(std::make_shared<DmtcpShared>()) {
+    : k_(kernel),
+      shared_(std::make_shared<DmtcpShared>()),
+      registry_(std::make_shared<SharedRegistry>()) {
   const std::string err = opts.validate();
   DSIM_CHECK_MSG(err.empty(), ("dmtcp_checkpoint: " + err).c_str());
   const std::string cluster_err = opts.validate_cluster(k_.num_nodes());
@@ -97,12 +100,82 @@ DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
         opts.compress_bw > 0 ? opts.compress_bw
                              : sim::params::kCompressBw);
   }
-  k_.programs().add(make_coordinator_program(shared_));
-  k_.programs().add(make_command_program(shared_));
-  k_.programs().add(make_restart_program(shared_));
-  auto shared = shared_;
-  k_.set_attach_factory([shared](sim::Process& p) {
-    return std::make_shared<Hijack>(p, shared);
+  finish_init();
+}
+
+DmtcpControl::DmtcpControl(DmtcpControl& host, DmtcpOptions opts)
+    : k_(host.k_),
+      shared_(std::make_shared<DmtcpShared>()),
+      registry_(host.registry_) {
+  const std::string err = opts.validate();
+  DSIM_CHECK_MSG(err.empty(), ("dmtcp_checkpoint: " + err).c_str());
+  const std::string cluster_err = opts.validate_cluster(k_.num_nodes());
+  DSIM_CHECK_MSG(cluster_err.empty(),
+                 ("dmtcp_checkpoint: " + cluster_err).c_str());
+  DSIM_CHECK_MSG(host.shared_->store_service != nullptr,
+                 "tenant attach: the host computation has no chunk-store "
+                 "service (--incremental --dedup-scope cluster)");
+  DSIM_CHECK_MSG(opts.incremental && opts.cluster_wide_store(),
+                 "tenant attach: the attaching computation must be "
+                 "--incremental with --dedup-scope cluster");
+  DSIM_CHECK_MSG(registry_->count(opts.coord_port) == 0,
+                 "tenant attach: coord_port already used by another "
+                 "computation on this kernel");
+  shared_->opts = opts;
+  shared_->owns_store = false;
+  shared_->store_service = host.shared_->store_service;
+  shared_->membership = host.shared_->membership;
+  shared_->failover = host.shared_->failover;
+  shared_->repos[DmtcpShared::kSharedRepo] =
+      shared_->store_service->repo_ptr();
+  if (opts.ckpt_async) {
+    sim::Kernel* kp = &k_;
+    shared_->async_pipeline = std::make_shared<ckptasync::CkptAsyncPipeline>(
+        [kp](NodeId node, double seconds, std::function<void()> done) {
+          kp->node(node).cpu().submit(seconds, std::move(done));
+        },
+        [kp] { return kp->loop().now(); },
+        opts.compress_bw > 0 ? opts.compress_bw : sim::params::kCompressBw);
+  }
+  finish_init();
+}
+
+void DmtcpControl::finish_init() {
+  const DmtcpOptions& opts = shared_->opts;
+  if (auto* svc = shared_->store_service.get()) {
+    // Register this computation's tenant policy with the (possibly shared)
+    // service: DRR weight, admission budget and retention overrides all key
+    // on the tenant id the managers stamp into their requests. The fair-
+    // queueing switch is service topology, so only the owner sets it.
+    ckptstore::TenantConfig tc;
+    tc.weight = opts.tenant_weight;
+    tc.inflight_budget_bytes = opts.tenant_budget_bytes;
+    tc.keep_generations = opts.keep_generations;
+    tc.hot_generations = opts.hot_generations;
+    svc->tenants().configure(opts.tenant_id, tc);
+    if (shared_->owns_store) svc->set_fair_queueing(opts.fair_queueing);
+  }
+  (*registry_)[opts.coord_port] = shared_;
+  auto reg = registry_;
+  SharedResolver resolve =
+      [reg](sim::Process& p) -> std::shared_ptr<DmtcpShared> {
+    if (reg->size() == 1) return reg->begin()->second;
+    const std::string port = p.env_or("DMTCP_COORD_PORT", "");
+    const auto it =
+        port.empty() ? reg->end()
+                     : reg->find(static_cast<u16>(std::stoi(port)));
+    DSIM_CHECK_MSG(it != reg->end(),
+                   "dmtcp process carries no DMTCP_COORD_PORT matching a "
+                   "computation on this kernel");
+    return it->second;
+  };
+  // ProgramRegistry::add overwrites by name and every control registers the
+  // same registry-backed factories, so re-registration is idempotent.
+  k_.programs().add(make_coordinator_program(resolve));
+  k_.programs().add(make_command_program(resolve));
+  k_.programs().add(make_restart_program(resolve));
+  k_.set_attach_factory([resolve](sim::Process& p) {
+    return std::make_shared<Hijack>(p, resolve(p));
   });
   coord_pid_ = k_.spawn_process(opts.coord_node, "dmtcp_coordinator", {},
                                 {{"DMTCP_COORD_PORT",
@@ -204,11 +277,17 @@ void DmtcpControl::set_store_shards(int new_shards) {
 }
 
 void DmtcpControl::kill_computation() {
+  const std::string port = std::to_string(shared_->opts.coord_port);
   for (Pid pid : k_.live_pids()) {
     sim::Process* p = k_.find_process(pid);
-    if (p && p->env_or("DMTCP_ENABLED", "") == "1") {
-      k_.kill_process(pid);
+    if (p == nullptr || p->env_or("DMTCP_ENABLED", "") != "1") continue;
+    // With several computations sharing the kernel, the kill is scoped to
+    // this computation: launch() tags every process with its coordinator
+    // port and children inherit the environment.
+    if (registry_->size() > 1 && p->env_or("DMTCP_COORD_PORT", "") != port) {
+      continue;
     }
+    k_.kill_process(pid);
   }
   // Let EOFs and handler teardown propagate.
   run_for(10 * timeconst::kMillisecond);
@@ -326,7 +405,12 @@ const RestartRun& DmtcpControl::restart(std::map<NodeId, NodeId> host_map) {
         "--expected",   std::to_string(plan.total_procs),
         "--hosts",      std::to_string(plan.hosts.size())};
     for (const auto& img : host.images) argv.push_back(img);
-    k_.spawn_process(target, "dmtcp_restart", std::move(argv), {});
+    // The port tag lets the restart process (and the user processes it
+    // forks, which inherit its environment) resolve to this computation
+    // when several share the kernel.
+    k_.spawn_process(target, "dmtcp_restart", std::move(argv),
+                     {{"DMTCP_COORD_NODE", std::to_string(plan.coord_node)},
+                      {"DMTCP_COORD_PORT", std::to_string(plan.coord_port)}});
   }
 
   const bool done = run_until(

@@ -24,6 +24,19 @@ class DmtcpControl {
  public:
   DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts);
 
+  /// Attach a second computation to `host`'s chunk-store service
+  /// (multi-tenant serving): this computation gets its own coordinator,
+  /// barrier membership, checkpoint rounds and restart plumbing, but its
+  /// managers issue Store/Lookup/Fetch/Drop against the host's service,
+  /// scoped to opts.tenant_id. Requires incremental + cluster store on both
+  /// sides and a coord_port distinct from every computation already sharing
+  /// the kernel (the port is how spawned dmtcp_* processes resolve their
+  /// computation). Service topology — shards, replicas, erasure profile,
+  /// fair queueing — comes from the owning computation; this tenant's
+  /// --tenant-weight/--tenant-budget-mb/--keep-generations register its
+  /// per-tenant policy with the shared service.
+  DmtcpControl(DmtcpControl& host, DmtcpOptions opts);
+
   /// dmtcp_checkpoint <program> — launch under checkpoint control.
   Pid launch(NodeId node, const std::string& prog,
              std::vector<std::string> argv = {},
@@ -67,8 +80,17 @@ class DmtcpControl {
   Pid coordinator_pid() const { return coord_pid_; }
 
  private:
+  /// Computations multiplexed on this kernel, keyed by coordinator port —
+  /// the spawn-time environment tag dmtcp_* processes resolve through.
+  using SharedRegistry = std::map<u16, std::shared_ptr<DmtcpShared>>;
+
+  /// Common ctor tail: tenant registration, program (re-)registration with
+  /// the registry-based resolver, coordinator spawn.
+  void finish_init();
+
   sim::Kernel& k_;
   std::shared_ptr<DmtcpShared> shared_;
+  std::shared_ptr<SharedRegistry> registry_;
   Pid coord_pid_ = kNoPid;
 };
 

@@ -64,11 +64,17 @@ enum class AsyncBackpressure : u8 {
   kSkip = 1,   // skip this round for the still-draining process
 };
 
-struct DmtcpOptions {
-  NodeId coord_node = 0;
-  u16 coord_port = 7779;
-  compress::CodecKind codec = compress::CodecKind::kGzipish;  // gzip default
-  bool forked_checkpointing = false;  // fork + copy-on-write writer (§5.3)
+/// Every knob of the incremental chunk store and its service stack —
+/// chunking, retention, dedup scope, redundancy (replicas/erasure/cold
+/// tier), service topology (shards/endpoints/batching), background daemons
+/// (scrub), the async drain pipeline, and multi-tenant policy (tenant id,
+/// DRR weight, admission budget, fair queueing) — in one struct with one
+/// validate(). These ~20 flags grew across PRs 3-8 with their interactions
+/// checked ad hoc or not at all; the single validate() is now the only
+/// place nonsense combinations are rejected, with a message naming the
+/// flags involved. DmtcpOptions inherits this, so every `opts.X` call site
+/// reads the same members it always did.
+struct StoreConfig {
   /// --ckpt-async: copy-on-write snapshot + background encode/store pipeline
   /// (src/ckptasync/). The app is charged only the fork/COW snapshot cost at
   /// checkpoint time; chunking, compression and store RPCs drain in the
@@ -81,12 +87,6 @@ struct DmtcpOptions {
   /// for the async pipeline's gzip-class baseline (0 = model default
   /// kCompressBw). Other codecs scale by compress::codec_cost_factor.
   double compress_bw = 0;
-  SyncMode sync = SyncMode::kNone;
-  std::string ckpt_dir = "/ckpt";     // "/shared/ckpt" → SAN/NFS (Fig. 5b)
-  SimTime interval = 0;               // --interval: periodic checkpoints
-
-  // Incremental content-addressed checkpoint store (src/ckptstore/).
-  bool incremental = false;     // --incremental: write chunk deltas only
   u64 chunk_bytes = 64 * 1024;  // --chunk-bytes: power-of-two chunk size
   int keep_generations = 2;     // --keep-generations: GC retention window
   /// --chunking: fixed-size spans or content-defined cutpoints.
@@ -109,8 +109,8 @@ struct DmtcpOptions {
   static constexpr i32 kStoreNodeCoord = -1;
   i32 store_node = kStoreNodeCoord;
   /// --store-shards: service endpoints the chunk store is sharded across.
-  /// Chunk keys rendezvous-hash to shards; each shard owns its own FIFO
-  /// request queue, so the lookup contention knee moves right with S. The
+  /// Chunk keys rendezvous-hash to shards; each shard owns its own request
+  /// queue, so the lookup contention knee moves right with S. The
   /// coordinator assigns shard s to node (store_node + s) mod nodes.
   int store_shards = 1;
   /// --lookup-batch: dedup-probe keys carried per lookup RPC. K > 1
@@ -137,6 +137,173 @@ struct DmtcpOptions {
   /// --hot-generations N: per owner, the newest N live generations count
   /// as hot; chunks referenced only by older ones are demotion candidates.
   int hot_generations = 0;
+  /// --tenant N: this computation's tenant id in a shared multi-tenant
+  /// chunk store. Manifest/GC ownership is namespaced per tenant
+  /// ("t<id>/<vpid>") while chunk content dedups across tenants; the
+  /// service's fair-queueing scheduler and admission control key on it.
+  int tenant_id = 0;
+  /// --tenant-weight W: this tenant's deficit-round-robin share of each
+  /// shard's index queue within its QoS band (relative to the other
+  /// tenants' weights; 1.0 = equal share).
+  double tenant_weight = 1.0;
+  /// --tenant-budget-mb N: admission-control budget — at most N MiB of
+  /// this tenant's stores in flight at the service; over-budget stores
+  /// queue at the tenant edge without occupying shard slots. 0 = unlimited.
+  u64 tenant_budget_bytes = 0;
+  /// --fair-queueing on|off: per-shard weighted DRR + QoS bands (on,
+  /// default) vs the single arrival FIFO per shard (off — the ablation arm
+  /// bench_tenants measures victim-tenant starvation against).
+  bool fair_queueing = true;
+
+  /// Validate every store knob and their interactions; returns "" when
+  /// consistent, else a human-readable rejection. `incremental`, `forked`
+  /// and `cluster_store` are the launch-level facts the combinations
+  /// depend on (the chunk-store service only exists for an incremental,
+  /// cluster-wide store).
+  std::string validate_store(bool incremental, bool forked,
+                             bool cluster_store) const {
+    if (keep_generations < 1) {
+      return "--keep-generations must keep at least one generation (got " +
+             std::to_string(keep_generations) + ")";
+    }
+    if (chunk_replicas < 1) {
+      return "--chunk-replicas must place at least one copy (got " +
+             std::to_string(chunk_replicas) + ")";
+    }
+    if (store_shards < 1) {
+      return "--store-shards must keep at least one service shard (got " +
+             std::to_string(store_shards) + ")";
+    }
+    if (lookup_batch < 1) {
+      return "--lookup-batch must carry at least one key per RPC (got " +
+             std::to_string(lookup_batch) + ")";
+    }
+    if (chunk_replicas > 1 && !cluster_store) {
+      return "--chunk-replicas > 1 requires a cluster-wide store "
+             "(--dedup-scope cluster or a /shared checkpoint directory): "
+             "replica placement is a property of the store service";
+    }
+    if ((store_shards > 1 || lookup_batch > 1 || scrub_chunks > 0 ||
+         store_node >= 0) &&
+        !cluster_store) {
+      return "--store-node/--store-shards/--lookup-batch/--scrub-chunks "
+             "configure the cluster-wide chunk-store service (--dedup-scope "
+             "cluster or a /shared checkpoint directory)";
+    }
+    if (!incremental &&
+        (chunk_replicas > 1 || store_node >= 0 || store_shards > 1 ||
+         lookup_batch > 1 || scrub_chunks > 0)) {
+      return "--chunk-replicas/--store-node/--store-shards/--lookup-batch/"
+             "--scrub-chunks require --incremental: the chunk-store service "
+             "only exists for the incremental store";
+    }
+    if (erasure_k != 0 || erasure_m != 0) {
+      if (erasure_k < 2 || erasure_m < 1 || erasure_k + erasure_m > 32) {
+        return "--erasure K,M must satisfy 2 <= K, 1 <= M, K+M <= 32 (got " +
+               std::to_string(erasure_k) + "," + std::to_string(erasure_m) +
+               ")";
+      }
+      if (chunk_replicas > 1) {
+        return "--erasure and --chunk-replicas > 1 are mutually exclusive: "
+               "pick one redundancy scheme";
+      }
+      if (!incremental || !cluster_store) {
+        return "--erasure requires --incremental and a cluster-wide store "
+               "(--dedup-scope cluster or a /shared checkpoint directory): "
+               "fragments are placed by the store service";
+      }
+    }
+    if (cold_erasure_k != 0 || cold_erasure_m != 0) {
+      if (erasure_k == 0) {
+        return "--cold-erasure requires --erasure: the cold tier re-stripes "
+               "erasure-coded chunks to a wider profile";
+      }
+      if (cold_erasure_k < 2 || cold_erasure_m < 1 ||
+          cold_erasure_k + cold_erasure_m > 32) {
+        return "--cold-erasure K,M must satisfy 2 <= K, 1 <= M, K+M <= 32 "
+               "(got " + std::to_string(cold_erasure_k) + "," +
+               std::to_string(cold_erasure_m) + ")";
+      }
+      if (hot_generations < 1) {
+        return "--cold-erasure requires --hot-generations >= 1 to define "
+               "which generations stay hot";
+      }
+    }
+    if (hot_generations > 0 && cold_erasure_k == 0) {
+      return "--hot-generations only matters with --cold-erasure: there is "
+             "no cold tier to demote to";
+    }
+    if (incremental && forked) {
+      return "--incremental and forked checkpointing are mutually "
+             "exclusive (use --ckpt-async for a background chunk drain)";
+    }
+    if (ckpt_async && !incremental) {
+      return "--ckpt-async requires --incremental: the background pipeline "
+             "streams chunk deltas";
+    }
+    if (ckpt_async && forked) {
+      return "--ckpt-async and forked checkpointing are mutually exclusive "
+             "(the async pipeline already snapshots copy-on-write)";
+    }
+    if (compress_bw < 0) {
+      return "--compress-bw must be non-negative";
+    }
+    if (tenant_id < 0) {
+      return "--tenant must be a non-negative tenant id (got " +
+             std::to_string(tenant_id) + ")";
+    }
+    if (tenant_weight <= 0) {
+      return "--tenant-weight must be positive (got " +
+             std::to_string(tenant_weight) + ")";
+    }
+    if ((tenant_id > 0 || tenant_weight != 1.0 || tenant_budget_bytes > 0) &&
+        !(incremental && cluster_store)) {
+      return "--tenant/--tenant-weight/--tenant-budget-mb configure the "
+             "shared multi-tenant chunk-store service and require "
+             "--incremental plus a cluster-wide store (--dedup-scope "
+             "cluster or a /shared checkpoint directory)";
+    }
+    return "";
+  }
+
+  /// Validate the store knobs that depend on the cluster shape, known only
+  /// at launch. Shard endpoints derive as (store_node + s) mod num_nodes,
+  /// so a valid base keeps every shard in range.
+  std::string validate_store_cluster(int num_nodes) const {
+    if (store_node >= num_nodes) {
+      return "--store-node " + std::to_string(store_node) +
+             " names a node outside the cluster (" +
+             std::to_string(num_nodes) + " node(s))";
+    }
+    if (erasure_k > 0 && erasure_k + erasure_m > num_nodes) {
+      return "--erasure " + std::to_string(erasure_k) + "," +
+             std::to_string(erasure_m) + " needs " +
+             std::to_string(erasure_k + erasure_m) +
+             " distinct fragment nodes but the cluster has " +
+             std::to_string(num_nodes);
+    }
+    if (cold_erasure_k > 0 && cold_erasure_k + cold_erasure_m > num_nodes) {
+      return "--cold-erasure " + std::to_string(cold_erasure_k) + "," +
+             std::to_string(cold_erasure_m) + " needs " +
+             std::to_string(cold_erasure_k + cold_erasure_m) +
+             " distinct fragment nodes but the cluster has " +
+             std::to_string(num_nodes);
+    }
+    return "";
+  }
+};
+
+struct DmtcpOptions : StoreConfig {
+  NodeId coord_node = 0;
+  u16 coord_port = 7779;
+  compress::CodecKind codec = compress::CodecKind::kGzipish;  // gzip default
+  bool forked_checkpointing = false;  // fork + copy-on-write writer (§5.3)
+  SyncMode sync = SyncMode::kNone;
+  std::string ckpt_dir = "/ckpt";     // "/shared/ckpt" → SAN/NFS (Fig. 5b)
+  SimTime interval = 0;               // --interval: periodic checkpoints
+
+  // Incremental content-addressed checkpoint store (src/ckptstore/).
+  bool incremental = false;     // --incremental: write chunk deltas only
   /// --heartbeat-interval: milliseconds between membership heartbeat
   /// probes from the coordinator's node to every other node. Together with
   /// --heartbeat-misses this sets the failure-detection latency
@@ -174,22 +341,6 @@ struct DmtcpOptions {
         !err.empty()) {
       return err;
     }
-    if (keep_generations < 1) {
-      return "--keep-generations must keep at least one generation (got " +
-             std::to_string(keep_generations) + ")";
-    }
-    if (chunk_replicas < 1) {
-      return "--chunk-replicas must place at least one copy (got " +
-             std::to_string(chunk_replicas) + ")";
-    }
-    if (store_shards < 1) {
-      return "--store-shards must keep at least one service shard (got " +
-             std::to_string(store_shards) + ")";
-    }
-    if (lookup_batch < 1) {
-      return "--lookup-batch must carry at least one key per RPC (got " +
-             std::to_string(lookup_batch) + ")";
-    }
     if (heartbeat_interval_ms < 1) {
       return "--heartbeat-interval must be at least 1 ms (got " +
              std::to_string(heartbeat_interval_ms) + ")";
@@ -198,111 +349,22 @@ struct DmtcpOptions {
       return "--heartbeat-misses must allow at least one miss (got " +
              std::to_string(heartbeat_misses) + ")";
     }
-    if (chunk_replicas > 1 && !cluster_wide_store()) {
-      return "--chunk-replicas > 1 requires a cluster-wide store "
-             "(--dedup-scope cluster or a /shared checkpoint directory): "
-             "replica placement is a property of the store service";
-    }
-    if ((store_shards > 1 || lookup_batch > 1 || scrub_chunks > 0 ||
-         store_node >= 0) &&
-        !cluster_wide_store()) {
-      return "--store-node/--store-shards/--lookup-batch/--scrub-chunks "
-             "configure the cluster-wide chunk-store service (--dedup-scope "
-             "cluster or a /shared checkpoint directory)";
-    }
-    if (!incremental &&
-        (chunk_replicas > 1 || store_node >= 0 || store_shards > 1 ||
-         lookup_batch > 1 || scrub_chunks > 0)) {
-      return "--chunk-replicas/--store-node/--store-shards/--lookup-batch/"
-             "--scrub-chunks require --incremental: the chunk-store service "
-             "only exists for the incremental store";
-    }
-    if (erasure_k != 0 || erasure_m != 0) {
-      if (erasure_k < 2 || erasure_m < 1 || erasure_k + erasure_m > 32) {
-        return "--erasure K,M must satisfy 2 <= K, 1 <= M, K+M <= 32 (got " +
-               std::to_string(erasure_k) + "," + std::to_string(erasure_m) +
-               ")";
-      }
-      if (chunk_replicas > 1) {
-        return "--erasure and --chunk-replicas > 1 are mutually exclusive: "
-               "pick one redundancy scheme";
-      }
-      if (!incremental || !cluster_wide_store()) {
-        return "--erasure requires --incremental and a cluster-wide store "
-               "(--dedup-scope cluster or a /shared checkpoint directory): "
-               "fragments are placed by the store service";
-      }
-    }
-    if (cold_erasure_k != 0 || cold_erasure_m != 0) {
-      if (erasure_k == 0) {
-        return "--cold-erasure requires --erasure: the cold tier re-stripes "
-               "erasure-coded chunks to a wider profile";
-      }
-      if (cold_erasure_k < 2 || cold_erasure_m < 1 ||
-          cold_erasure_k + cold_erasure_m > 32) {
-        return "--cold-erasure K,M must satisfy 2 <= K, 1 <= M, K+M <= 32 "
-               "(got " + std::to_string(cold_erasure_k) + "," +
-               std::to_string(cold_erasure_m) + ")";
-      }
-      if (hot_generations < 1) {
-        return "--cold-erasure requires --hot-generations >= 1 to define "
-               "which generations stay hot";
-      }
-    }
-    if (hot_generations > 0 && cold_erasure_k == 0) {
-      return "--hot-generations only matters with --cold-erasure: there is "
-             "no cold tier to demote to";
-    }
-    if (incremental && forked_checkpointing) {
-      return "--incremental and forked checkpointing are mutually "
-             "exclusive (use --ckpt-async for a background chunk drain)";
-    }
-    if (ckpt_async && !incremental) {
-      return "--ckpt-async requires --incremental: the background pipeline "
-             "streams chunk deltas";
-    }
-    if (ckpt_async && forked_checkpointing) {
-      return "--ckpt-async and forked checkpointing are mutually exclusive "
-             "(the async pipeline already snapshots copy-on-write)";
-    }
-    if (compress_bw < 0) {
-      return "--compress-bw must be non-negative";
-    }
-    return "";
+    return validate_store(incremental, forked_checkpointing,
+                          cluster_wide_store());
   }
 
   /// Validate the options that depend on the cluster shape, known only at
   /// launch. Called by DmtcpControl before any process spawns: an
   /// out-of-range service endpoint used to be caught (by an assert) only
   /// when the coordinator assigned endpoints, after charges could already
-  /// be misattributed. Shard endpoints derive as (store_node + s) mod
-  /// num_nodes, so a valid base keeps every shard in range.
+  /// be misattributed.
   std::string validate_cluster(int num_nodes) const {
-    if (store_node >= num_nodes) {
-      return "--store-node " + std::to_string(store_node) +
-             " names a node outside the cluster (" +
-             std::to_string(num_nodes) + " node(s))";
-    }
     if (coord_node < 0 || coord_node >= num_nodes) {
       return "coordinator node " + std::to_string(coord_node) +
              " is outside the cluster (" + std::to_string(num_nodes) +
              " node(s))";
     }
-    if (erasure_k > 0 && erasure_k + erasure_m > num_nodes) {
-      return "--erasure " + std::to_string(erasure_k) + "," +
-             std::to_string(erasure_m) + " needs " +
-             std::to_string(erasure_k + erasure_m) +
-             " distinct fragment nodes but the cluster has " +
-             std::to_string(num_nodes);
-    }
-    if (cold_erasure_k > 0 && cold_erasure_k + cold_erasure_m > num_nodes) {
-      return "--cold-erasure " + std::to_string(cold_erasure_k) + "," +
-             std::to_string(cold_erasure_m) + " needs " +
-             std::to_string(cold_erasure_k + cold_erasure_m) +
-             " distinct fragment nodes but the cluster has " +
-             std::to_string(num_nodes);
-    }
-    return "";
+    return validate_store_cluster(num_nodes);
   }
 
   /// Apply dmtcp_checkpoint command-line flags. Recognized flags are
@@ -438,6 +500,30 @@ struct DmtcpOptions {
         const long n = intval("--hot-generations");
         if (!err.empty()) return err;
         hot_generations = static_cast<int>(n);
+      } else if (a == "--tenant") {
+        const long n = intval("--tenant");
+        if (!err.empty()) return err;
+        tenant_id = static_cast<int>(n);
+      } else if (a == "--tenant-weight") {
+        const std::string v = strval("--tenant-weight");
+        if (!err.empty()) return err;
+        char* end = nullptr;
+        const double w = std::strtod(v.c_str(), &end);
+        if (end == v.c_str() || *end != '\0') {
+          return "--tenant-weight: invalid value '" + v + "'";
+        }
+        tenant_weight = w;
+      } else if (a == "--tenant-budget-mb") {
+        const long n = intval("--tenant-budget-mb");
+        if (!err.empty()) return err;
+        tenant_budget_bytes = static_cast<u64>(n) * 1024 * 1024;
+      } else if (a == "--fair-queueing") {
+        const std::string v = strval("--fair-queueing");
+        if (!err.empty()) return err;
+        if (v == "on") fair_queueing = true;
+        else if (v == "off") fair_queueing = false;
+        else
+          return "--fair-queueing: expected 'on' or 'off', got '" + v + "'";
       } else if (a == "--heartbeat-interval") {
         const long n = intval("--heartbeat-interval");
         if (!err.empty()) return err;

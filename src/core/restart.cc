@@ -7,6 +7,7 @@
 
 #include "ckptstore/erasure.h"
 #include "ckptstore/manifest.h"
+#include "ckptstore/tenant.h"
 #include "core/hijack.h"
 #include "core/msg_io.h"
 #include "core/protocol.h"
@@ -374,8 +375,19 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
       // any other host restarting concurrently)...
       auto fq = std::make_shared<sim::CountLatch>(
           static_cast<int>(fetch_chunks.size()));
+      // Fetches ride the restart QoS band: the fair-queueing scheduler
+      // serves them ahead of any tenant's checkpoint-storm traffic, so a
+      // restarting computation is never starved by a noisy neighbor.
       for (const auto& [key, b] : fetch_chunks) {
-        svc->submit_fetch(self.node(), key, b, [fq] { fq->done_one(); });
+        ckptstore::StoreRequest req;
+        req.op = ckptstore::StoreOp::kFetch;
+        req.tenant = shared->opts.tenant_id;
+        req.qos = ckptstore::QosClass::kRestart;
+        req.from = self.node();
+        req.keys = {key};
+        req.bytes = b;
+        req.done = [fq] { fq->done_one(); };
+        svc->submit(std::move(req));
       }
       while (fq->remaining > 0) co_await fq->wq.wait(ctx.thread());
       // ...and the bytes stream off the holding nodes' devices and over
@@ -468,10 +480,12 @@ Task<int> restart_main(sim::ProcessCtx& ctx,
 
 }  // namespace
 
-sim::Program make_restart_program(std::shared_ptr<DmtcpShared> shared) {
+sim::Program make_restart_program(SharedResolver resolve) {
   sim::Program p;
   p.name = "dmtcp_restart";
-  p.main = [shared](sim::ProcessCtx& ctx) { return restart_main(ctx, shared); };
+  p.main = [resolve](sim::ProcessCtx& ctx) {
+    return restart_main(ctx, resolve(ctx.process()));
+  };
   return p;
 }
 

@@ -15,6 +15,6 @@
 
 namespace dsim::core {
 
-sim::Program make_restart_program(std::shared_ptr<DmtcpShared> shared);
+sim::Program make_restart_program(SharedResolver resolve);
 
 }  // namespace dsim::core

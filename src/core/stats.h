@@ -6,6 +6,7 @@
 // "the durations between the global barriers", §5.3.)
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -22,6 +23,10 @@
 namespace dsim::ckptasync {
 class CkptAsyncPipeline;
 }  // namespace dsim::ckptasync
+
+namespace dsim::sim {
+class Process;
+}  // namespace dsim::sim
 
 namespace dsim::core {
 
@@ -59,6 +64,11 @@ struct CkptRound {
   u64 store_lookups = 0;           // dedup lookups served this round
   double lookup_wait_seconds = 0;  // cumulative submit -> served wait
   double max_lookup_wait_seconds = 0;
+  /// Admission control (multi-tenant): stores this round that exceeded the
+  /// tenant's in-flight byte budget and were held at the tenant edge, and
+  /// the cumulative held -> dispatched wait they accrued.
+  u64 store_admission_held = 0;
+  double store_admission_wait_seconds = 0;
 
   // RPC-fabric view of the round: service requests traverse the simulated
   // network (caller NIC -> endpoint message CPU -> return hop), so the
@@ -185,6 +195,12 @@ struct DmtcpShared {
   /// Lookup/Store/Fetch/Drop requests, and tracks chunk placement.
   /// Created by DmtcpControl; its endpoint is set by the coordinator.
   std::shared_ptr<ckptstore::ChunkStoreService> store_service;
+  /// False when this computation attached to another computation's store
+  /// service (multi-tenant serving): the owning computation's coordinator
+  /// assigns endpoints, snapshots service/RPC stat deltas and kicks the
+  /// background daemons; an attached tenant's coordinator must not, or
+  /// deltas would be double-consumed and daemons double-kicked.
+  bool owns_store = true;
   /// Cluster membership (heartbeat failure detection from the
   /// coordinator's node) and the shard-failover manager consuming its
   /// death events. Created alongside the store service; the membership's
@@ -207,5 +223,12 @@ struct DmtcpShared {
   /// wrapper until it completes, keeping the barrier membership stable).
   bool ckpt_active = false;
 };
+
+/// Resolves which computation's shared state a dmtcp_* process belongs to.
+/// With several computations multiplexed on one kernel (multi-tenant serving
+/// against a shared chunk store), resolution keys on the process's
+/// DMTCP_COORD_PORT environment; with a single computation it is constant.
+using SharedResolver =
+    std::function<std::shared_ptr<DmtcpShared>(sim::Process&)>;
 
 }  // namespace dsim::core

@@ -44,6 +44,28 @@ std::vector<ChunkKey> keys_range(u64 from, u64 to) {
   return out;
 }
 
+// Envelope wrappers: service ops flow through the typed StoreRequest API.
+void submit_lookups(ChunkStoreService& svc, NodeId from,
+                    std::vector<ChunkKey> keys, std::function<void()> done) {
+  ckptstore::StoreRequest req;
+  req.op = ckptstore::StoreOp::kLookup;
+  req.from = from;
+  req.keys = std::move(keys);
+  req.done = std::move(done);
+  svc.submit(std::move(req));
+}
+
+void submit_store(ChunkStoreService& svc, NodeId from, const ChunkKey& key,
+                  u64 bytes, std::function<void()> done) {
+  ckptstore::StoreRequest req;
+  req.op = ckptstore::StoreOp::kStore;
+  req.from = from;
+  req.keys = {key};
+  req.bytes = bytes;
+  req.done = std::move(done);
+  svc.submit(std::move(req));
+}
+
 // --- membership state machine ------------------------------------------------
 
 TEST(Membership, HeartbeatsDetectDeathThroughSuspicion) {
@@ -170,10 +192,10 @@ TEST(Failover, DeadEndpointShardRehomesAndReplaysInFlight) {
   ChunkStoreService svc(loop, net, /*replicas=*/2, /*shards=*/2);
   svc.set_endpoints({2, 3});
   bool looked_up = false, stored = false;
-  svc.submit_lookups(0, keys_range(0, 40), [&] { looked_up = true; });
+  submit_lookups(svc, 0, keys_range(0, 40), [&] { looked_up = true; });
   for (u64 i = 0; i < 40; ++i) {
     auto done = [&stored] { stored = true; };
-    svc.submit_store(0, key_of(i), 8 * 1024,
+    submit_store(svc, 0, key_of(i), 8 * 1024,
                      i + 1 == 40 ? std::function<void()>(done)
                                  : std::function<void()>([] {}));
   }
@@ -214,7 +236,7 @@ TEST(Failover, TransientDeathRevivedBeforeDeclarationReplaysParked) {
   m.start();
 
   bool done = false;
-  svc.submit_lookups(0, keys_range(0, 20), [&] { done = true; });
+  submit_lookups(svc, 0, keys_range(0, 20), [&] { done = true; });
   svc.fail_node(2);  // requests in flight park against the dead endpoint
   loop.run_until(loop.now() + 15 * timeconst::kMillisecond);
   EXPECT_FALSE(done);  // parked: one miss in, not yet declared
@@ -566,7 +588,7 @@ TEST(ScrubRepair, DegradedStragglersAreRoutedToTheHealDaemon) {
   ChunkStoreService svc(loop, net, /*replicas=*/2, /*shards=*/1);
   svc.set_endpoints({0});
   for (u64 i = 0; i < 60; ++i) {
-    svc.submit_store(0, key_of(i), 16 * 1024, [] {});
+    submit_store(svc, 0, key_of(i), 16 * 1024, [] {});
     // The scrub walk iterates the *repository* index; mirror the placement
     // entries there (pattern descriptors — scrub only CRC-checks real
     // containers, and this test is about the degraded routing).

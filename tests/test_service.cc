@@ -149,6 +149,51 @@ std::vector<ChunkKey> keys_range(u64 from, u64 to) {
   return out;
 }
 
+// Every service op flows through the typed StoreRequest envelope; these
+// wrap it so the queueing tests read as one-liners.
+void submit_lookups(ChunkStoreService& svc, NodeId from,
+                    std::vector<ChunkKey> keys, std::function<void()> done) {
+  ckptstore::StoreRequest req;
+  req.op = ckptstore::StoreOp::kLookup;
+  req.from = from;
+  req.keys = std::move(keys);
+  req.done = std::move(done);
+  svc.submit(std::move(req));
+}
+
+std::vector<ckptstore::StoreTarget> submit_store(
+    ChunkStoreService& svc, NodeId from, const ChunkKey& key, u64 bytes,
+    std::function<void()> done) {
+  ckptstore::StoreRequest req;
+  req.op = ckptstore::StoreOp::kStore;
+  req.from = from;
+  req.keys = {key};
+  req.bytes = bytes;
+  req.done = std::move(done);
+  return svc.submit(std::move(req)).targets;
+}
+
+void submit_fetch(ChunkStoreService& svc, NodeId from, const ChunkKey& key,
+                  u64 bytes, std::function<void()> done) {
+  ckptstore::StoreRequest req;
+  req.op = ckptstore::StoreOp::kFetch;
+  req.from = from;
+  req.keys = {key};
+  req.bytes = bytes;
+  req.done = std::move(done);
+  svc.submit(std::move(req));
+}
+
+void submit_drop(ChunkStoreService& svc, NodeId from, const ChunkKey& key,
+                 u64 bytes) {
+  ckptstore::StoreRequest req;
+  req.op = ckptstore::StoreOp::kDrop;
+  req.from = from;
+  req.keys = {key};
+  req.bytes = bytes;
+  svc.submit(std::move(req));
+}
+
 TEST(Service, LookupsAreServedFifoAndWaitsGrowWithQueueDepth) {
   sim::EventLoop loop;
   sim::Network net(loop, 4);
@@ -157,8 +202,8 @@ TEST(Service, LookupsAreServedFifoAndWaitsGrowWithQueueDepth) {
   // their order and the shard queue serves them FIFO, so batch B completes
   // after batch A and per-lookup waits grow with queue depth.
   SimTime done_a = 0, done_b = 0;
-  svc.submit_lookups(0, keys_range(0, 50), [&] { done_a = loop.now(); });
-  svc.submit_lookups(0, keys_range(50, 100), [&] { done_b = loop.now(); });
+  submit_lookups(svc, 0, keys_range(0, 50), [&] { done_a = loop.now(); });
+  submit_lookups(svc, 0, keys_range(50, 100), [&] { done_b = loop.now(); });
   loop.run();
   ASSERT_GT(done_a, 0);
   ASSERT_GT(done_b, 0);
@@ -178,7 +223,7 @@ TEST(Service, LookupsTraverseTheNetwork) {
   ChunkStoreService svc(loop, net, 1);
   svc.set_endpoints({2});
   bool done = false;
-  svc.submit_lookups(0, keys_range(0, 10), [&] { done = true; });
+  submit_lookups(svc, 0, keys_range(0, 10), [&] { done = true; });
   loop.run();
   ASSERT_TRUE(done);
   // Requests left node 0's NIC, responses left the endpoint's, and both
@@ -196,7 +241,7 @@ TEST(Service, BatchedLookupsAmortizeRpcsAndCompleteInSubmitOrder) {
   ChunkStoreService batched(loop, net, 1, /*shards=*/1, /*lookup_batch=*/8);
   std::vector<int> order;
   for (int wave = 0; wave < 5; ++wave) {
-    batched.submit_lookups(0, keys_range(100u * wave, 100u * wave + 24),
+    submit_lookups(batched, 0, keys_range(100u * wave, 100u * wave + 24),
                            [&order, wave] { order.push_back(wave); });
   }
   loop.run();
@@ -212,13 +257,13 @@ TEST(Service, StoreFetchDropAccountTheShardQueues) {
   sim::Network net(loop, 4);
   ChunkStoreService svc(loop, net, 2);
   bool stored = false, fetched = false;
-  const auto homes = svc.submit_store(0, key_of(1), 64 * 1024,
+  const auto homes = submit_store(svc, 0, key_of(1), 64 * 1024,
                                       [&] { stored = true; });
   EXPECT_EQ(homes.size(), 2u);
   // Dedup hit: the same key stores no new copies but still queues.
-  EXPECT_TRUE(svc.submit_store(0, key_of(1), 64 * 1024, [] {}).empty());
-  svc.submit_fetch(0, key_of(1), 64 * 1024, [&] { fetched = true; });
-  svc.submit_drop(0, key_of(9), 32 * 1024);
+  EXPECT_TRUE(submit_store(svc, 0, key_of(1), 64 * 1024, [] {}).empty());
+  submit_fetch(svc, 0, key_of(1), 64 * 1024, [&] { fetched = true; });
+  submit_drop(svc, 0, key_of(9), 32 * 1024);
   loop.run();
   EXPECT_TRUE(stored);
   EXPECT_TRUE(fetched);
@@ -261,7 +306,7 @@ TEST(Sharding, MoreShardsCutPerLookupWaits) {
     sim::EventLoop loop;
     sim::Network net(loop, 4);
     ChunkStoreService svc(loop, net, 1, shards);
-    svc.submit_lookups(0, keys_range(0, 200), [] {});
+    submit_lookups(svc, 0, keys_range(0, 200), [] {});
     loop.run();
     return svc.stats().avg_lookup_wait_seconds();
   };
@@ -290,7 +335,7 @@ TEST(Sharding, JitteredRpcCompletionStillPreservesPerShardFifo) {
   for (int wave = 0; wave < 5; ++wave) {
     std::vector<ChunkKey> batch(shard0.begin() + 12 * wave,
                                 shard0.begin() + 12 * (wave + 1));
-    svc.submit_lookups(1, batch, [&order, wave] { order.push_back(wave); });
+    submit_lookups(svc, 1, batch, [&order, wave] { order.push_back(wave); });
   }
   loop.run();
   // Jitter stretches individual transfers but cannot reorder a FIFO chain:
@@ -305,7 +350,7 @@ TEST(Rereplication, DaemonRestoresReplicaStrengthAfterNodeFailure) {
   sim::Network net(loop, 4);
   ChunkStoreService svc(loop, net, /*replicas=*/2, /*shards=*/2);
   for (u64 i = 0; i < 120; ++i) {
-    svc.submit_store(0, key_of(i), 16 * 1024, [] {});
+    submit_store(svc, 0, key_of(i), 16 * 1024, [] {});
   }
   loop.run();
   ASSERT_EQ(svc.placement().degraded_count(), 0u);
@@ -342,7 +387,7 @@ TEST(Rereplication, SingleReplicaStoresHaveNothingToHeal) {
   sim::Network net(loop, 4);
   ChunkStoreService svc(loop, net, /*replicas=*/1);
   for (u64 i = 0; i < 50; ++i) {
-    svc.submit_store(0, key_of(i), 4 * 1024, [] {});
+    submit_store(svc, 0, key_of(i), 4 * 1024, [] {});
   }
   loop.run();
   svc.fail_node(1);

@@ -4,16 +4,19 @@
 Two modes, both stdlib-only:
 
 Absolute checks (always run): after the CI bench-smoke job runs
-bench_incremental, bench_cdc, bench_service, bench_failover, bench_async
-and bench_erasure with tiny parameters, assert the emitted files are
+bench_incremental, bench_cdc, bench_service, bench_failover, bench_async,
+bench_erasure and bench_tenants with tiny parameters, assert the emitted
+files are
 well-formed and the headline numbers are in the physically sensible range
 (dedup actually happened, CDC actually resynchronized, the cluster store
 actually stored shared chunks once, the chunk-store service actually
 queued lookups and survived a replica failover, the mid-round endpoint
 kill re-homed and replayed with zero lost chunks, the shard rebalance
 moved ~1/new_shards of the bytes, the async pipeline took the pause off
-the critical path, and (k,m) erasure striping beat 2x replication on
-stored bytes while surviving m losses).
+the critical path, (k,m) erasure striping beat 2x replication on
+stored bytes while surviving m losses, and weighted fair queueing kept a
+victim tenant's p99 within 2x of solo beside a noisy neighbor while the
+FIFO ablation degraded it >= 4x).
 
 Baseline diff (--baseline DIR): compare a fresh run against the committed
 baseline JSON in DIR (bench/baselines/, generated with the same smoke
@@ -436,6 +439,66 @@ def check_erasure(path, data):
     return rc
 
 
+def check_tenants(path, data):
+    rc = 0
+    for key in ("config", "arms", "dedup", "restart", "admission", "summary"):
+        if key not in data:
+            rc |= fail(path, f"missing top-level key '{key}'")
+    if rc:
+        return rc
+    arms = {a["name"]: a for a in data["arms"]}
+    for name in ("solo", "fq", "nofq"):
+        if name not in arms:
+            rc |= fail(path, f"missing arm '{name}'")
+        elif arms[name]["victim_samples"] <= 0:
+            rc |= fail(path, f"arm '{name}' recorded no victim wait samples")
+    if rc:
+        return rc
+    s = data["summary"]
+    # Weighted fair queueing isolates the victim: its p99 beside the noisy
+    # neighbor stays within 2x of checkpointing alone.
+    if s["fq_ratio"] > 2.0:
+        rc |= fail(
+            path,
+            f"fq_ratio={s['fq_ratio']}: with fair queueing the victim's "
+            "p99 must stay within 2x of its solo baseline",
+        )
+    # The FIFO ablation genuinely degrades: >= 4x solo, and strictly worse
+    # than the fair-queued run (the policy, not the load, is the difference).
+    if s["nofq_ratio"] < 4.0:
+        rc |= fail(
+            path,
+            f"nofq_ratio={s['nofq_ratio']}: the FIFO ablation must degrade "
+            "the victim's p99 at least 4x over solo",
+        )
+    if s["nofq_p99_ms"] <= s["fq_p99_ms"]:
+        rc |= fail(
+            path,
+            f"nofq p99 {s['nofq_p99_ms']} <= fq p99 {s['fq_p99_ms']}: "
+            "disabling fair queueing must be strictly worse for the victim",
+        )
+    # Cross-tenant dedup: the identical shared-library ballast is stored
+    # once and attributed to the tenant pair.
+    if data["dedup"]["cross_tenant_shared_bytes"] <= 0:
+        rc |= fail(path, "no cross-tenant shared bytes were deduplicated")
+    # The victim's kill + restart beside the live neighbor loses nothing.
+    if data["restart"]["ok"] is not True:
+        rc |= fail(path, "victim restart beside the noisy neighbor failed")
+    if data["restart"]["lost_chunks"] != 0:
+        rc |= fail(
+            path,
+            f"victim restart lost {data['restart']['lost_chunks']} chunks "
+            "(must be 0)",
+        )
+    # Admission control engaged: the budgeted tenant had stores held at
+    # the edge, and the holds accumulated measurable wait.
+    if data["admission"]["held_requests"] <= 0:
+        rc |= fail(path, "admission control never held an over-budget store")
+    if data["admission"]["wait_seconds"] <= 0:
+        rc |= fail(path, "admission holds accumulated no wait")
+    return rc
+
+
 CHECKERS = {
     "BENCH_incremental.json": check_incremental,
     "BENCH_cdc.json": check_cdc,
@@ -443,6 +506,7 @@ CHECKERS = {
     "BENCH_failover.json": check_failover,
     "BENCH_async.json": check_async,
     "BENCH_erasure.json": check_erasure,
+    "BENCH_tenants.json": check_tenants,
 }
 
 # Baseline-gated metrics per file: name -> (extractor, good direction).
@@ -500,6 +564,16 @@ BASELINE_METRICS = {
         "restart_seconds_at_max_losses": (
             lambda d: d["summary"]["restart_seconds_at_max_losses"],
             "lower"),
+    },
+    "BENCH_tenants.json": {
+        "fq_p99_ms": (
+            lambda d: d["summary"]["fq_p99_ms"], "lower"),
+        "fq_ratio": (
+            lambda d: d["summary"]["fq_ratio"], "lower"),
+        "nofq_ratio": (
+            lambda d: d["summary"]["nofq_ratio"], "higher"),
+        "cross_tenant_shared_bytes": (
+            lambda d: d["summary"]["cross_tenant_shared_bytes"], "higher"),
     },
 }
 
