@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/model_params.h"
 #include "util/assertx.h"
 
@@ -15,6 +16,7 @@ struct CkptAsyncPipeline::Job {
   std::string key;
   NodeId node = 0;
   SimTime started = 0;
+  u64 drain_span = 0;  // async.drain span, open for the job's lifetime
   std::function<void()> on_complete;
   std::vector<std::unique_ptr<SegTracker>> trackers;
 };
@@ -101,15 +103,46 @@ void CkptAsyncPipeline::start(JobSpec spec) {
 
   // Stage chain: chunk CPU -> compress CPU -> store traffic -> finish. Each
   // stage runs as a background CPU job on the snapshot node, sharing cores
-  // with the app through the fluid-share model.
+  // with the app through the fluid-share model. With a tracer installed the
+  // chain emits standalone spans (async.drain covering the whole job, plus
+  // one span per stage); the tracer never charges sim time, so traced and
+  // untraced runs are event-for-event identical.
+  u64 chunk_span = 0;
+  if (tracer_ != nullptr) {
+    job->drain_span =
+        tracer_->begin("async.drain", obs::kServicePid, "async", job->started);
+    chunk_span =
+        tracer_->begin("async.chunk", obs::kServicePid, "async", job->started);
+  }
   const std::string key = job->key;
   auto store = std::move(spec.store);
   charge_(spec.node, spec.chunk_seconds,
           [this, key, node = spec.node, cs = spec.compress_seconds,
-           store = std::move(store)]() mutable {
-            charge_(node, cs, [this, key, store = std::move(store)]() mutable {
+           store = std::move(store), chunk_span]() mutable {
+            u64 compress_span = 0;
+            if (tracer_ != nullptr) {
+              const SimTime now = clock_();
+              tracer_->end(chunk_span, now);
+              compress_span =
+                  tracer_->begin("async.compress", obs::kServicePid, "async",
+                                 now);
+            }
+            charge_(node, cs, [this, key, store = std::move(store),
+                               compress_span]() mutable {
+              u64 store_span = 0;
+              if (tracer_ != nullptr) {
+                const SimTime now = clock_();
+                tracer_->end(compress_span, now);
+                if (store) {
+                  store_span = tracer_->begin("async.store", obs::kServicePid,
+                                              "async", now);
+                }
+              }
               if (store) {
-                store([this, key] { finish(key); });
+                store([this, key, store_span] {
+                  if (tracer_ != nullptr) tracer_->end(store_span, clock_());
+                  finish(key);
+                });
               } else {
                 finish(key);
               }
@@ -128,6 +161,7 @@ void CkptAsyncPipeline::finish(const std::string& key) {
       }
     }
   }
+  if (tracer_ != nullptr) tracer_->end(job->drain_span, clock_());
   const double drain = to_seconds(clock_() - job->started);
   stats_.jobs_completed++;
   stats_.drain_seconds += drain;

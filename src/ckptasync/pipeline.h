@@ -28,6 +28,10 @@
 #include "sim/process.h"
 #include "util/types.h"
 
+namespace dsim::obs {
+class Tracer;
+}  // namespace dsim::obs
+
 namespace dsim::ckptasync {
 
 /// Charge `core_seconds` of background CPU on `node`, calling `done` when
@@ -94,6 +98,11 @@ class CkptAsyncPipeline {
   void note_blocked(double seconds) { stats_.blocked_seconds += seconds; }
   void note_skip() { stats_.skipped_rounds++; }
 
+  /// Install the request tracer (--trace-out): each drain job emits
+  /// async.drain / async.chunk / async.compress / async.store spans. Null
+  /// (the default) disables instrumentation entirely.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   const PipelineStats& stats() const { return stats_; }
 
  private:
@@ -114,6 +123,7 @@ class CkptAsyncPipeline {
   CpuCharger charge_;
   Clock clock_;
   double compress_bw_;
+  obs::Tracer* tracer_ = nullptr;
   PipelineStats stats_;
   std::map<std::string, std::shared_ptr<Job>> active_;
 };

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "ckptstore/erasure.h"
+#include "obs/trace.h"
 #include "sim/model_params.h"
 #include "util/assertx.h"
 #include "util/crc32.h"
@@ -115,15 +116,30 @@ ChunkStoreService::make_request(NodeId from, u64 request_bytes,
 
 void ChunkStoreService::enqueue_index(std::shared_ptr<IndexQueue> q,
                                       TenantId tenant, QosClass qos, u64 cost,
-                                      std::function<void()> run) {
+                                      std::function<void()> run,
+                                      obs::TraceContext tctx) {
+  // The fq_wait span covers push -> dispatch: zero-length when fair
+  // queueing is off or the device is free, the DRR hold otherwise.
+  obs::Tracer* tr = loop_.tracer();
+  const u64 fq_span =
+      (tr && tctx.trace_id)
+          ? tr->begin("store.fq_wait", obs::kServicePid,
+                      q->dev->name() + "/queue", loop_.now(), tctx)
+          : 0;
+  auto wrapped = [this, fq_span, run = std::move(run)]() mutable {
+    if (fq_span) {
+      if (obs::Tracer* t = loop_.tracer()) t->end(fq_span, loop_.now());
+    }
+    run();
+  };
   if (!fair_queueing_) {
     // Arrival FIFO: hand the work straight to the device queue, exactly
     // the pre-multi-tenant discipline (the bench_tenants ablation arm).
-    run();
+    wrapped();
     return;
   }
   q->fq.push(qos, tenant, tenants_.weight(tenant),
-             FairQueue::Item{cost, std::move(run)});
+             FairQueue::Item{cost, std::move(wrapped)});
   pump_queue(std::move(q));
 }
 
@@ -151,14 +167,30 @@ void ChunkStoreService::pump_queue(std::shared_ptr<IndexQueue> q) {
 rpc::RpcFabric::Handler ChunkStoreService::index_serve(int shard,
                                                        bool is_read,
                                                        TenantId tenant,
-                                                       QosClass qos) {
+                                                       QosClass qos,
+                                                       obs::TraceContext tctx) {
   return [this, q = shards_[static_cast<size_t>(shard)].q, is_read, tenant,
-          qos](rpc::RpcFabric::Reply reply) {
-    enqueue_index(q, tenant, qos, params::kStoreLookupBytes,
-                  [q, is_read, reply = std::move(reply)]() mutable {
-                    q->dev->submit(params::kStoreLookupBytes,
-                                   std::move(reply), is_read);
-                  });
+          qos, tctx](rpc::RpcFabric::Reply reply) {
+    enqueue_index(
+        q, tenant, qos, params::kStoreLookupBytes,
+        [this, q, is_read, tctx, reply = std::move(reply)]() mutable {
+          obs::Tracer* tr = loop_.tracer();
+          const u64 sp = (tr && tctx.trace_id)
+                             ? tr->begin("store.index", obs::kServicePid,
+                                         q->dev->name(), loop_.now(), tctx)
+                             : 0;
+          q->dev->submit(params::kStoreLookupBytes,
+                         [this, sp, reply = std::move(reply)]() mutable {
+                           if (sp) {
+                             if (obs::Tracer* t = loop_.tracer()) {
+                               t->end(sp, loop_.now());
+                             }
+                           }
+                           reply();
+                         },
+                         is_read);
+        },
+        tctx);
   };
 }
 
@@ -168,7 +200,7 @@ void ChunkStoreService::shard_call(int shard,
       req->from, endpoint_of(shard), req->request_bytes, req->response_bytes,
       [req](rpc::RpcFabric::Reply reply) { req->serve(std::move(reply)); },
       [req] { req->done(); },
-      [this, shard, req] { park(shard, std::move(req)); });
+      [this, shard, req] { park(shard, std::move(req)); }, req->trace);
 }
 
 void ChunkStoreService::park(int shard, std::shared_ptr<ShardRequest> req) {
@@ -264,26 +296,54 @@ void ChunkStoreService::do_lookups(StoreRequest req) {
           params::kRpcHeaderBytes + n * params::kRpcLookupKeyBytes;
       sreq->response_bytes =
           params::kRpcHeaderBytes + n * params::kRpcLookupVerdictBytes;
-      sreq->serve = [this, q = shards_[s].q, n, tenant,
-                     qos](rpc::RpcFabric::Reply reply) {
+      // One trace per batch, rooted on the caller's "requests" lane and
+      // weighted by the batch's key count so stage stats stay per-key.
+      obs::Tracer* tr = loop_.tracer();
+      u64 root = 0;
+      obs::TraceContext tctx;
+      if (tr) {
+        tctx.trace_id = tr->new_trace();
+        tctx.tenant = tenant;
+        tctx.qos = static_cast<u8>(qos);
+        tctx.op = static_cast<u8>(StoreOp::kLookup);
+        root = tr->begin("store.lookup", req.from, "requests", submitted,
+                         tctx, n);
+        tctx.parent_span = root;
+        sreq->trace = tctx;
+      }
+      sreq->serve = [this, q = shards_[s].q, n, tenant, qos,
+                     tctx](rpc::RpcFabric::Reply reply) {
         // The batch's probes occupy the shard queue back to back; the
         // response leaves when the last probe is served.
-        enqueue_index(q, tenant, qos, n * params::kStoreLookupBytes,
-                      [q, n, reply = std::move(reply)]() mutable {
-                        q->dev->submit(n * params::kStoreLookupBytes,
-                                       std::move(reply), /*is_read=*/true);
-                      });
+        enqueue_index(
+            q, tenant, qos, n * params::kStoreLookupBytes,
+            [this, q, n, tctx, reply = std::move(reply)]() mutable {
+              obs::Tracer* t0 = loop_.tracer();
+              const u64 sp =
+                  (t0 && tctx.trace_id)
+                      ? t0->begin("store.index", obs::kServicePid,
+                                  q->dev->name(), loop_.now(), tctx, n)
+                      : 0;
+              q->dev->submit(n * params::kStoreLookupBytes,
+                             [this, sp, reply = std::move(reply)]() mutable {
+                               if (sp) {
+                                 if (obs::Tracer* t = loop_.tracer()) {
+                                   t->end(sp, loop_.now());
+                                 }
+                               }
+                               reply();
+                             },
+                             /*is_read=*/true);
+            },
+            tctx);
       };
-      sreq->done = [this, submitted, n, tenant, remaining, all_done] {
+      sreq->done = [this, submitted, n, tenant, root, remaining, all_done] {
         const double wait = to_seconds(loop_.now() - submitted);
-        stats_.lookup_wait_seconds += wait * static_cast<double>(n);
-        if (wait > stats_.max_lookup_wait_seconds) {
-          stats_.max_lookup_wait_seconds = wait;
+        stats_.lookup_wait.record_n(wait, n);
+        tenants_.stats(tenant).wait.record_n(wait, n);
+        if (root) {
+          if (obs::Tracer* t = loop_.tracer()) t->end(root, loop_.now());
         }
-        TenantStats& ts = tenants_.stats(tenant);
-        ts.lookup_wait_seconds += wait * static_cast<double>(n);
-        ts.wait_samples.insert(ts.wait_samples.end(),
-                               static_cast<size_t>(n), wait);
         if ((*remaining -= n) == 0 && *all_done) (*all_done)();
       };
       shard_call(static_cast<int>(s), std::move(sreq));
@@ -294,7 +354,8 @@ void ChunkStoreService::do_lookups(StoreRequest req) {
 void ChunkStoreService::queue_store(NodeId from, TenantId tenant,
                                     QosClass qos, const ChunkKey& key,
                                     u64 charged_bytes,
-                                    std::function<void()> done) {
+                                    std::function<void()> done,
+                                    obs::TraceContext tctx) {
   stats_.store_requests++;
   stats_.store_bytes += charged_bytes;
   const int s = shard_of(key);
@@ -311,10 +372,13 @@ void ChunkStoreService::queue_store(NodeId from, TenantId tenant,
           ? erasure::fragment_bytes(charged_bytes, erasure_.k) *
                 static_cast<u64>(erasure_.k + erasure_.m)
           : charged_bytes;
-  shard_call(s, make_request(from, params::kRpcHeaderBytes + wire_bytes,
-                             params::kRpcHeaderBytes,
-                             index_serve(s, /*is_read=*/false, tenant, qos),
-                             std::move(done)));
+  auto sreq =
+      make_request(from, params::kRpcHeaderBytes + wire_bytes,
+                   params::kRpcHeaderBytes,
+                   index_serve(s, /*is_read=*/false, tenant, qos, tctx),
+                   std::move(done));
+  sreq->trace = tctx;
+  shard_call(s, std::move(sreq));
 }
 
 std::vector<StoreTarget> ChunkStoreService::store_targets(
@@ -343,12 +407,30 @@ StoreReply ChunkStoreService::do_store(StoreRequest req) {
   TenantStats& ts = tenants_.stats(tenant);
   ts.stores++;
   ts.store_bytes += bytes;
+  // Root span per store, on the caller's request lane; closes at the shard
+  // ack. The admission hold (if any) becomes the first child stage.
+  obs::Tracer* tr = loop_.tracer();
+  u64 root = 0;
+  obs::TraceContext tctx = req.trace;
+  if (tr && tctx.trace_id == 0) {
+    tctx.trace_id = tr->new_trace();
+    tctx.tenant = tenant;
+    tctx.qos = static_cast<u8>(req.qos);
+    tctx.op = static_cast<u8>(req.op);
+  }
+  if (tr && tctx.parent_span == 0 && tctx.trace_id != 0) {
+    root = tr->begin("store.store", req.from, "requests", loop_.now(), tctx);
+    tctx.parent_span = root;
+  }
   // Store completions drain the tenant's edge queue (and budget).
-  auto done = [this, tenant, bytes,
+  auto done = [this, tenant, bytes, root,
                inner = std::move(req.done)]() mutable {
     TenantEdge& e = edges_[tenant];
     DSIM_CHECK(e.inflight_bytes >= bytes);
     e.inflight_bytes -= bytes;
+    if (root) {
+      if (obs::Tracer* t = loop_.tracer()) t->end(root, loop_.now());
+    }
     if (inner) inner();
     drain_edge(tenant);
   };
@@ -362,16 +444,24 @@ StoreReply ChunkStoreService::do_store(StoreRequest req) {
     reply.admitted = false;
     ts.admission_held++;
     stats_.admission_held_requests++;
+    const u64 adm_span =
+        (tr && tctx.trace_id)
+            ? tr->begin("store.admission", req.from, "admission",
+                        loop_.now(), tctx)
+            : 0;
     edge.held.push_back(TenantEdge::Held{
         bytes, loop_.now(),
-        [this, from = req.from, tenant, qos = req.qos, key, bytes,
-         done = std::move(done)]() mutable {
-          queue_store(from, tenant, qos, key, bytes, std::move(done));
+        [this, from = req.from, tenant, qos = req.qos, key, bytes, adm_span,
+         tctx, done = std::move(done)]() mutable {
+          if (adm_span) {
+            if (obs::Tracer* t = loop_.tracer()) t->end(adm_span, loop_.now());
+          }
+          queue_store(from, tenant, qos, key, bytes, std::move(done), tctx);
         }});
     return reply;
   }
   edge.inflight_bytes += bytes;
-  queue_store(req.from, tenant, req.qos, key, bytes, std::move(done));
+  queue_store(req.from, tenant, req.qos, key, bytes, std::move(done), tctx);
   return reply;
 }
 
@@ -387,8 +477,8 @@ void ChunkStoreService::drain_edge(TenantId tenant) {
     e.inflight_bytes += h.bytes;
     const double wait = to_seconds(loop_.now() - h.held_at);
     TenantStats& ts = tenants_.stats(tenant);
-    ts.admission_wait_seconds += wait;
-    stats_.admission_wait_seconds += wait;
+    ts.admission_wait.record(wait);
+    stats_.admission_wait.record(wait);
     auto dispatch = std::move(h.dispatch);
     e.held.pop_front();
     dispatch();
@@ -405,24 +495,41 @@ void ChunkStoreService::do_fetch(StoreRequest req) {
   const int s = shard_of(req.keys.front());
   const SimTime submitted = loop_.now();
   const TenantId tenant = req.tenant;
+  obs::Tracer* tr = loop_.tracer();
+  u64 root = 0;
+  obs::TraceContext tctx = req.trace;
+  if (tr) {
+    if (tctx.trace_id == 0) {
+      tctx.trace_id = tr->new_trace();
+      tctx.tenant = tenant;
+      tctx.qos = static_cast<u8>(req.qos);
+      tctx.op = static_cast<u8>(StoreOp::kFetch);
+    }
+    if (tctx.parent_span == 0) {
+      root = tr->begin("store.fetch", req.from, "requests", submitted, tctx);
+      tctx.parent_span = root;
+    }
+  }
   // Redirect-style fetch: the RPC carries metadata both ways, the shard
   // queue does an index probe to name the holder, and the bulk bytes
   // stream off the holding node (device + NIC, charged by the caller).
   // Fetch waits land in the tenant's sample stream alongside lookups —
   // together they are the victim-tenant latency bench_tenants gates.
-  auto done = [this, submitted, tenant,
+  auto done = [this, submitted, tenant, root,
                inner = std::move(req.done)]() mutable {
     const double wait = to_seconds(loop_.now() - submitted);
-    TenantStats& t = tenants_.stats(tenant);
-    t.lookup_wait_seconds += wait;
-    t.wait_samples.push_back(wait);
+    tenants_.stats(tenant).wait.record(wait);
+    if (root) {
+      if (obs::Tracer* t = loop_.tracer()) t->end(root, loop_.now());
+    }
     if (inner) inner();
   };
-  shard_call(s,
-             make_request(req.from, params::kRpcHeaderBytes,
-                          params::kRpcHeaderBytes,
-                          index_serve(s, /*is_read=*/true, tenant, req.qos),
-                          std::move(done)));
+  auto sreq = make_request(
+      req.from, params::kRpcHeaderBytes, params::kRpcHeaderBytes,
+      index_serve(s, /*is_read=*/true, tenant, req.qos, tctx),
+      std::move(done));
+  sreq->trace = tctx;
+  shard_call(s, std::move(sreq));
 }
 
 void ChunkStoreService::do_drop(StoreRequest req) {
@@ -434,21 +541,44 @@ void ChunkStoreService::do_drop(StoreRequest req) {
   const u64 bytes = req.bytes;
   const TenantId tenant = req.tenant;
   const QosClass qos = req.qos;
-  shard_call(
-      s, make_request(
-             req.from, params::kRpcHeaderBytes, params::kRpcHeaderBytes,
-             [this, q = shards_[static_cast<size_t>(s)].q, bytes, tenant,
-              qos](rpc::RpcFabric::Reply reply) {
-               // Trims run at the device's 64x discard speedup; their DRR
-               // cost is scaled to match so a GC burst is charged what it
-               // actually occupies.
-               enqueue_index(q, tenant, qos, std::max<u64>(bytes >> 6, 1),
-                             [q, bytes, reply = std::move(reply)]() mutable {
-                               q->dev->discard(bytes);
-                               reply();
-                             });
-             },
-             req.done ? std::move(req.done) : [] {}));
+  obs::Tracer* tr = loop_.tracer();
+  u64 root = 0;
+  obs::TraceContext tctx = req.trace;
+  if (tr) {
+    if (tctx.trace_id == 0) {
+      tctx.trace_id = tr->new_trace();
+      tctx.tenant = tenant;
+      tctx.qos = static_cast<u8>(qos);
+      tctx.op = static_cast<u8>(StoreOp::kDrop);
+    }
+    if (tctx.parent_span == 0) {
+      root = tr->begin("store.drop", req.from, "requests", loop_.now(), tctx);
+      tctx.parent_span = root;
+    }
+  }
+  auto done = [this, root, inner = std::move(req.done)]() mutable {
+    if (root) {
+      if (obs::Tracer* t = loop_.tracer()) t->end(root, loop_.now());
+    }
+    if (inner) inner();
+  };
+  auto sreq = make_request(
+      req.from, params::kRpcHeaderBytes, params::kRpcHeaderBytes,
+      [this, q = shards_[static_cast<size_t>(s)].q, bytes, tenant, qos,
+       tctx](rpc::RpcFabric::Reply reply) {
+        // Trims run at the device's 64x discard speedup; their DRR
+        // cost is scaled to match so a GC burst is charged what it
+        // actually occupies.
+        enqueue_index(q, tenant, qos, std::max<u64>(bytes >> 6, 1),
+                      [q, bytes, reply = std::move(reply)]() mutable {
+                        q->dev->discard(bytes);
+                        reply();
+                      },
+                      tctx);
+      },
+      std::move(done));
+  sreq->trace = tctx;
+  shard_call(s, std::move(sreq));
 }
 
 void ChunkStoreService::charge_node(NodeId node, u64 bytes, bool is_read,
@@ -587,7 +717,13 @@ void ChunkStoreService::heal_one(const ChunkKey& key) {
   stats_.heal_moved_bytes += bytes * (1 + 2 * fresh.size());
   heal_in_flight_++;
   const size_t s = static_cast<size_t>(shard_of(key));
-  auto finish = std::make_shared<std::function<void()>>([this] {
+  obs::Tracer* tr = loop_.tracer();
+  const u64 heal_span =
+      tr ? tr->begin("store.heal", obs::kServicePid, "heal", loop_.now()) : 0;
+  auto finish = std::make_shared<std::function<void()>>([this, heal_span] {
+    if (heal_span) {
+      if (obs::Tracer* t = loop_.tracer()) t->end(heal_span, loop_.now());
+    }
     heal_in_flight_--;
     pump_heal();
   });
@@ -646,7 +782,13 @@ void ChunkStoreService::heal_one_erasure(const ChunkKey& key) {
   const size_t s = static_cast<size_t>(shard_of(key));
   const NodeId rebuilder = fresh.front();
   const double decode_cpu = erasure::decode_seconds(placement_.bytes_of(key));
-  auto finish = std::make_shared<std::function<void()>>([this] {
+  obs::Tracer* tr = loop_.tracer();
+  const u64 heal_span =
+      tr ? tr->begin("store.heal", obs::kServicePid, "heal", loop_.now()) : 0;
+  auto finish = std::make_shared<std::function<void()>>([this, heal_span] {
+    if (heal_span) {
+      if (obs::Tracer* t = loop_.tracer()) t->end(heal_span, loop_.now());
+    }
     heal_in_flight_--;
     pump_heal();
   });
@@ -694,7 +836,22 @@ void ChunkStoreService::heal_one_erasure(const ChunkKey& key) {
                           [this, rebuilder, gathered, decode_cpu,
                            decode_done] {
                             if (--*gathered > 0) return;
-                            charge_cpu(rebuilder, decode_cpu, decode_done);
+                            obs::Tracer* t0 = loop_.tracer();
+                            const u64 dec =
+                                t0 ? t0->begin("store.erasure_decode",
+                                               obs::kServicePid, "heal",
+                                               loop_.now())
+                                   : 0;
+                            charge_cpu(rebuilder, decode_cpu,
+                                       [this, dec, decode_done] {
+                                         if (dec) {
+                                           if (obs::Tracer* t =
+                                                   loop_.tracer()) {
+                                             t->end(dec, loop_.now());
+                                           }
+                                         }
+                                         decode_done();
+                                       });
                           });
                     });
               }

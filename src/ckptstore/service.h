@@ -98,18 +98,16 @@ struct ServiceStats {
   u64 store_bytes = 0;  // accepted chunk bytes (one copy; replicas multiply
                         // on the node devices, not the shard queues)
   u64 fetch_bytes = 0;
-  /// Cumulative submit -> completion wait across lookups (now including the
-  /// RPC's network hops and endpoint message CPU); the per-lookup average
-  /// is the headline contention metric.
-  double lookup_wait_seconds = 0;
-  /// Max single-lookup wait since construction or the last
-  /// take_max_lookup_wait() (the coordinator drains it per round).
-  double max_lookup_wait_seconds = 0;
+  /// Submit -> completion wait of every lookup/fetch key (one histogram
+  /// sample per key, including the RPC's network hops and endpoint message
+  /// CPU). mean() is the headline contention metric; the per-round max
+  /// drains through take_window_max() (the coordinator, each round).
+  obs::Histogram lookup_wait;
   // Admission control: stores held at their tenant edge because the
-  // tenant's in-flight byte budget was exhausted, and the cumulative time
-  // they waited there before dispatching.
+  // tenant's in-flight byte budget was exhausted, and the per-store hold
+  // before dispatching.
   u64 admission_held_requests = 0;
-  double admission_wait_seconds = 0;
+  obs::Histogram admission_wait;
   // Re-replication daemon: chunks restored to full replica strength after a
   // node failure, and the copy bytes written doing it.
   u64 rereplicated_chunks = 0;
@@ -156,11 +154,7 @@ struct ServiceStats {
   // profile, and the logical bytes they carry.
   u64 demoted_chunks = 0;
   u64 demoted_bytes = 0;
-  double avg_lookup_wait_seconds() const {
-    return lookup_requests == 0 ? 0.0
-                                : lookup_wait_seconds /
-                                      static_cast<double>(lookup_requests);
-  }
+  double avg_lookup_wait_seconds() const { return lookup_wait.mean(); }
 };
 
 class ChunkStoreService {
@@ -372,11 +366,7 @@ class ChunkStoreService {
   /// Return the max single-lookup wait observed since the last call and
   /// reset it, so each CkptRound records its own round's max rather than
   /// the run-global one.
-  double take_max_lookup_wait() {
-    const double m = stats_.max_lookup_wait_seconds;
-    stats_.max_lookup_wait_seconds = 0;
-    return m;
-  }
+  double take_max_lookup_wait() { return stats_.lookup_wait.take_window_max(); }
 
  private:
   /// One service request, held by shared_ptr so a failed attempt can park
@@ -388,6 +378,10 @@ class ChunkStoreService {
     u64 response_bytes = 0;
     rpc::RpcFabric::Handler serve;
     std::function<void()> done;
+    /// Trace this attempt belongs to (zero trace_id when untraced). Rides
+    /// the envelope so a park/replay re-issues under the same trace — which
+    /// the tracer is told to exempt from span tiling.
+    obs::TraceContext trace;
   };
   /// One shard's index queue: the device that prices metadata work plus
   /// the fair-queueing scheduler in front of it. Dispatch discipline: an
@@ -436,7 +430,8 @@ class ChunkStoreService {
   /// dispatches it. Bypasses the FairQueue entirely when fair queueing is
   /// off — `run` executes immediately, the PR-3 arrival-FIFO behavior.
   void enqueue_index(std::shared_ptr<IndexQueue> q, TenantId tenant,
-                     QosClass qos, u64 cost, std::function<void()> run);
+                     QosClass qos, u64 cost, std::function<void()> run,
+                     obs::TraceContext tctx = {});
   /// Dispatch queued items while the shard device is free; re-arm at
   /// busy_until() otherwise. One item dispatches per device-free instant,
   /// so late-arriving restart-band work can still overtake a queued
@@ -445,7 +440,8 @@ class ChunkStoreService {
   /// Serve handler for a single index probe/insert on the shard's queue,
   /// routed through the fair-queueing scheduler under (tenant, qos).
   rpc::RpcFabric::Handler index_serve(int shard, bool is_read,
-                                      TenantId tenant, QosClass qos);
+                                      TenantId tenant, QosClass qos,
+                                      obs::TraceContext tctx = {});
   // The envelope's per-op bodies.
   void do_lookups(StoreRequest req);
   StoreReply do_store(StoreRequest req);
@@ -455,7 +451,7 @@ class ChunkStoreService {
   /// index insert RPC.
   void queue_store(NodeId from, TenantId tenant, QosClass qos,
                    const ChunkKey& key, u64 charged_bytes,
-                   std::function<void()> done);
+                   std::function<void()> done, obs::TraceContext tctx = {});
   /// Dispatch held stores whose tenant budget has room again (called from
   /// every store completion).
   void drain_edge(TenantId tenant);

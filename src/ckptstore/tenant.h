@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "ckptstore/chunk.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/types.h"
 
 namespace dsim::ckptstore {
@@ -86,6 +88,10 @@ struct StoreRequest {
   std::vector<ChunkKey> keys;
   u64 bytes = 0;
   std::function<void()> done;
+  /// Filled by the service when tracing is enabled: callers may pre-seed
+  /// it to group their requests under an existing trace, but normally the
+  /// service opens one root span per request/batch itself.
+  obs::TraceContext trace;
 };
 
 /// The synchronous half of the answer. `targets` (Store/Restore only) are
@@ -107,19 +113,20 @@ struct TenantConfig {
   int hot_generations = 0;        // per-tenant cold-demotion age; 0 = global
 };
 
-/// Per-tenant request statistics, cumulative. `wait_samples` records the
-/// submit -> completion wait of every lookup/fetch key in completion order,
-/// so a bench can window a phase and read its victim-tenant p99 directly.
+/// Per-tenant request statistics, cumulative. `wait` records the submit ->
+/// completion wait of every lookup/fetch key (one histogram sample per
+/// key); a bench windows a phase by snapshotting the histogram before and
+/// reading `delta_since(before).quantile(0.99)` after — replacing the old
+/// unbounded `wait_samples` vector + exact-sort-at-read-time pattern.
 struct TenantStats {
   u64 lookups = 0;
   u64 stores = 0;
   u64 fetches = 0;
   u64 drops = 0;
   u64 store_bytes = 0;
-  double lookup_wait_seconds = 0;  // cumulative lookup+fetch wait
-  u64 admission_held = 0;          // stores held at the tenant edge
-  double admission_wait_seconds = 0;
-  std::vector<double> wait_samples;
+  u64 admission_held = 0;  // stores held at the tenant edge
+  obs::Histogram wait;     // per-key lookup+fetch wait (seconds)
+  obs::Histogram admission_wait;  // per-store hold at the tenant edge
 };
 
 /// Config + stats, keyed by tenant id. Unconfigured tenants read the

@@ -1,5 +1,6 @@
 #include "cluster/membership.h"
 
+#include "obs/trace.h"
 #include "sim/model_params.h"
 #include "util/assertx.h"
 #include "util/logging.h"
@@ -44,11 +45,25 @@ void Membership::tick() {
     if (n == cfg_.monitor_node) continue;
     if (states_[static_cast<size_t>(n)] == NodeState::kDead) continue;
     stats_.heartbeats_sent++;
+    // Standalone probe span (trace_id 0): covers send -> ack/miss, so the
+    // trace shows detection-latency gaps as missing heartbeat lanes.
+    u64 span = 0;
+    if (obs::Tracer* tr = loop_.tracer()) {
+      span = tr->begin("cluster.heartbeat", cfg_.monitor_node, "heartbeat",
+                       loop_.now());
+    }
     fabric_.call(
         cfg_.monitor_node, n, params::kHeartbeatBytes,
         params::kHeartbeatBytes,
         [](rpc::RpcFabric::Reply reply) { reply(); },
-        [this, n] { on_ack(n); }, [this, n] { on_miss(n); });
+        [this, n, span] {
+          if (obs::Tracer* tr = loop_.tracer()) tr->end(span, loop_.now());
+          on_ack(n);
+        },
+        [this, n, span] {
+          if (obs::Tracer* tr = loop_.tracer()) tr->end(span, loop_.now());
+          on_miss(n);
+        });
   }
 }
 

@@ -1,5 +1,6 @@
 #include "core/coordinator.h"
 
+#include <cmath>
 #include <map>
 #include <set>
 #include <vector>
@@ -55,6 +56,9 @@ struct CoordState {
   rpc::RpcStats rpc_last;
   // Async-pipeline stats at the previous round's close (same delta idiom).
   ckptasync::PipelineStats pipe_last;
+  // Tracer per-stage totals at the previous round's close: the delta feeds
+  // the round's "queue.*" stage_breakdown entries (tracing enabled only).
+  std::map<std::string, obs::Tracer::StageStat> stage_last;
 };
 
 void refresh_discovery_epoch(CoordState* st) {
@@ -208,13 +212,16 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
     const rpc::RpcStats& rs = svc->fabric().stats();
     auto& r = st->shared->stats.rounds.back();
     r.store_lookups = ss.lookup_requests - st->svc_last.lookup_requests;
-    r.lookup_wait_seconds =
-        ss.lookup_wait_seconds - st->svc_last.lookup_wait_seconds;
+    // The round's full wait distribution is the histogram's bucket delta;
+    // its sum() is exactly the old running-sum delta (same subtraction),
+    // so the scalar fields the bench JSON emits are unchanged.
+    r.lookup_wait_hist = ss.lookup_wait.delta_since(st->svc_last.lookup_wait);
+    r.lookup_wait_seconds = r.lookup_wait_hist.sum();
     r.max_lookup_wait_seconds = svc->take_max_lookup_wait();
     r.store_admission_held =
         ss.admission_held_requests - st->svc_last.admission_held_requests;
     r.store_admission_wait_seconds =
-        ss.admission_wait_seconds - st->svc_last.admission_wait_seconds;
+        ss.admission_wait.sum() - st->svc_last.admission_wait.sum();
     r.store_rpcs = rs.calls - st->rpc_last.calls;
     r.store_rpc_net_bytes = rs.net_bytes - st->rpc_last.net_bytes;
     r.store_rpc_net_wait_seconds =
@@ -287,6 +294,35 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
     // (a round's own jobs usually finish after its refill barrier).
     r.async_drain_seconds = ps.drain_seconds - st->pipe_last.drain_seconds;
     st->pipe_last = ps;
+  }
+  {
+    // Critical-path attribution: the barrier stages decompose the round's
+    // pause exactly (they are adjacent intervals of one timeline, so their
+    // sum IS the total — asserted to catch any future re-stamping bug);
+    // with tracing on, the per-stage queue-wait deltas ride along.
+    auto& r = st->shared->stats.rounds.back();
+    r.stage_breakdown["barrier.suspend"] = r.suspend_seconds();
+    r.stage_breakdown["barrier.elect"] = r.elect_seconds();
+    r.stage_breakdown["barrier.drain"] = r.drain_seconds();
+    r.stage_breakdown["barrier.write"] = r.write_seconds();
+    r.stage_breakdown["barrier.refill"] = r.refill_seconds();
+    const double barrier_sum =
+        r.stage_breakdown["barrier.suspend"] +
+        r.stage_breakdown["barrier.elect"] +
+        r.stage_breakdown["barrier.drain"] +
+        r.stage_breakdown["barrier.write"] +
+        r.stage_breakdown["barrier.refill"];
+    DSIM_CHECK_MSG(std::fabs(barrier_sum - r.total_seconds()) <= 1e-9,
+                   "round barrier stages must sum to the measured total");
+    if (auto* tr = st->shared->tracer.get()) {
+      for (const auto& [name, stat] : tr->stages()) {
+        const auto it = st->stage_last.find(name);
+        const double prev = it == st->stage_last.end() ? 0.0 : it->second.seconds;
+        const double delta = stat.seconds - prev;
+        if (delta > 0) r.stage_breakdown["queue." + name] = delta;
+      }
+      st->stage_last = tr->stages();
+    }
   }
   RestartPlan plan;
   plan.coord_node = st->shared->opts.coord_node;

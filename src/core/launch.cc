@@ -10,11 +10,34 @@
 #include "core/coordinator.h"
 #include "core/hijack.h"
 #include "core/restart.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/model_params.h"
 #include "util/assertx.h"
 #include "util/logging.h"
 
 namespace dsim::core {
+
+namespace {
+
+/// Log-clock bridge: set_log_clock takes a plain function pointer, so the
+/// loop reference lives in a file-static. Every computation on one process
+/// shares one virtual clock anyway (kernels are not mixed across tests
+/// within a single log line's lifetime).
+sim::EventLoop* g_log_loop = nullptr;
+SimTime log_now() { return g_log_loop != nullptr ? g_log_loop->now() : 0; }
+
+LogLevel parse_log_level(const std::string& s, LogLevel fallback) {
+  if (s == "trace") return LogLevel::kTrace;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return fallback;
+}
+
+}  // namespace
 
 DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
     : k_(kernel),
@@ -26,6 +49,12 @@ DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
   DSIM_CHECK_MSG(cluster_err.empty(),
                  ("dmtcp_checkpoint: " + cluster_err).c_str());
   shared_->opts = opts;
+  if (!opts.trace_out.empty() || !opts.metrics_out.empty()) {
+    // Observability is armed by either export flag; the tracer installs on
+    // the kernel's event loop, where every instrumentation site finds it.
+    shared_->tracer = std::make_shared<obs::Tracer>();
+    k_.loop().set_tracer(shared_->tracer.get());
+  }
   if (opts.incremental && shared_->cluster_wide_store()) {
     // The cluster-wide store is a *service* reached over the RPC fabric,
     // not a free index: it owns the shared repository (repos[kSharedRepo]
@@ -126,6 +155,14 @@ DmtcpControl::DmtcpControl(DmtcpControl& host, DmtcpOptions opts)
   shared_->store_service = host.shared_->store_service;
   shared_->membership = host.shared_->membership;
   shared_->failover = host.shared_->failover;
+  // Tenants share the host's tracer (one loop, one tracer): an attached
+  // computation's requests land on the same trace timeline.
+  shared_->tracer = host.shared_->tracer;
+  if (!shared_->tracer &&
+      (!opts.trace_out.empty() || !opts.metrics_out.empty())) {
+    shared_->tracer = std::make_shared<obs::Tracer>();
+    k_.loop().set_tracer(shared_->tracer.get());
+  }
   shared_->repos[DmtcpShared::kSharedRepo] =
       shared_->store_service->repo_ptr();
   if (opts.ckpt_async) {
@@ -142,6 +179,17 @@ DmtcpControl::DmtcpControl(DmtcpControl& host, DmtcpOptions opts)
 
 void DmtcpControl::finish_init() {
   const DmtcpOptions& opts = shared_->opts;
+  // Stamp log lines with the virtual clock and apply --log-level. Both are
+  // process-global (one kernel per test/bench process), so re-applying per
+  // computation is idempotent.
+  g_log_loop = &k_.loop();
+  set_log_clock(&log_now);
+  if (!opts.log_level.empty()) {
+    set_log_level(parse_log_level(opts.log_level, log_level()));
+  }
+  if (shared_->tracer && shared_->async_pipeline) {
+    shared_->async_pipeline->set_tracer(shared_->tracer.get());
+  }
   if (auto* svc = shared_->store_service.get()) {
     // Register this computation's tenant policy with the (possibly shared)
     // service: DRR weight, admission budget and retention overrides all key
@@ -180,6 +228,59 @@ void DmtcpControl::finish_init() {
   coord_pid_ = k_.spawn_process(opts.coord_node, "dmtcp_coordinator", {},
                                 {{"DMTCP_COORD_PORT",
                                   std::to_string(opts.coord_port)}});
+}
+
+DmtcpControl::~DmtcpControl() { flush_observability(); }
+
+void DmtcpControl::flush_observability() {
+  const DmtcpOptions& opts = shared_->opts;
+  obs::Tracer* tr = shared_->tracer.get();
+  if (tr == nullptr) return;
+  if (!opts.trace_out.empty()) {
+    if (!tr->write_chrome_json(opts.trace_out)) {
+      LOG_WARN("trace export to %s failed", opts.trace_out.c_str());
+    }
+  }
+  if (opts.metrics_out.empty()) return;
+  obs::MetricsRegistry reg;
+  if (const auto* svc = shared_->store_service.get()) {
+    const ckptstore::ServiceStats& ss = svc->stats();
+    reg.counter("store.lookup_requests", ss.lookup_requests);
+    reg.counter("store.lookup_batches", ss.lookup_batches);
+    reg.counter("store.store_requests", ss.store_requests);
+    reg.counter("store.fetch_requests", ss.fetch_requests);
+    reg.counter("store.drop_requests", ss.drop_requests);
+    reg.counter("store.store_bytes", ss.store_bytes);
+    reg.counter("store.admission_held_requests", ss.admission_held_requests);
+    reg.counter("store.parked_requests", ss.parked_requests);
+    reg.counter("store.replayed_requests", ss.replayed_requests);
+    reg.histogram("store.lookup_wait", ss.lookup_wait);
+    reg.histogram("store.admission_wait", ss.admission_wait);
+    for (const auto& [tenant, ts] : svc->tenants().all_stats()) {
+      const std::string p = "tenant." + std::to_string(tenant) + ".";
+      reg.counter(p + "lookups", ts.lookups);
+      reg.counter(p + "stores", ts.stores);
+      reg.counter(p + "fetches", ts.fetches);
+      reg.counter(p + "admission_held", ts.admission_held);
+      reg.histogram(p + "wait", ts.wait);
+      reg.histogram(p + "admission_wait", ts.admission_wait);
+    }
+    const rpc::RpcStats& rs = svc->fabric().stats();
+    reg.counter("rpc.calls", rs.calls);
+    reg.counter("rpc.net_bytes", rs.net_bytes);
+    reg.counter("rpc.failed_calls", rs.failed_calls);
+    reg.gauge("rpc.net_wait_seconds", rs.net_wait_seconds);
+    reg.gauge("rpc.endpoint_cpu_seconds", rs.endpoint_cpu_seconds);
+  }
+  reg.counter("trace.spans", static_cast<u64>(tr->spans().size()));
+  reg.counter("trace.open_spans", tr->open_spans());
+  reg.counter("trace.tiling_violations", tr->tiling_violations());
+  for (const auto& [name, hist] : tr->stage_histograms()) {
+    reg.histogram("stage." + name, hist);
+  }
+  if (!reg.write(opts.metrics_out)) {
+    LOG_WARN("metrics export to %s failed", opts.metrics_out.c_str());
+  }
 }
 
 Pid DmtcpControl::launch(NodeId node, const std::string& prog,

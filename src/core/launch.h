@@ -37,6 +37,17 @@ class DmtcpControl {
   /// per-tenant policy with the shared service.
   DmtcpControl(DmtcpControl& host, DmtcpOptions opts);
 
+  /// Flushes --trace-out / --metrics-out if armed (also runs at
+  /// destruction, so a bench that just falls off the end still exports).
+  ~DmtcpControl();
+
+  /// Export the observability artifacts now: the Chrome trace_event JSON
+  /// to opts.trace_out and the metrics registry (service/tenant/RPC/tracer
+  /// counters, gauges and histograms) to opts.metrics_out. No-op when
+  /// neither flag is set. Idempotent — later calls overwrite with the
+  /// then-current totals.
+  void flush_observability();
+
   /// dmtcp_checkpoint <program> — launch under checkpoint control.
   Pid launch(NodeId node, const std::string& prog,
              std::vector<std::string> argv = {},

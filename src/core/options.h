@@ -313,6 +313,19 @@ struct DmtcpOptions : StoreConfig {
   /// node is declared dead (first miss suspects, Nth declares).
   int heartbeat_misses = 3;
 
+  // Observability (src/obs/): deterministic tracing + metrics export.
+  /// --trace-out FILE: write a Chrome trace_event JSON trace of every
+  /// request's queueing stages at teardown (Perfetto-loadable). Empty =
+  /// tracing off (zero-cost: no tracer is even created).
+  std::string trace_out;
+  /// --metrics-out FILE: write the metrics registry (counters, gauges,
+  /// histograms with p50/p90/p99) as JSON at teardown. Also arms the
+  /// tracer, since stage histograms come from it.
+  std::string metrics_out;
+  /// --log-level LEVEL: runtime log threshold (trace|debug|info|warn|
+  /// error|off). Empty = keep the DSIM_LOG_LEVEL environment default.
+  std::string log_level;
+
   /// One cluster-wide store backs the computation when the checkpoint
   /// directory is explicitly shared (/shared/...) or dedup scope is
   /// cluster. The single source of truth for the predicate — DmtcpShared
@@ -348,6 +361,12 @@ struct DmtcpOptions : StoreConfig {
     if (heartbeat_misses < 1) {
       return "--heartbeat-misses must allow at least one miss (got " +
              std::to_string(heartbeat_misses) + ")";
+    }
+    if (!log_level.empty() && log_level != "trace" && log_level != "debug" &&
+        log_level != "info" && log_level != "warn" && log_level != "error" &&
+        log_level != "off") {
+      return "--log-level: expected 'trace', 'debug', 'info', 'warn', "
+             "'error' or 'off', got '" + log_level + "'";
     }
     return validate_store(incremental, forked_checkpointing,
                           cluster_wide_store());
@@ -524,6 +543,15 @@ struct DmtcpOptions : StoreConfig {
         else if (v == "off") fair_queueing = false;
         else
           return "--fair-queueing: expected 'on' or 'off', got '" + v + "'";
+      } else if (a == "--trace-out") {
+        trace_out = strval("--trace-out");
+        if (!err.empty()) return err;
+      } else if (a == "--metrics-out") {
+        metrics_out = strval("--metrics-out");
+        if (!err.empty()) return err;
+      } else if (a == "--log-level") {
+        log_level = strval("--log-level");
+        if (!err.empty()) return err;
       } else if (a == "--heartbeat-interval") {
         const long n = intval("--heartbeat-interval");
         if (!err.empty()) return err;

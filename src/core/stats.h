@@ -18,6 +18,8 @@
 #include "cluster/failover.h"
 #include "cluster/membership.h"
 #include "core/options.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/types.h"
 
 namespace dsim::ckptasync {
@@ -64,6 +66,10 @@ struct CkptRound {
   u64 store_lookups = 0;           // dedup lookups served this round
   double lookup_wait_seconds = 0;  // cumulative submit -> served wait
   double max_lookup_wait_seconds = 0;
+  /// Full per-key lookup-wait distribution for the round (bucket delta of
+  /// the service histogram): the scalars above are its count()/sum(), kept
+  /// for the emitted bench JSON; quantiles (p50/p90/p99) come from here.
+  obs::Histogram lookup_wait_hist;
   /// Admission control (multi-tenant): stores this round that exceeded the
   /// tenant's in-flight byte budget and were held at the tenant edge, and
   /// the cumulative held -> dispatched wait they accrued.
@@ -122,8 +128,17 @@ struct CkptRound {
   double async_drain_seconds = 0;      // max job drain latency this round
   double async_blocked_seconds = 0;    // backpressure=block wait, summed
   u64 async_skipped_procs = 0;         // backpressure=skip rounds skipped
+
+  /// Critical-path attribution for the round: seconds per named component.
+  /// The "barrier.*" entries decompose total_seconds() exactly (the
+  /// coordinator asserts they sum to it); with tracing enabled, "queue.*"
+  /// entries additionally attribute the round's queue-wait to stages
+  /// (per-round deltas of the tracer's stage totals).
+  std::map<std::string, double> stage_breakdown;
+
   double avg_lookup_wait_seconds() const {
-    return store_lookups == 0
+    return lookup_wait_hist.count() != 0 ? lookup_wait_hist.mean()
+           : store_lookups == 0
                ? 0.0
                : lookup_wait_seconds / static_cast<double>(store_lookups);
   }
@@ -212,6 +227,12 @@ struct DmtcpShared {
   /// Async COW checkpoint pipeline (--ckpt-async): snapshot trackers +
   /// background encode/store jobs. Created by DmtcpControl.
   std::shared_ptr<ckptasync::CkptAsyncPipeline> async_pipeline;
+  /// Request tracer (--trace-out / --metrics-out): created by the owning
+  /// computation's DmtcpControl and installed on the kernel's event loop;
+  /// attached tenants share the host's tracer. Null when tracing is off —
+  /// every instrumentation site is a null check, so disabled runs are
+  /// simulated-time-identical to a build without the subsystem.
+  std::shared_ptr<obs::Tracer> tracer;
   int ckpt_generation = 0;  // bumped per completed checkpoint
   /// Virtual pids in use across the computation (conflict detection, §4.5).
   std::set<Pid> active_vpids;

@@ -24,10 +24,15 @@ void assert_chargeable(const NodeHealth& health, NodeId node,
 void RpcFabric::call(NodeId from, NodeId to, u64 request_bytes,
                      u64 response_bytes, Handler serve,
                      std::function<void()> done,
-                     std::function<void()> failed) {
+                     std::function<void()> failed, obs::TraceContext tctx) {
   stats_.calls++;
   stats_.net_bytes += request_bytes;
   const SimTime sent = loop_.now();
+  obs::Tracer* tr = loop_.tracer();
+  const u64 req_span =
+      (tr && tctx.trace_id)
+          ? tr->begin("rpc.request_net", from, "nic", sent, tctx)
+          : 0;
   // One shared frame per call: the three liveness checkpoints (arrival,
   // dispatch, reply) share the closure set, and whichever outcome fires
   // first consumes it.
@@ -38,14 +43,23 @@ void RpcFabric::call(NodeId from, NodeId to, u64 request_bytes,
   };
   auto fr = std::make_shared<Frame>(
       Frame{std::move(serve), std::move(done), std::move(failed)});
-  auto fail = [this, fr] {
+  auto fail = [this, fr, tctx] {
     stats_.failed_calls++;
+    // A failed call can never tile its caller's root span: some stage is
+    // missing (the request died mid-flight) and any replay will duplicate
+    // the stages that did run.
+    if (tctx.trace_id) {
+      if (obs::Tracer* t = loop_.tracer()) t->mark_untiled(tctx.trace_id);
+    }
     if (fr->failed) loop_.post_now(std::move(fr->failed));
   };
   net_.transfer(
       from, to, request_bytes,
-      [this, from, to, response_bytes, sent, fr, fail]() mutable {
+      [this, from, to, response_bytes, sent, fr, fail, tctx,
+       req_span]() mutable {
         stats_.net_wait_seconds += to_seconds(loop_.now() - sent);
+        obs::Tracer* tr = loop_.tracer();
+        if (req_span && tr) tr->end(req_span, loop_.now());
         if (!health_->up(to)) {
           // Dead on arrival: the request crossed the caller's NIC and fell
           // on the floor. No endpoint charge of any kind.
@@ -59,8 +73,18 @@ void RpcFabric::call(NodeId from, NodeId to, u64 request_bytes,
         // work it did not do.
         SimTime& busy = msg_cpu_busy_[to];
         busy = std::max(loop_.now(), busy) + sim::params::kRpcMessageCpu;
+        // The span covers queueing behind the message processor plus the
+        // dispatch CPU itself: [arrival, dispatch-runs).
+        const u64 cpu_span =
+            (tr && tctx.trace_id)
+                ? tr->begin("rpc.dispatch_cpu", to, "msgcpu", loop_.now(),
+                            tctx)
+                : 0;
         loop_.post_at(
-            busy, [this, from, to, response_bytes, fr, fail]() mutable {
+            busy, [this, from, to, response_bytes, fr, fail, tctx,
+                   cpu_span]() mutable {
+              obs::Tracer* tr = loop_.tracer();
+              if (cpu_span && tr) tr->end(cpu_span, loop_.now());
               if (!health_->up(to)) {
                 fail();  // died before dispatch: CPU never charged
                 return;
@@ -69,8 +93,8 @@ void RpcFabric::call(NodeId from, NodeId to, u64 request_bytes,
                                 "RPC dispatch CPU charged to a dead node");
               stats_.endpoint_cpu_seconds +=
                   to_seconds(sim::params::kRpcMessageCpu);
-              fr->serve([this, from, to, response_bytes, fr,
-                         fail]() mutable {
+              fr->serve([this, from, to, response_bytes, fr, fail,
+                         tctx]() mutable {
                 if (!health_->up(to)) {
                   fail();  // died while serving: the response never leaves
                   return;
@@ -80,10 +104,21 @@ void RpcFabric::call(NodeId from, NodeId to, u64 request_bytes,
                     "RPC response charged to a dead node's NIC");
                 stats_.net_bytes += response_bytes;
                 const SimTime replied = loop_.now();
+                obs::Tracer* tr = loop_.tracer();
+                const u64 resp_span =
+                    (tr && tctx.trace_id)
+                        ? tr->begin("rpc.response_net", to, "nic", replied,
+                                    tctx)
+                        : 0;
                 net_.transfer(to, from, response_bytes,
-                              [this, replied, fr] {
+                              [this, replied, fr, resp_span] {
                                 stats_.net_wait_seconds +=
                                     to_seconds(loop_.now() - replied);
+                                if (resp_span) {
+                                  if (obs::Tracer* t = loop_.tracer()) {
+                                    t->end(resp_span, loop_.now());
+                                  }
+                                }
                                 fr->done();
                               });
               });

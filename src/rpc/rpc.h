@@ -39,6 +39,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 #include "sim/net.h"
 #include "util/types.h"
@@ -100,9 +101,17 @@ class RpcFabric {
   /// CPU, just not the wire). If `to` is (or goes) down before the response
   /// leaves its NIC, `failed` fires at the caller instead — no CPU or NIC
   /// charge ever lands on the dead node.
+  ///
+  /// `tctx` (optional) threads a trace through the call: when the loop has
+  /// a tracer and tctx.trace_id != 0, the fabric emits `rpc.request_net`
+  /// [sent, arrival], `rpc.dispatch_cpu` [arrival, dispatch] and
+  /// `rpc.response_net` [replied, done] child spans, and marks the trace
+  /// untiled if the call fails (the request died mid-flight, so its stage
+  /// spans cannot tile the caller's root span).
   void call(NodeId from, NodeId to, u64 request_bytes, u64 response_bytes,
             Handler serve, std::function<void()> done,
-            std::function<void()> failed = {});
+            std::function<void()> failed = {},
+            obs::TraceContext tctx = {});
 
   const RpcStats& stats() const { return stats_; }
   const std::shared_ptr<NodeHealth>& health() const { return health_; }

@@ -15,6 +15,10 @@
 #include "util/assertx.h"
 #include "util/types.h"
 
+namespace dsim::obs {
+class Tracer;
+}  // namespace dsim::obs
+
 namespace dsim::sim {
 
 /// Handle for cancelling a scheduled event.
@@ -46,6 +50,14 @@ class EventLoop {
 
   size_t pending() const { return queue_.size() - cancelled_.size(); }
 
+  /// Observability hook: every subsystem driven by this loop reaches the
+  /// (optional) tracer through it, so enabling tracing is one pointer
+  /// install and disabling it is a null check at each instrumentation
+  /// site. The tracer never posts events or charges time — it cannot
+  /// perturb the virtual clock.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct Ev {
     SimTime t;
@@ -62,6 +74,7 @@ class EventLoop {
   SimTime now_ = 0;
   u64 next_seq_ = 1;
   bool stopped_ = false;
+  obs::Tracer* tracer_ = nullptr;
   std::priority_queue<Ev, std::vector<Ev>, std::greater<>> queue_;
   // Functions stored separately so cancel() can release closures eagerly.
   std::unordered_map<EventId, Fn> fns_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/model_params.h"
 #include "util/assertx.h"
 
@@ -23,6 +24,14 @@ void StorageDevice::submit(u64 bytes, std::function<void()> done,
   const SimTime start = std::max(loop_.now(), busy_until_);
   const SimTime xfer = jittered(static_cast<double>(bytes) / bw_);
   busy_until_ = start + xfer;
+  if (obs::Tracer* tr = loop_.tracer()) {
+    // Both endpoints of the service interval are known at submit time, so
+    // the span closes immediately — the device lane shows exactly when the
+    // queue was occupied, which is what Perfetto's per-device track needs.
+    const u64 sp = tr->begin(is_read ? "device.read" : "device.write",
+                             obs::kServicePid, name_, start);
+    tr->end(sp, busy_until_);
+  }
   loop_.post_at(busy_until_ + latency_, std::move(done));
 }
 

@@ -245,9 +245,9 @@ TEST(TenantService, AdmissionControlHoldsOverBudgetStoresAtTheEdge) {
   // Held stores dispatched as earlier ones completed; everyone's `done`
   // fired and the edge wait was recorded.
   EXPECT_EQ(done, 3);
-  EXPECT_GT(svc.stats().admission_wait_seconds, 0.0);
+  EXPECT_GT(svc.stats().admission_wait.sum(), 0.0);
   EXPECT_EQ(svc.tenants().stats(1).admission_held, 2u);
-  EXPECT_GT(svc.tenants().stats(1).admission_wait_seconds, 0.0);
+  EXPECT_GT(svc.tenants().stats(1).admission_wait.sum(), 0.0);
   // A single store larger than the whole budget must still be admitted
   // once the edge is empty (otherwise the tenant deadlocks).
   const auto big =

@@ -14,9 +14,10 @@ queued lookups and survived a replica failover, the mid-round endpoint
 kill re-homed and replayed with zero lost chunks, the shard rebalance
 moved ~1/new_shards of the bytes, the async pipeline took the pause off
 the critical path, (k,m) erasure striping beat 2x replication on
-stored bytes while surviving m losses, and weighted fair queueing kept a
+stored bytes while surviving m losses, weighted fair queueing kept a
 victim tenant's p99 within 2x of solo beside a noisy neighbor while the
-FIFO ablation degraded it >= 4x).
+FIFO ablation degraded it >= 4x, and request tracing cost zero simulated
+time while its spans reproduced the victim-tenant p99 within 1%).
 
 Baseline diff (--baseline DIR): compare a fresh run against the committed
 baseline JSON in DIR (bench/baselines/, generated with the same smoke
@@ -499,6 +500,81 @@ def check_tenants(path, data):
     return rc
 
 
+def check_obs(path, data):
+    rc = 0
+    for key in (
+        "config",
+        "overhead.untraced_sim_seconds",
+        "overhead.traced_sim_seconds",
+        "overhead.trace_overhead_ratio",
+        "p99_check.hist_p99_ms",
+        "p99_check.trace_p99_ms",
+        "p99_check.p99_rel_err",
+        "p99_check.victim_samples",
+        "spans",
+        "coverage.heal_spans",
+        "coverage.decode_spans",
+        "coverage.async_spans",
+        "coverage.healed",
+        "summary.trace_overhead_ratio",
+        "summary.p99_rel_err",
+        "summary.spans_total",
+        "summary.open_spans",
+        "summary.tiling_violations",
+    ):
+        try:
+            require(data, path, key)
+        except (KeyError, TypeError):
+            rc |= fail(path, f"missing key '{key}'")
+    if rc:
+        return rc
+    s = data["summary"]
+    # Tracing never posts events or charges simulated time: the traced run
+    # must reach the measurement point at the same virtual instant as the
+    # untraced run (ratio 1.0 exactly; gate leaves rounding headroom).
+    ratio = s["trace_overhead_ratio"]
+    if not 0.98 <= ratio <= 1.02:
+        rc |= fail(
+            path,
+            f"trace_overhead_ratio={ratio}: tracing perturbed the "
+            "simulation (must be 1.0 — the tracer observes, never charges)",
+        )
+    # Fidelity: the per-stage spans must reproduce the victim tenant's p99
+    # (the BENCH_tenants headline) within 1% — histogram bucketing is the
+    # only permitted divergence (<= 0.4%).
+    if s["p99_rel_err"] > 0.01:
+        rc |= fail(
+            path,
+            f"p99_rel_err={s['p99_rel_err']}: the trace-derived victim p99 "
+            "diverged more than 1% from the wait histogram",
+        )
+    if data["p99_check"]["victim_samples"] <= 0:
+        rc |= fail(path, "the victim probe window recorded no wait samples")
+    if s["spans_total"] <= 0:
+        rc |= fail(path, "the traced storm produced no spans")
+    # Balance invariants: every opened span closed, every traced request's
+    # children tiled it exactly.
+    if s["open_spans"] != 0:
+        rc |= fail(path, f"open_spans={s['open_spans']} after quiesce "
+                         "(a span leaked)")
+    if s["tiling_violations"] != 0:
+        rc |= fail(path, f"tiling_violations={s['tiling_violations']}: "
+                         "child spans did not tile their root")
+    # Subsystem coverage: the storm exercises the request path end to end...
+    for subsystem in ("store", "rpc", "device", "cluster"):
+        if data["spans"].get(subsystem, 0) <= 0:
+            rc |= fail(path, f"no '{subsystem}.*' spans in the traced storm")
+    # ...and the erasure + async world covers the background paths.
+    cov = data["coverage"]
+    if cov["heal_spans"] <= 0 or cov["decode_spans"] <= 0:
+        rc |= fail(path, "the erasure arm produced no heal/decode spans")
+    if cov["async_spans"] <= 0:
+        rc |= fail(path, "the async pipeline produced no async.* spans")
+    if cov["healed"] is not True:
+        rc |= fail(path, "the erasure arm did not heal to full strength")
+    return rc
+
+
 CHECKERS = {
     "BENCH_incremental.json": check_incremental,
     "BENCH_cdc.json": check_cdc,
@@ -507,6 +583,7 @@ CHECKERS = {
     "BENCH_async.json": check_async,
     "BENCH_erasure.json": check_erasure,
     "BENCH_tenants.json": check_tenants,
+    "BENCH_obs.json": check_obs,
 }
 
 # Baseline-gated metrics per file: name -> (extractor, good direction).
@@ -574,6 +651,14 @@ BASELINE_METRICS = {
             lambda d: d["summary"]["nofq_ratio"], "higher"),
         "cross_tenant_shared_bytes": (
             lambda d: d["summary"]["cross_tenant_shared_bytes"], "higher"),
+    },
+    "BENCH_obs.json": {
+        "trace_overhead_ratio": (
+            lambda d: d["summary"]["trace_overhead_ratio"], "lower"),
+        "p99_rel_err": (
+            lambda d: d["summary"]["p99_rel_err"], "lower"),
+        "spans_total": (
+            lambda d: d["summary"]["spans_total"], "higher"),
     },
 }
 

@@ -6,9 +6,12 @@ of reference are verified:
 
 1. Relative markdown links: `[text](path)` and `[text](path#anchor)`.
    External schemes (http, https, mailto) are skipped — CI must not
-   depend on the network — as are pure-anchor links (`#section`). The
-   path is resolved against the linking file's directory, then against
-   the repository root.
+   depend on the network. The path is resolved against the linking
+   file's directory, then against the repository root. When the target
+   is a markdown file (or a pure-anchor link into the same document),
+   the `#anchor` fragment is also checked against the target's headings,
+   slugified the way GitHub renders them (lowercased, punctuation
+   stripped, spaces to hyphens, duplicates suffixed -1, -2, ...).
 
 2. Backtick code pointers: `src/ckptstore/erasure.cc`,
    `tools/check_bench_json.py:42`, `docs/ckptstore.md`, `src/cluster/`.
@@ -53,16 +56,59 @@ def is_code_pointer(token):
 
 
 def resolve(target, md_dir, root):
-    """True when `target` exists relative to the md file or the repo root."""
+    """The resolved path for `target` relative to the md file or the repo
+    root, or None when it exists nowhere."""
     path = target.split("#", 1)[0]
     if not path:
-        return True  # pure-anchor link into the same document
+        return ""  # pure-anchor link into the same document
     path = path.rstrip("/") or path
     for base in (md_dir, root):
         cand = os.path.normpath(os.path.join(base, path))
         if os.path.exists(cand):
-            return True
-    return False
+            return cand
+    return None
+
+
+def slugify(heading):
+    """A markdown heading's GitHub anchor: lowercase, punctuation stripped
+    (hyphens and underscores survive), spaces to hyphens."""
+    # Inline code/emphasis markers render as text content, not punctuation
+    # to strip wholesale: `--flag` keeps its hyphens.
+    text = heading.strip().lower()
+    text = re.sub(r"[`*]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(md_path):
+    """All anchors GitHub generates for `md_path`'s ATX headings, with
+    duplicate slugs suffixed -1, -2, ... in document order."""
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    # Drop fenced code blocks: a '# comment' in a shell transcript is not
+    # a heading.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    anchors = set()
+    counts = {}
+    for m in re.finditer(r"^#{1,6}[ \t]+(.+?)[ \t]*#*$", text, flags=re.M):
+        slug = slugify(m.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def check_anchor(target, resolved, md_path):
+    """None when `target`'s #fragment lands on a heading, else an error."""
+    if "#" not in target:
+        return None
+    anchor = target.split("#", 1)[1]
+    dest = md_path if resolved == "" else resolved
+    if not dest.endswith(".md"):
+        return None  # only markdown targets have heading anchors
+    if anchor not in heading_anchors(dest):
+        return f"anchor '#{anchor}' not found in {os.path.relpath(dest)}"
+    return None
 
 
 def check_file(md_path, root):
@@ -73,15 +119,20 @@ def check_file(md_path, root):
 
     for match in MD_LINK.finditer(text):
         target = match.group(1)
-        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+        if target.startswith(SKIP_SCHEMES):
             continue
         # GitHub web-UI routes (CI badge and its click-through) resolve on
         # github.com relative to the repo page, never in the tree.
         if "/actions/workflows/" in target:
             continue
-        if not resolve(target, md_dir, root):
-            line = text.count("\n", 0, match.start()) + 1
+        line = text.count("\n", 0, match.start()) + 1
+        resolved = resolve(target, md_dir, root)
+        if resolved is None:
             broken.append((line, f"link target '{target}' not found"))
+            continue
+        anchor_err = check_anchor(target, resolved, os.path.abspath(md_path))
+        if anchor_err:
+            broken.append((line, anchor_err))
 
     # Strip fenced code blocks before scanning backticks: shell transcripts
     # legitimately mention files that only exist after a build.
@@ -91,7 +142,7 @@ def check_file(md_path, root):
         if not is_code_pointer(token):
             continue
         path = re.sub(r":\d+$", "", token)
-        if not resolve(path, md_dir, root):
+        if resolve(path, md_dir, root) is None:
             line = text.count("\n", 0, text.find(f"`{token}`")) + 1
             broken.append((line, f"code pointer '{token}' not found"))
     return broken

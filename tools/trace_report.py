@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a --trace-out Chrome trace and report where requests waited.
+
+Stdlib-only, run by the CI bench-smoke job over the trace that bench_obs
+emits. Two jobs in one pass:
+
+1. Schema validation. The file must be a Chrome trace_event JSON object —
+   `displayTimeUnit` plus a `traceEvents` array of 'M' metadata and 'X'
+   complete events — loadable by Perfetto / chrome://tracing. Every 'X'
+   event must carry the span fields the tracer promises (ts/dur in
+   microseconds, pid/tid naming a registered process/lane, args with
+   trace/span/parent/tenant/qos/op/n), every pid/tid must have been named
+   by a metadata event, span ids must be unique, and events must be sorted
+   by (ts, span id) — the byte-determinism contract.
+
+2. Queue-wait attribution. Spans are aggregated by stage name, weighted by
+   their batch size (`args.n`: one lookup batch span covers n keys), and
+   the top contributors by total wait are printed — the "where did the
+   pause go" table, derived from the trace alone.
+
+Usage: trace_report.py TRACE.json [--top N]
+Exits nonzero after printing every schema violation.
+"""
+
+import json
+import sys
+
+REQUIRED_ARGS = ("trace", "span", "parent", "tenant", "qos", "op", "n")
+
+
+def fail(path, msg):
+    print(f"FAIL {path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(path, data):
+    rc = 0
+    if not isinstance(data, dict):
+        return fail(path, "top level is not a JSON object")
+    if data.get("displayTimeUnit") not in ("ms", "ns"):
+        rc |= fail(path, "missing or invalid 'displayTimeUnit'")
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return rc | fail(path, "'traceEvents' missing or empty")
+
+    named_pids = set()
+    named_lanes = set()
+    spans = []
+    seen_span_ids = set()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids.add(ev.get("pid"))
+            elif ev.get("name") == "thread_name":
+                named_lanes.add((ev.get("pid"), ev.get("tid")))
+            else:
+                rc |= fail(path, f"event {i}: unknown metadata '{ev.get('name')}'")
+            continue
+        if ph != "X":
+            rc |= fail(path, f"event {i}: unexpected phase '{ph}' "
+                             "(only M and X are emitted)")
+            continue
+        for field in ("name", "ts", "dur", "pid", "tid", "args"):
+            if field not in ev:
+                rc |= fail(path, f"event {i}: X event missing '{field}'")
+                break
+        else:
+            args = ev["args"]
+            missing = [a for a in REQUIRED_ARGS if a not in args]
+            if missing:
+                rc |= fail(path, f"event {i}: args missing {missing}")
+                continue
+            if ev["dur"] < 0 or ev["ts"] < 0:
+                rc |= fail(path, f"event {i}: negative ts/dur")
+            if ev["pid"] not in named_pids:
+                rc |= fail(path, f"event {i}: pid {ev['pid']} has no "
+                                 "process_name metadata")
+            if (ev["pid"], ev["tid"]) not in named_lanes:
+                rc |= fail(path, f"event {i}: lane ({ev['pid']}, {ev['tid']}) "
+                                 "has no thread_name metadata")
+            if args["span"] in seen_span_ids:
+                rc |= fail(path, f"event {i}: duplicate span id {args['span']}")
+            seen_span_ids.add(args["span"])
+            spans.append(ev)
+
+    keys = [(ev["ts"], ev["args"]["span"]) for ev in spans]
+    if keys != sorted(keys):
+        rc |= fail(path, "X events are not sorted by (ts, span id): the "
+                         "byte-determinism contract is broken")
+    return rc, spans
+
+
+def report(spans, top):
+    # Wait attribution: per stage, total span-seconds weighted by batch
+    # size. A span covering an n-key batch held each of those keys for its
+    # duration, so it contributes n x dur of per-request wait.
+    by_stage = {}
+    for ev in spans:
+        count, total_us = by_stage.get(ev["name"], (0, 0.0))
+        n = ev["args"]["n"]
+        by_stage[ev["name"]] = (count + n, total_us + ev["dur"] * n)
+    ranked = sorted(by_stage.items(), key=lambda kv: -kv[1][1])
+
+    grand_us = sum(us for _, (_, us) in ranked) or 1.0
+    print(f"{'stage':<24} {'requests':>9} {'total_ms':>10} "
+          f"{'mean_us':>9} {'share':>6}")
+    for name, (count, total_us) in ranked[:top]:
+        print(f"{name:<24} {count:>9} {total_us / 1e3:>10.3f} "
+              f"{total_us / count:>9.3f} {total_us / grand_us:>6.1%}")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    top = 5
+    for i, a in enumerate(argv):
+        if a == "--top" and i + 1 < len(argv):
+            top = int(argv[i + 1])
+            args = [x for x in args if x != argv[i + 1]]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = args[0]
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, str(e))
+    rc, spans = validate(path, data)
+    if rc:
+        return rc
+    print(f"OK   {path}: {len(spans)} spans, schema valid; top {top} "
+          "queue-wait contributors:")
+    report(spans, top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
