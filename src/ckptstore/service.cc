@@ -864,6 +864,22 @@ void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
   bool saw_degraded = false;
   const auto batch =
       repo_->chunks_after(scrub_cursor_, static_cast<size_t>(max_chunks));
+  // One standalone span per scrub pass, open until the last chunk's
+  // verification read lands — the critical path and trace reports see the
+  // scrubber's tail exactly as the device queues priced it.
+  obs::Tracer* tr0 = loop_.tracer();
+  const u64 scrub_span =
+      (tr0 != nullptr && !batch.empty())
+          ? tr0->begin("store.scrub", obs::kServicePid, "scrub", loop_.now())
+          : 0;
+  auto scrub_left = std::make_shared<u64>(static_cast<u64>(batch.size()));
+  auto verified = std::make_shared<std::function<void()>>(
+      [this, scrub_span, scrub_left] {
+        if (--*scrub_left != 0) return;
+        if (scrub_span != 0) {
+          if (obs::Tracer* t = loop_.tracer()) t->end(scrub_span, loop_.now());
+        }
+      });
   for (const auto& [key, chunk] : batch) {
     scrub_cursor_ = key;
     stats_.scrubbed_chunks++;
@@ -943,13 +959,16 @@ void ChunkStoreService::scrub(u64 max_chunks, compress::CodecKind codec) {
     const auto q = shards_[s].q;
     enqueue_index(
         q, kSystemTenant, QosClass::kCheckpoint, params::kStoreLookupBytes,
-        [this, q, corrupt, missing, holder, read_bytes] {
+        [this, q, corrupt, missing, holder, read_bytes, verified] {
           q->dev->submit(
               params::kStoreLookupBytes,
-              [this, corrupt, missing, holder, read_bytes] {
+              [this, corrupt, missing, holder, read_bytes, verified] {
                 // The verification reread streams off the surviving holder.
                 if (holder >= 0 && read_bytes > 0) {
-                  charge_node(holder, read_bytes, /*is_read=*/true, [] {});
+                  charge_node(holder, read_bytes, /*is_read=*/true,
+                              [verified] { (*verified)(); });
+                } else {
+                  (*verified)();
                 }
                 if (corrupt) stats_.scrub_corrupt_chunks++;
                 if (missing) stats_.scrub_missing_chunks++;
@@ -979,6 +998,15 @@ int ChunkStoreService::demote_cold(u64 max_chunks) {
     ++demoted;
     stats_.demoted_chunks++;
     stats_.demoted_bytes += plan->logical_bytes;
+    // One standalone span per demoted chunk, open from scheduling until
+    // the last cold fragment lands (the fire-and-forget tail is exactly
+    // what the trace should make visible).
+    obs::Tracer* tr0 = loop_.tracer();
+    const u64 demote_span =
+        tr0 != nullptr
+            ? tr0->begin("store.demote", obs::kServicePid, "demote",
+                         loop_.now())
+            : 0;
     const size_t s = static_cast<size_t>(shard_of(key));
     const NodeId coder = plan->write.front();
     const double cpu =
@@ -993,25 +1021,35 @@ int ChunkStoreService::demote_cold(u64 max_chunks) {
     const auto q = shards_[s].q;
     enqueue_index(
         q, kSystemTenant, QosClass::kCheckpoint, params::kStoreLookupBytes,
-        [this, q, plan, coder, cpu] {
+        [this, q, plan, coder, cpu, demote_span] {
           q->dev->submit(
               params::kStoreLookupBytes,
-              [this, plan, coder, cpu] {
+              [this, plan, coder, cpu, demote_span] {
                 auto gathered = std::make_shared<int>(
                     static_cast<int>(plan->read.size()));
-                auto recode_done = [this, plan, coder] {
+                auto recode_done = [this, plan, coder, demote_span] {
                   for (NodeId home : plan->trim) {
                     if (trimmer_) trimmer_(home, plan->trim_bytes);
                   }
+                  auto wleft = std::make_shared<int>(
+                      static_cast<int>(plan->write.size()));
+                  const auto landed = [this, wleft, demote_span] {
+                    if (--*wleft != 0) return;
+                    if (demote_span != 0) {
+                      if (obs::Tracer* t = loop_.tracer()) {
+                        t->end(demote_span, loop_.now());
+                      }
+                    }
+                  };
                   for (NodeId home : plan->write) {
                     if (home == coder) {
                       charge_node(home, plan->write_bytes, /*is_read=*/false,
-                                  [] {});
+                                  landed);
                     } else {
                       net_.transfer(coder, home, plan->write_bytes,
-                                    [this, home, plan] {
+                                    [this, home, plan, landed] {
                                       charge_node(home, plan->write_bytes,
-                                                  /*is_read=*/false, [] {});
+                                                  /*is_read=*/false, landed);
                                     });
                     }
                   }
@@ -1121,8 +1159,21 @@ void ChunkStoreService::rebalance(int new_shards,
     loop_.post_now(std::move(done));
     return;
   }
+  // One standalone span for the whole migration, open until the last
+  // batch lands on its new shard.
+  obs::Tracer* tr0 = loop_.tracer();
+  const u64 rb_span =
+      tr0 != nullptr ? tr0->begin("store.rebalance", obs::kServicePid,
+                                  "rebalance", loop_.now())
+                     : 0;
   auto remaining = std::make_shared<u64>(batches);
-  auto all_done = std::make_shared<std::function<void()>>(std::move(done));
+  auto all_done = std::make_shared<std::function<void()>>(
+      [this, rb_span, inner = std::move(done)] {
+        if (rb_span != 0) {
+          if (obs::Tracer* t = loop_.tracer()) t->end(rb_span, loop_.now());
+        }
+        inner();
+      });
   for (const auto& [route, keys] : moves) {
     const auto [from_s, to_s] = route;
     const NodeId from_ep = old_endpoints[static_cast<size_t>(from_s)];

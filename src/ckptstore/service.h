@@ -363,6 +363,14 @@ class ChunkStoreService {
   }
   const rpc::RpcFabric& fabric() const { return fabric_; }
   const ServiceStats& stats() const { return stats_; }
+  /// Requests currently parked (endpoint died mid-flight, awaiting a
+  /// re-home replay), summed across shards. The health engine samples
+  /// this at round boundaries — a healthy round ends with zero.
+  u64 parked_now() const {
+    u64 n = 0;
+    for (const Shard& s : shards_) n += static_cast<u64>(s.parked.size());
+    return n;
+  }
   /// Return the max single-lookup wait observed since the last call and
   /// reset it, so each CkptRound records its own round's max rather than
   /// the run-global one.

@@ -59,6 +59,10 @@ struct CoordState {
   // Tracer per-stage totals at the previous round's close: the delta feeds
   // the round's "queue.*" stage_breakdown entries (tracing enabled only).
   std::map<std::string, obs::Tracer::StageStat> stage_last;
+  // Full metrics-registry snapshot at the previous round's close: its
+  // delta_since against the current snapshot is this round's health
+  // time-series sample (--health-out / --slo only).
+  obs::MetricsRegistry reg_last;
 };
 
 void refresh_discovery_epoch(CoordState* st) {
@@ -171,6 +175,16 @@ void stamp_barrier(CoordState* st, const std::string& name, SimTime now) {
     } else if (name == "restart:refilled") {
       rr.refilled = now;
       rr.refill_seconds += to_seconds(now);
+      if (auto* tr = st->shared->tracer.get();
+          tr != nullptr && rr.refilled > rr.script_started) {
+        // Same sweep as a checkpoint round, over the restart window;
+        // uninstrumented time falls to the restart.load/.refill phases.
+        rr.critical_path = obs::critical_path(
+            *tr, rr.script_started, rr.refilled, restart_phases(rr));
+        DSIM_CHECK_MSG(rr.critical_path.attributed_ns() ==
+                           rr.refilled - rr.script_started,
+                       "restart critical path must partition the window");
+      }
     }
   }
 }
@@ -322,6 +336,74 @@ Task<void> finish_round(CoordState* st, sim::ProcessCtx& ctx) {
         if (delta > 0) r.stage_breakdown["queue." + name] = delta;
       }
       st->stage_last = tr->stages();
+      // Critical-path attribution over the pause window: the backward
+      // sweep partitions [requested, refilled) in integer nanoseconds,
+      // so its attributed time equals the barrier stage total exactly —
+      // both identities asserted, every round.
+      r.critical_path =
+          obs::critical_path(*tr, r.requested, r.refilled, round_phases(r));
+      DSIM_CHECK_MSG(
+          r.critical_path.attributed_ns() == r.refilled - r.requested,
+          "round critical path must partition the pause window");
+      DSIM_CHECK_MSG(
+          std::fabs(r.critical_path.total_seconds() - barrier_sum) <= 1e-9,
+          "round critical path must sum to the stage_breakdown total");
+      if (!r.critical_path.entries.empty()) {
+        LOG_DEBUG("coordinator: round %d critical path: %s",
+                  st->current_round, r.critical_path.top_blame().c_str());
+      }
+    }
+  }
+  if (st->shared->health_series) {
+    // Health time-series sample: the registry's delta against the
+    // previous round's snapshot, flattened to named scalars — counter
+    // deltas and backlog gauges under their registry names, selected
+    // histogram deltas as .p99, plus the aliases the SLO rules and docs
+    // use (pause_seconds, degraded_chunks, parked_requests, ...).
+    auto& r = st->shared->stats.rounds.back();
+    obs::MetricsRegistry now_reg = collect_metrics(*st->shared);
+    const obs::MetricsRegistry delta = now_reg.delta_since(st->reg_last);
+    st->reg_last = std::move(now_reg);
+    obs::RoundSeries::Sample sample;
+    sample.round = st->current_round;
+    sample.at = r.refilled;
+    for (const auto& [name, v] : delta.counters()) {
+      sample.values[name] = static_cast<double>(v);
+    }
+    for (const auto& [name, v] : delta.gauges()) sample.values[name] = v;
+    for (const auto& [name, h] : delta.histograms()) {
+      if (h.count() != 0) sample.values[name + ".p99"] = h.quantile(0.99);
+    }
+    sample.values["pause_seconds"] = r.total_seconds();
+    sample.values["degraded_chunks"] = sample.values["store.degraded_chunks"];
+    sample.values["heal_backlog"] = sample.values["store.degraded_chunks"];
+    sample.values["parked_requests"] = sample.values["store.parked_now"];
+    sample.values["quarantined_chunks"] =
+        sample.values["store.quarantined_chunks"];
+    sample.values["admission_held"] =
+        sample.values["store.admission_held_requests"];
+    sample.values["replayed_requests"] =
+        sample.values["store.replayed_requests"];
+    st->shared->health_series->push(std::move(sample));
+    if (auto* slo = st->shared->slo_engine.get()) {
+      const std::vector<obs::AlertEvent> events =
+          slo->evaluate(*st->shared->health_series);
+      for (const obs::AlertEvent& ev : events) {
+        // Alerts become structured trace events: a zero-duration span on
+        // an alert.<rule> lane of the service process, stamped with the
+        // round's virtual close time (zero-length, so the critical-path
+        // sweep never attributes wait to the alert itself).
+        if (auto* tr = st->shared->tracer.get()) {
+          tr->end(tr->begin(ev.fired ? "alert.fired" : "alert.cleared",
+                            obs::kServicePid, "alert." + ev.rule, ctx.now()),
+                  ctx.now());
+        }
+        if (ev.fired) {
+          LOG_WARN("coordinator: SLO alert %s", ev.message.c_str());
+        } else {
+          LOG_INFO("coordinator: SLO %s", ev.message.c_str());
+        }
+      }
     }
   }
   RestartPlan plan;

@@ -1,5 +1,7 @@
 #include "core/launch.h"
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 
 #include "ckptasync/pipeline.h"
@@ -37,6 +39,34 @@ LogLevel parse_log_level(const std::string& s, LogLevel fallback) {
   return fallback;
 }
 
+/// Rules installed when --health-out is set without an explicit --slo:
+/// the two invariants every healthy deployment shares regardless of
+/// workload — no request still parked at a round boundary, and a heal
+/// backlog (degraded chunks after a node death) that drains within two
+/// rounds of appearing.
+constexpr const char* kDefaultSloRules =
+    "parked: parked_requests == 0; "
+    "heal_backlog: drain(degraded_chunks, 2)";
+
+/// Create the health engine (round series + SLO rules) when either
+/// --health-out or --slo asks for it. opts.slo was validated at
+/// option-parse time, so add_rules cannot fail here.
+void arm_health(DmtcpShared* shared) {
+  const DmtcpOptions& opts = shared->opts;
+  if (!opts.health_enabled()) return;
+  shared->health_series = std::make_shared<obs::RoundSeries>();
+  shared->slo_engine = std::make_shared<obs::SloEngine>();
+  const std::string err = shared->slo_engine->add_rules(
+      opts.slo.empty() ? kDefaultSloRules : opts.slo);
+  DSIM_CHECK_MSG(err.empty(), err.c_str());
+}
+
+std::string fmt_us(SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(t) / 1e3);
+  return buf;
+}
+
 }  // namespace
 
 DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
@@ -49,12 +79,15 @@ DmtcpControl::DmtcpControl(sim::Kernel& kernel, DmtcpOptions opts)
   DSIM_CHECK_MSG(cluster_err.empty(),
                  ("dmtcp_checkpoint: " + cluster_err).c_str());
   shared_->opts = opts;
-  if (!opts.trace_out.empty() || !opts.metrics_out.empty()) {
-    // Observability is armed by either export flag; the tracer installs on
+  if (!opts.trace_out.empty() || !opts.metrics_out.empty() ||
+      opts.health_enabled()) {
+    // Observability is armed by any export flag (the health engine's
+    // critical path walks the tracer's spans); the tracer installs on
     // the kernel's event loop, where every instrumentation site finds it.
     shared_->tracer = std::make_shared<obs::Tracer>();
     k_.loop().set_tracer(shared_->tracer.get());
   }
+  arm_health(shared_.get());
   if (opts.incremental && shared_->cluster_wide_store()) {
     // The cluster-wide store is a *service* reached over the RPC fabric,
     // not a free index: it owns the shared repository (repos[kSharedRepo]
@@ -159,10 +192,14 @@ DmtcpControl::DmtcpControl(DmtcpControl& host, DmtcpOptions opts)
   // computation's requests land on the same trace timeline.
   shared_->tracer = host.shared_->tracer;
   if (!shared_->tracer &&
-      (!opts.trace_out.empty() || !opts.metrics_out.empty())) {
+      (!opts.trace_out.empty() || !opts.metrics_out.empty() ||
+       opts.health_enabled())) {
     shared_->tracer = std::make_shared<obs::Tracer>();
     k_.loop().set_tracer(shared_->tracer.get());
   }
+  // A tenant's health engine is its own (rules and series scoped to this
+  // computation's rounds) even though the tracer and service are shared.
+  arm_health(shared_.get());
   shared_->repos[DmtcpShared::kSharedRepo] =
       shared_->store_service->repo_ptr();
   if (opts.ckpt_async) {
@@ -232,18 +269,9 @@ void DmtcpControl::finish_init() {
 
 DmtcpControl::~DmtcpControl() { flush_observability(); }
 
-void DmtcpControl::flush_observability() {
-  const DmtcpOptions& opts = shared_->opts;
-  obs::Tracer* tr = shared_->tracer.get();
-  if (tr == nullptr) return;
-  if (!opts.trace_out.empty()) {
-    if (!tr->write_chrome_json(opts.trace_out)) {
-      LOG_WARN("trace export to %s failed", opts.trace_out.c_str());
-    }
-  }
-  if (opts.metrics_out.empty()) return;
+obs::MetricsRegistry collect_metrics(const DmtcpShared& shared) {
   obs::MetricsRegistry reg;
-  if (const auto* svc = shared_->store_service.get()) {
+  if (const auto* svc = shared.store_service.get()) {
     const ckptstore::ServiceStats& ss = svc->stats();
     reg.counter("store.lookup_requests", ss.lookup_requests);
     reg.counter("store.lookup_batches", ss.lookup_batches);
@@ -256,6 +284,13 @@ void DmtcpControl::flush_observability() {
     reg.counter("store.replayed_requests", ss.replayed_requests);
     reg.histogram("store.lookup_wait", ss.lookup_wait);
     reg.histogram("store.admission_wait", ss.admission_wait);
+    // Health levels (gauges survive delta_since as current values): the
+    // backlog signals the SLO drain rules watch at round boundaries.
+    reg.gauge("store.degraded_chunks",
+              static_cast<double>(svc->placement().degraded_count()));
+    reg.gauge("store.parked_now", static_cast<double>(svc->parked_now()));
+    reg.gauge("store.quarantined_chunks",
+              static_cast<double>(svc->repo_ptr()->quarantined_count()));
     for (const auto& [tenant, ts] : svc->tenants().all_stats()) {
       const std::string p = "tenant." + std::to_string(tenant) + ".";
       reg.counter(p + "lookups", ts.lookups);
@@ -272,14 +307,103 @@ void DmtcpControl::flush_observability() {
     reg.gauge("rpc.net_wait_seconds", rs.net_wait_seconds);
     reg.gauge("rpc.endpoint_cpu_seconds", rs.endpoint_cpu_seconds);
   }
-  reg.counter("trace.spans", static_cast<u64>(tr->spans().size()));
-  reg.counter("trace.open_spans", tr->open_spans());
-  reg.counter("trace.tiling_violations", tr->tiling_violations());
-  for (const auto& [name, hist] : tr->stage_histograms()) {
-    reg.histogram("stage." + name, hist);
+  if (const auto* tr = shared.tracer.get()) {
+    reg.counter("trace.spans", static_cast<u64>(tr->spans().size()));
+    reg.counter("trace.open_spans", tr->open_spans());
+    reg.counter("trace.tiling_violations", tr->tiling_violations());
+    for (const auto& [name, hist] : tr->stage_histograms()) {
+      reg.histogram("stage." + name, hist);
+    }
   }
-  if (!reg.write(opts.metrics_out)) {
-    LOG_WARN("metrics export to %s failed", opts.metrics_out.c_str());
+  return reg;
+}
+
+std::string DmtcpControl::health_json() const {
+  // Critical paths are recomputed here from the tracer's *final* span
+  // set — spans that were still open at a round's close (async drains,
+  // heals crossing the boundary) have closed by teardown, so this
+  // document and the exported Chrome trace describe the identical span
+  // population. That is what lets trace_report.py --critical-path re-run
+  // the sweep over the trace and demand <=1% agreement. The per-round
+  // CkptRound::critical_path (computed live at the round boundary) keeps
+  // the round-close view for tests and benches; both partition the same
+  // window exactly.
+  const obs::Tracer* tr = shared_->tracer.get();
+  // The exact phase marks the sweep used, so the Python cross-check can
+  // attribute uncovered gaps identically (the restart split point is not
+  // reconstructible from the stamps alone).
+  const auto phases_json = [](const std::vector<obs::PhaseMark>& phases) {
+    std::string out = "[";
+    for (size_t i = 0; i < phases.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"name\":\"" + phases[i].name + "\"";
+      out += ",\"begin_us\":" + fmt_us(phases[i].begin);
+      out += ",\"end_us\":" + fmt_us(phases[i].end) + "}";
+    }
+    return out + "]";
+  };
+  std::string out = "{\n\"series\": ";
+  out += shared_->health_series ? shared_->health_series->json() : "{}";
+  out += ",\n\"critical_path\": {\"rounds\":[";
+  bool first = true;
+  for (size_t i = 0; i < shared_->stats.rounds.size(); ++i) {
+    const CkptRound& r = shared_->stats.rounds[i];
+    if (r.refilled == 0 || tr == nullptr) continue;
+    const obs::CritPathReport rep =
+        obs::critical_path(*tr, r.requested, r.refilled, round_phases(r));
+    if (!first) out += ",";
+    first = false;
+    out += "{\"round\":" + std::to_string(i);
+    out += ",\"ts_us\":{\"requested\":" + fmt_us(r.requested);
+    out += ",\"suspended\":" + fmt_us(r.suspended);
+    out += ",\"elected\":" + fmt_us(r.elected);
+    out += ",\"drained\":" + fmt_us(r.drained);
+    out += ",\"checkpointed\":" + fmt_us(r.checkpointed);
+    out += ",\"refilled\":" + fmt_us(r.refilled);
+    out += "},\"phases\":" + phases_json(round_phases(r));
+    out += ",\"report\":" + rep.json() + "}";
+  }
+  out += "],\"restarts\":[";
+  first = true;
+  for (size_t i = 0; i < shared_->stats.restarts.size(); ++i) {
+    const RestartRun& rr = shared_->stats.restarts[i];
+    if (rr.refilled <= rr.script_started || tr == nullptr) continue;
+    const obs::CritPathReport rep = obs::critical_path(
+        *tr, rr.script_started, rr.refilled, restart_phases(rr));
+    if (!first) out += ",";
+    first = false;
+    out += "{\"restart\":" + std::to_string(i);
+    out += ",\"ts_us\":{\"script_started\":" + fmt_us(rr.script_started);
+    out += ",\"refilled\":" + fmt_us(rr.refilled);
+    out += "},\"phases\":" + phases_json(restart_phases(rr));
+    out += ",\"report\":" + rep.json() + "}";
+  }
+  out += "]},\n\"slo\": ";
+  out += shared_->slo_engine ? shared_->slo_engine->json() : "{}";
+  out += "\n}\n";
+  return out;
+}
+
+void DmtcpControl::flush_observability() {
+  const DmtcpOptions& opts = shared_->opts;
+  obs::Tracer* tr = shared_->tracer.get();
+  if (tr == nullptr) return;
+  if (!opts.trace_out.empty()) {
+    if (!tr->write_chrome_json(opts.trace_out)) {
+      LOG_WARN("trace export to %s failed", opts.trace_out.c_str());
+    }
+  }
+  if (!opts.metrics_out.empty()) {
+    if (!collect_metrics(*shared_).write(opts.metrics_out)) {
+      LOG_WARN("metrics export to %s failed", opts.metrics_out.c_str());
+    }
+  }
+  if (!opts.health_out.empty()) {
+    std::ofstream f(opts.health_out);
+    if (f) f << health_json();
+    if (!f.good()) {
+      LOG_WARN("health export to %s failed", opts.health_out.c_str());
+    }
   }
 }
 

@@ -42,11 +42,19 @@ class DmtcpControl {
   ~DmtcpControl();
 
   /// Export the observability artifacts now: the Chrome trace_event JSON
-  /// to opts.trace_out and the metrics registry (service/tenant/RPC/tracer
-  /// counters, gauges and histograms) to opts.metrics_out. No-op when
-  /// neither flag is set. Idempotent — later calls overwrite with the
-  /// then-current totals.
+  /// to opts.trace_out, the metrics registry (service/tenant/RPC/tracer
+  /// counters, gauges and histograms) to opts.metrics_out, and the
+  /// round-health document (time-series + critical paths + SLO summary)
+  /// to opts.health_out. No-op when no flag is set. Idempotent — later
+  /// calls overwrite with the then-current totals.
   void flush_observability();
+
+  /// The --health-out document as a string: {"series":...,
+  /// "critical_path":{"rounds":[...],"restarts":[...]},"slo":...}.
+  /// Critical paths are recomputed from the tracer's current span set so
+  /// the document matches the exported trace span-for-span (the Python
+  /// cross-check depends on this).
+  std::string health_json() const;
 
   /// dmtcp_checkpoint <program> — launch under checkpoint control.
   Pid launch(NodeId node, const std::string& prog,

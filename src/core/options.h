@@ -7,6 +7,7 @@
 
 #include "ckptstore/cdc.h"
 #include "compress/compressor.h"
+#include "obs/slo.h"
 #include "util/types.h"
 
 namespace dsim::core {
@@ -322,9 +323,25 @@ struct DmtcpOptions : StoreConfig {
   /// histograms with p50/p90/p99) as JSON at teardown. Also arms the
   /// tracer, since stage histograms come from it.
   std::string metrics_out;
+  /// --health-out FILE: write the round-health document — per-round
+  /// metric-delta time-series, per-round/per-restart critical-path blame
+  /// reports, and the SLO engine's alert summary — as JSON at teardown.
+  /// Arms the tracer (the critical path walks its spans).
+  std::string health_out;
+  /// --slo "name: expr; ...": declarative health rules evaluated at every
+  /// round boundary (see obs/slo.h for the grammar). Empty with
+  /// --health-out set installs the default rule set (parked requests
+  /// drain to zero by round end; degraded chunks drain within two
+  /// rounds). Also arms the health engine without --health-out: alerts
+  /// still land in the trace and the engine state is queryable in tests.
+  std::string slo;
   /// --log-level LEVEL: runtime log threshold (trace|debug|info|warn|
   /// error|off). Empty = keep the DSIM_LOG_LEVEL environment default.
   std::string log_level;
+
+  /// The health engine (time-series + SLO evaluation + critical path)
+  /// runs when either health flag is set.
+  bool health_enabled() const { return !health_out.empty() || !slo.empty(); }
 
   /// One cluster-wide store backs the computation when the checkpoint
   /// directory is explicitly shared (/shared/...) or dedup scope is
@@ -367,6 +384,15 @@ struct DmtcpOptions : StoreConfig {
         log_level != "off") {
       return "--log-level: expected 'trace', 'debug', 'info', 'warn', "
              "'error' or 'off', got '" + log_level + "'";
+    }
+    if (!slo.empty()) {
+      // Reject a malformed rule spec at launch, not at the first round
+      // boundary mid-run.
+      std::vector<obs::SloRule> rules;
+      if (const std::string err = obs::SloEngine::parse(slo, &rules);
+          !err.empty()) {
+        return err;
+      }
     }
     return validate_store(incremental, forked_checkpointing,
                           cluster_wide_store());
@@ -548,6 +574,12 @@ struct DmtcpOptions : StoreConfig {
         if (!err.empty()) return err;
       } else if (a == "--metrics-out") {
         metrics_out = strval("--metrics-out");
+        if (!err.empty()) return err;
+      } else if (a == "--health-out") {
+        health_out = strval("--health-out");
+        if (!err.empty()) return err;
+      } else if (a == "--slo") {
+        slo = strval("--slo");
         if (!err.empty()) return err;
       } else if (a == "--log-level") {
         log_level = strval("--log-level");

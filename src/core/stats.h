@@ -18,7 +18,10 @@
 #include "cluster/failover.h"
 #include "cluster/membership.h"
 #include "core/options.h"
+#include "obs/critpath.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/types.h"
 
@@ -136,6 +139,13 @@ struct CkptRound {
   /// (per-round deltas of the tracer's stage totals).
   std::map<std::string, double> stage_breakdown;
 
+  /// Critical-path blame report for the pause window [requested,
+  /// refilled): the backward sweep over the tracer's spans (obs/critpath)
+  /// partitions the window exactly, so the report's attributed time
+  /// equals the stage_breakdown barrier total — the coordinator asserts
+  /// both identities every round. Empty when tracing is off.
+  obs::CritPathReport critical_path;
+
   double avg_lookup_wait_seconds() const {
     return lookup_wait_hist.count() != 0 ? lookup_wait_hist.mean()
            : store_lookups == 0
@@ -172,6 +182,12 @@ struct RestartRun {
   // be re-run and re-stored, nothing was restarted.
   bool needs_restore = false;
   u64 lost_chunks = 0;  // referenced chunks with every replica gone
+
+  /// Critical-path blame for [script_started, refilled): same sweep as a
+  /// checkpoint round, with restart-phase marks (load up to the B5
+  /// barrier, refill after it) absorbing uninstrumented time. Empty when
+  /// tracing is off.
+  obs::CritPathReport critical_path;
 };
 
 struct DmtcpStats {
@@ -233,6 +249,15 @@ struct DmtcpShared {
   /// every instrumentation site is a null check, so disabled runs are
   /// simulated-time-identical to a build without the subsystem.
   std::shared_ptr<obs::Tracer> tracer;
+  /// Round-health engine (--health-out / --slo): the per-round
+  /// metric-delta time-series the coordinator feeds at every round
+  /// boundary, and the SLO rule engine evaluated over it. Created by
+  /// DmtcpControl when either flag is set; null otherwise. Per
+  /// computation — an attached tenant evaluating its own rules keeps its
+  /// own series (registry deltas are taken against the computation's own
+  /// previous snapshot, so sharing the host's service is safe).
+  std::shared_ptr<obs::RoundSeries> health_series;
+  std::shared_ptr<obs::SloEngine> slo_engine;
   int ckpt_generation = 0;  // bumped per completed checkpoint
   /// Virtual pids in use across the computation (conflict detection, §4.5).
   std::set<Pid> active_vpids;
@@ -244,6 +269,37 @@ struct DmtcpShared {
   /// wrapper until it completes, keeping the barrier membership stable).
   bool ckpt_active = false;
 };
+
+/// The round's barrier phases as critical-path phase marks: adjacent,
+/// disjoint, covering [requested, refilled) exactly. Shared by the
+/// coordinator's per-round attribution and flush_observability's
+/// whole-trace recomputation (and mirrored by trace_report.py, which
+/// rebuilds them from the health JSON's round timestamps).
+inline std::vector<obs::PhaseMark> round_phases(const CkptRound& r) {
+  return {{"barrier.suspend", r.requested, r.suspended},
+          {"barrier.elect", r.suspended, r.elected},
+          {"barrier.drain", r.elected, r.drained},
+          {"barrier.write", r.drained, r.checkpointed},
+          {"barrier.refill", r.checkpointed, r.refilled}};
+}
+
+/// Restart-window phase marks: load (script start to the B5 barrier,
+/// reconstructed from refill_seconds) and refill after it.
+inline std::vector<obs::PhaseMark> restart_phases(const RestartRun& rr) {
+  SimTime b5 = rr.refilled - from_seconds(rr.refill_seconds);
+  if (b5 < rr.script_started) b5 = rr.script_started;
+  if (b5 > rr.refilled) b5 = rr.refilled;
+  return {{"restart.load", rr.script_started, b5},
+          {"restart.refill", b5, rr.refilled}};
+}
+
+/// Snapshot the computation's observable state into one registry:
+/// service/tenant/RPC counters and histograms plus the tracer's stage
+/// histograms — the same document --metrics-out exports at teardown. The
+/// coordinator calls it at every round boundary and diffs consecutive
+/// snapshots (MetricsRegistry::delta_since) into the health time-series.
+/// Defined in launch.cc.
+obs::MetricsRegistry collect_metrics(const DmtcpShared& shared);
 
 /// Resolves which computation's shared state a dmtcp_* process belongs to.
 /// With several computations multiplexed on one kernel (multi-tenant serving

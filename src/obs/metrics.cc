@@ -97,6 +97,22 @@ std::string Histogram::json() const {
   return out;
 }
 
+MetricsRegistry MetricsRegistry::delta_since(
+    const MetricsRegistry& prev) const {
+  MetricsRegistry d;
+  for (const auto& [name, v] : counters_) {
+    const auto it = prev.counters_.find(name);
+    d.counters_[name] = v - (it == prev.counters_.end() ? 0 : it->second);
+  }
+  for (const auto& [name, v] : gauges_) d.gauges_[name] = v;
+  for (const auto& [name, h] : histograms_) {
+    const auto it = prev.histograms_.find(name);
+    d.histograms_[name] =
+        it == prev.histograms_.end() ? h : h.delta_since(it->second);
+  }
+  return d;
+}
+
 std::string MetricsRegistry::json() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;

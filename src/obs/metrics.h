@@ -101,6 +101,20 @@ class MetricsRegistry {
     histograms_[name] = h;
   }
 
+  const std::map<std::string, u64>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Registry-wide delta against an earlier snapshot of the same stream:
+  /// counters subtract (a name absent from `prev` counts as 0), gauges
+  /// keep their current value (a gauge is a level, not a rate — the
+  /// per-round "delta" of a level is the level), histograms take
+  /// `Histogram::delta_since`. This is what the coordinator snapshots at
+  /// every round boundary to build the per-round health time-series.
+  MetricsRegistry delta_since(const MetricsRegistry& prev) const;
+
   /// {"counters":{...},"gauges":{...},"histograms":{...}} with keys
   /// sorted; byte-stable across identical runs.
   std::string json() const;

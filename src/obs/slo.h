@@ -1,0 +1,110 @@
+// Declarative SLO rules over the per-round health time-series, with a
+// deterministic fire/clear alert state machine.
+//
+// Rules are parsed from one `--slo` spec string, `;`-separated, each
+// `name: expression`. Four expression forms:
+//
+//   pause:  pause_seconds <= 0.5            threshold on the latest round
+//   tail:   p99(pause_seconds, 8) <= 0.6    exact quantile over a window
+//   heal:   drain(degraded_chunks, 2)       metric must return to zero
+//                                           within N rounds of going
+//                                           nonzero (heal-backlog drain)
+//   burn:   burn(pause_seconds > 0.4, 8) <= 0.25
+//                                           budget burn rate: fraction of
+//                                           the window's rounds violating
+//
+// The engine evaluates every rule once per round boundary, on the series'
+// latest sample. A rule whose healthy condition fails *fires* an alert; a
+// firing rule whose condition holds again *clears* it. Both transitions
+// append an `AlertEvent` stamped with the round index and virtual
+// SimTime — no host clocks, no wall time — so the same seed produces the
+// same alert stream byte-for-byte, which is what lets CI gate "a healthy
+// sweep fires zero alerts" and "a kill fires exactly this set and clears
+// within the window" as hard assertions rather than flaky heuristics.
+//
+// The coordinator mirrors each transition into the trace as a
+// zero-duration span (`alert.fired` / `alert.cleared` on an
+// `alert.<rule>` lane of the service process), and
+// `DmtcpControl::flush_observability` serializes the engine's summary
+// into the `--health-out` JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+#include "util/types.h"
+
+namespace dsim::obs {
+
+struct SloRule {
+  enum class Kind { kThreshold, kQuantile, kDrain, kBurn };
+
+  std::string name;
+  Kind kind = Kind::kThreshold;
+  std::string metric;
+  /// Comparison that must hold for the rule to be healthy (threshold,
+  /// quantile and burn kinds): one of <=, <, >=, >, ==, !=.
+  std::string op;
+  double bound = 0;
+  double q = 0;              // quantile, e.g. 0.99 (kQuantile)
+  size_t window = 1;         // rounds in the sliding window
+  size_t drain_rounds = 0;   // kDrain: allowed consecutive nonzero rounds
+  std::string inner_op;      // kBurn: comparison inside burn(...)
+  double inner_bound = 0;
+  std::string text;          // original rule text, echoed in reports
+};
+
+/// One fire or clear transition. `value` is the measured quantity at the
+/// transition (metric value, quantile, consecutive-nonzero count, or burn
+/// fraction, by rule kind).
+struct AlertEvent {
+  std::string rule;
+  i64 round = 0;
+  SimTime at = 0;
+  bool fired = false;  // true = fired, false = cleared
+  double value = 0;
+  std::string message;
+};
+
+class SloEngine {
+ public:
+  /// Parse a `;`-separated rule spec. Returns "" and appends to `out` on
+  /// success, else a human-readable error naming the offending rule.
+  static std::string parse(const std::string& spec,
+                           std::vector<SloRule>* out);
+
+  /// Parse `spec` and install the rules; returns "" or the parse error.
+  std::string add_rules(const std::string& spec);
+  void add_rule(SloRule rule);
+  size_t rule_count() const { return states_.size(); }
+
+  /// Evaluate every rule against the series' latest sample; returns the
+  /// transitions (fired/cleared) this round, already appended to
+  /// `events()`. No-op on an empty series.
+  std::vector<AlertEvent> evaluate(const RoundSeries& series);
+
+  const std::vector<AlertEvent>& events() const { return events_; }
+  /// Names of the rules currently firing, in rule order.
+  std::vector<std::string> active() const;
+  /// Total fire transitions ever (clears not counted).
+  u64 alerts_fired() const { return fired_; }
+
+  /// Stable JSON: {"rules":[{"name":...,"rule":...},...],
+  /// "active":[...],"alerts_fired":N,
+  /// "events":[{"rule":...,"round":R,"t_us":...,"type":"fired"|"cleared",
+  /// "value":...,"message":...},...]}.
+  std::string json() const;
+
+ private:
+  struct RuleState {
+    SloRule rule;
+    bool active = false;
+  };
+
+  std::vector<RuleState> states_;
+  std::vector<AlertEvent> events_;
+  u64 fired_ = 0;
+};
+
+}  // namespace dsim::obs

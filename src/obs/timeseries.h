@@ -1,0 +1,72 @@
+// Per-round health time-series: a bounded ring of metric deltas, one
+// sample per checkpoint-round boundary.
+//
+// The coordinator snapshots the metrics registry at every round's close
+// (`MetricsRegistry::delta_since` against the previous close), flattens
+// the delta into named scalars — pause seconds, heal backlog, degraded
+// chunks, admission holds, replay depth, plus every registry counter's
+// per-round delta — and pushes one `Sample` here. The SLO engine reads
+// the ring to evaluate its rules; `--health-out` serializes it.
+//
+// Bounded by construction: past `capacity` rounds the oldest samples
+// fall off (counted in `dropped()`), so a week-long soak cannot grow the
+// series without bound. Samples are keyed maps and timestamps are
+// virtual SimTime, so the JSON is byte-identical across same-seed runs.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "util/types.h"
+
+namespace dsim::obs {
+
+class RoundSeries {
+ public:
+  explicit RoundSeries(size_t capacity = 512) : capacity_(capacity) {}
+
+  struct Sample {
+    i64 round = 0;    // checkpoint round index (restarts use -1)
+    SimTime at = 0;   // the round's refill barrier (virtual time)
+    std::map<std::string, double> values;
+  };
+
+  void push(Sample s);
+
+  const std::deque<Sample>& samples() const { return samples_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  size_t dropped() const { return dropped_; }
+  const Sample& back() const { return samples_.back(); }
+
+  /// `metric` in the sample `back_idx` rounds before the latest (0 = the
+  /// latest); 0.0 when out of range or the sample lacks the metric.
+  double value(const std::string& metric, size_t back_idx = 0) const;
+
+  /// Exact quantile of `metric` over the last `window` samples (all of
+  /// them when window >= size): rank ceil(q*n), 1-based, over the sorted
+  /// window — deterministic, no bucketing. 0.0 on an empty series.
+  double window_quantile(const std::string& metric, double q,
+                         size_t window) const;
+
+  /// Fraction of the last `window` samples where `metric` > `threshold`
+  /// (the burn rate of a budget); 0.0 on an empty series.
+  double window_burn(const std::string& metric, double threshold,
+                     size_t window) const;
+
+  /// How many consecutive samples, counting back from the latest, had
+  /// `metric` != 0. 0 when the latest sample is zero or missing.
+  size_t consecutive_nonzero(const std::string& metric) const;
+
+  /// Stable JSON: {"dropped":N,"rounds":[{"round":R,"t_us":...,
+  /// "values":{...}},...]} with sorted value keys; doubles as %.9g.
+  std::string json() const;
+
+ private:
+  size_t capacity_;
+  size_t dropped_ = 0;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace dsim::obs

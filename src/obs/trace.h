@@ -99,6 +99,11 @@ class Tracer {
   u64 open_spans() const { return open_.size(); }
   u64 tiling_violations() const { return tiling_violations_; }
   const std::vector<SpanRecord>& spans() const { return spans_; }
+  /// Registered (pid, lane-name) pairs; a SpanRecord's tid-1 indexes this
+  /// (the critical-path blame report resolves lanes through it).
+  const std::vector<std::pair<i32, std::string>>& lane_names() const {
+    return lane_names_;
+  }
   const std::map<std::string, StageStat>& stages() const { return stages_; }
   /// Per-stage duration histograms (seconds), for the metrics registry.
   const std::map<std::string, Histogram>& stage_histograms() const {

@@ -91,6 +91,49 @@ TEST(HistogramTest, DeltaSinceAndWindowMax) {
   EXPECT_EQ(h.max(), 0.040);  // lifetime max is never reset
 }
 
+TEST(HistogramTest, DeltaSinceEmptyWindowIsAllZero) {
+  Histogram h;
+  h.record(0.010);
+  h.record(0.250);
+  // No samples between the snapshots: the delta is the empty histogram.
+  const Histogram delta = h.delta_since(h);
+  EXPECT_EQ(delta.count(), 0u);
+  EXPECT_EQ(delta.sum(), 0.0);
+  EXPECT_EQ(delta.max(), 0.0);
+  EXPECT_EQ(delta.quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, DeltaSinceSingleSampleWindow) {
+  Histogram h;
+  h.record(0.010);
+  const Histogram before = h;
+  h.record(0.125);
+  const Histogram delta = h.delta_since(before);
+  EXPECT_EQ(delta.count(), 1u);
+  EXPECT_EQ(delta.sum(), 0.125);
+  // Every rank of a one-sample window is that sample (bucketed for the
+  // interior representative, exact at the top).
+  EXPECT_NEAR(delta.quantile(0.5), 0.125, 0.125 * 0.005);
+  EXPECT_NEAR(delta.quantile(0.99), 0.125, 0.125 * 0.005);
+}
+
+TEST(HistogramTest, DeltaSinceSpansAWindowMaxReset) {
+  // take_window_max() resets only the watermark; the bucket state the
+  // delta is computed from is untouched, so a window that straddles the
+  // reset still subtracts exactly.
+  Histogram h;
+  h.record(0.020);
+  const Histogram before = h;
+  EXPECT_EQ(h.take_window_max(), 0.020);  // the reset inside the window
+  h.record(0.040);
+  h.record(0.005);
+  const Histogram delta = h.delta_since(before);
+  EXPECT_EQ(delta.count(), 2u);
+  EXPECT_EQ(delta.sum(), h.sum() - before.sum());
+  // Only the post-reset samples feed the new watermark.
+  EXPECT_EQ(h.take_window_max(), 0.040);
+}
+
 TEST(MetricsRegistryTest, JsonIsSortedAndStable) {
   MetricsRegistry a, b;
   // Registration order differs; the emitted bytes must not.
@@ -266,6 +309,32 @@ TEST(ObsWorld, TraceIsByteIdenticalAcrossIdenticalRuns) {
   EXPECT_GT(a.trace_json.size(), 1000u);
   EXPECT_EQ(a.trace_json, b.trace_json);
   EXPECT_EQ(a.end_time, b.end_time);
+}
+
+TEST(ObsWorld, MetricsJsonIsByteIdenticalAcrossIdenticalJitteredRuns) {
+  // The jittered network (World arms Network::set_jitter) perturbs every
+  // queue wait, but the jitter stream is seeded: two identical runs must
+  // serialize the full registry — counters, gauges, histograms — to the
+  // same bytes.
+  const auto run = [](u64 seed) {
+    World w(4, obs_opts(), seed);
+    auto tracer = std::make_shared<Tracer>();
+    w.k().loop().set_tracer(tracer.get());
+    w.ctl.shared().tracer = tracer;
+    const Pid pa = w.ctl.launch(0, kComputeLoop, {"1000000", "200", "a"});
+    const Pid pb = w.ctl.launch(1, kComputeLoop, {"1000000", "200", "b"});
+    w.ctl.run_for(20 * timeconst::kMillisecond);
+    add_ballast(w, pa, 1024 * 1024, 0xAA);
+    add_ballast(w, pb, 1024 * 1024, 0xBB);
+    w.ctl.checkpoint_now();
+    w.ctl.shared().membership->stop();
+    w.ctl.run_for(200 * timeconst::kMillisecond);
+    return core::collect_metrics(w.ctl.shared()).json();
+  };
+  const std::string a = run(0x3E7A);
+  const std::string b = run(0x3E7A);
+  EXPECT_GT(a.size(), 200u);
+  EXPECT_EQ(a, b);
 }
 
 TEST(ObsWorld, SpansBalanceAndTileAfterMidRoundKillAndRevive) {

@@ -575,6 +575,80 @@ def check_obs(path, data):
     return rc
 
 
+def check_health(path, data):
+    rc = 0
+    for key in (
+        "config",
+        "healthy.alerts_fired",
+        "healthy.active_alerts",
+        "healthy.series_rounds",
+        "healthy.critpath_rounds_checked",
+        "healthy.critpath_sum_matches",
+        "overhead.health_off_sim_seconds",
+        "overhead.health_on_sim_seconds",
+        "overhead.trace_overhead_ratio",
+        "kill.alerts",
+        "kill.clear_rounds",
+        "kill.cleared",
+        "kill.alert_set_ok",
+        "kill.lost_chunks",
+        "kill.restart_ok",
+        "summary.healthy_alerts",
+        "summary.kill_alert_set_ok",
+        "summary.clear_rounds",
+        "summary.trace_overhead_ratio",
+        "summary.critpath_top_fraction",
+        "summary.critpath_sum_matches",
+    ):
+        try:
+            require(data, path, key)
+        except (KeyError, TypeError):
+            rc |= fail(path, f"missing key '{key}'")
+    if rc:
+        return rc
+    s = data["summary"]
+    # Determinism is the contract: a healthy sweep fires exactly zero
+    # alerts — not "few", zero.
+    if s["healthy_alerts"] != 0:
+        rc |= fail(path, f"healthy_alerts={s['healthy_alerts']}: a clean "
+                         "sweep must fire no alert")
+    if data["healthy"]["active_alerts"] != 0:
+        rc |= fail(path, "alerts still active after the healthy sweep")
+    if data["healthy"]["series_rounds"] <= 0:
+        rc |= fail(path, "the health series recorded no round samples")
+    # The kill fires exactly {heal_backlog}: the drain rule sees the
+    # degraded chunks at the round's close, and nothing else trips.
+    if s["kill_alert_set_ok"] is not True:
+        rc |= fail(path, f"kill fired {data['kill']['alerts']} "
+                         "(must be exactly ['heal_backlog'])")
+    # ...and clears once re-replication drains the backlog, within the
+    # gated window.
+    if data["kill"]["cleared"] is not True:
+        rc |= fail(path, "the heal-backlog alert never cleared")
+    if s["clear_rounds"] > 2:
+        rc |= fail(path, f"clear_rounds={s['clear_rounds']}: the alert "
+                         "took more than 2 extra rounds to clear")
+    # Sampling the registry and evaluating rules charges no simulated
+    # time: both runs reach the measurement point at the same instant.
+    ratio = s["trace_overhead_ratio"]
+    if not 0.98 <= ratio <= 1.02:
+        rc |= fail(path, f"trace_overhead_ratio={ratio}: the health layer "
+                         "perturbed the simulation (must be 1.0)")
+    # Every round's blame report must partition its window exactly.
+    if s["critpath_sum_matches"] is not True:
+        rc |= fail(path, "a critical-path report did not sum to its "
+                         "round's stage_breakdown total")
+    frac = s["critpath_top_fraction"]
+    if not 0.0 < frac <= 1.0:
+        rc |= fail(path, f"critpath_top_fraction={frac} not in (0, 1]")
+    if data["kill"]["lost_chunks"] != 0:
+        rc |= fail(path, f"lost_chunks={data['kill']['lost_chunks']} after "
+                         "the kill (must be 0 at R=2)")
+    if data["kill"]["restart_ok"] is not True:
+        rc |= fail(path, "restart after the kill did not succeed")
+    return rc
+
+
 CHECKERS = {
     "BENCH_incremental.json": check_incremental,
     "BENCH_cdc.json": check_cdc,
@@ -584,6 +658,7 @@ CHECKERS = {
     "BENCH_erasure.json": check_erasure,
     "BENCH_tenants.json": check_tenants,
     "BENCH_obs.json": check_obs,
+    "BENCH_health.json": check_health,
 }
 
 # Baseline-gated metrics per file: name -> (extractor, good direction).
@@ -659,6 +734,19 @@ BASELINE_METRICS = {
             lambda d: d["summary"]["p99_rel_err"], "lower"),
         "spans_total": (
             lambda d: d["summary"]["spans_total"], "higher"),
+    },
+    "BENCH_health.json": {
+        "health_overhead_ratio": (
+            lambda d: d["summary"]["trace_overhead_ratio"], "lower"),
+        "clear_rounds": (
+            lambda d: d["summary"]["clear_rounds"], "lower"),
+        # The same fraction gated in both directions brackets the top
+        # blame share in a +-10% band: the attribution is stable, not
+        # merely bounded.
+        "critpath_top_fraction": (
+            lambda d: d["summary"]["critpath_top_fraction"], "higher"),
+        "critpath_top_fraction_ceiling": (
+            lambda d: d["summary"]["critpath_top_fraction"], "lower"),
     },
 }
 

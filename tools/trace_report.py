@@ -18,10 +18,21 @@ emits. Two jobs in one pass:
    the top contributors by total wait are printed — the "where did the
    pause go" table, derived from the trace alone.
 
-Usage: trace_report.py TRACE.json [--top N]
+3. Critical-path cross-check (--critical-path HEALTH.json). Re-runs the
+   C++ backward sweep (src/obs/critpath.cc) over the Chrome trace alone —
+   latest-started active span wins each instant, uncovered gaps split
+   across the health document's phase marks, everything in integer
+   nanoseconds recovered from the microsecond timestamps — and compares
+   the per-stage attribution against every round's and restart's report
+   embedded in the --health-out document. The sweep partitions each
+   window exactly, so the two must agree to well under 1% per stage; any
+   stage diverging more than 1% of its window fails the run.
+
+Usage: trace_report.py TRACE.json [--top N] [--critical-path HEALTH.json]
 Exits nonzero after printing every schema violation.
 """
 
+import bisect
 import json
 import sys
 
@@ -110,12 +121,124 @@ def report(spans, top):
               f"{total_us / count:>9.3f} {total_us / grand_us:>6.1%}")
 
 
+def ns(us):
+    """Microseconds (printed at %.3f — thousandths are exact ns) back to
+    integer nanoseconds."""
+    return round(us * 1000)
+
+
+def sweep(spans, lanes, begin, end, phases):
+    """The critpath.cc backward sweep, verbatim in integer ns: returns
+    {(stage, pid, lane, tenant): ns} partitioning [begin, end)."""
+    live = []
+    for ev in spans:
+        b = ns(ev["ts"])
+        e = b + ns(ev["dur"])
+        if e > b and e > begin and b < end:
+            live.append((b, ev["args"]["span"], e, ev))
+    live.sort(key=lambda s: (s[0], s[1]))
+    begins = [s[0] for s in live]
+    ends = sorted(s[2] for s in live)
+
+    agg = {}
+
+    def charge(key, dt):
+        agg[key] = agg.get(key, 0) + dt
+
+    def attribute_gap(lo, hi):
+        t = lo
+        for name, pb, pe in phases:
+            if t >= hi:
+                break
+            pb, pe = max(t, pb), min(hi, pe)
+            if pe <= pb:
+                continue
+            if pb > t:
+                charge(("idle", -1, "", 0), pb - t)
+            charge((name, -1, "", 0), pe - pb)
+            t = pe
+        if t < hi:
+            charge(("idle", -1, "", 0), hi - t)
+
+    t = end
+    while t > begin:
+        pick = None
+        for i in range(bisect.bisect_left(begins, t) - 1, -1, -1):
+            if live[i][2] >= t:
+                pick = live[i]
+                break
+        if pick is not None:
+            b, _, _, ev = pick
+            lo = max(b, begin)
+            key = (ev["name"], ev["pid"],
+                   lanes.get((ev["pid"], ev["tid"]), ""),
+                   ev["args"]["tenant"])
+            charge(key, t - lo)
+            t = lo
+        else:
+            i = bisect.bisect_left(ends, t)
+            lo = begin if i == 0 else max(begin, ends[i - 1])
+            attribute_gap(lo, t)
+            t = lo
+    return agg
+
+
+def cross_check(trace_path, health_path, spans, lanes):
+    """Recompute every round's and restart's critical path from the trace
+    and diff it against the reports in the --health-out document."""
+    try:
+        with open(health_path) as f:
+            health = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(health_path, str(e))
+    cp = health.get("critical_path")
+    if not isinstance(cp, dict):
+        return fail(health_path, "missing 'critical_path' object")
+    windows = [(f"round {w['round']}", w) for w in cp.get("rounds", [])]
+    windows += [(f"restart {w['restart']}", w) for w in cp.get("restarts", [])]
+    if not windows:
+        return fail(health_path, "no critical-path windows to cross-check")
+    rc = 0
+    for label, w in windows:
+        rep = w["report"]
+        begin, end = ns(rep["begin_us"]), ns(rep["end_us"])
+        phases = [(p["name"], ns(p["begin_us"]), ns(p["end_us"]))
+                  for p in w["phases"]]
+        mine = sweep(spans, lanes, begin, end, phases)
+        total = end - begin
+        if sum(mine.values()) != total:
+            rc |= fail(trace_path,
+                       f"{label}: python sweep attributed "
+                       f"{sum(mine.values())} ns of a {total} ns window")
+            continue
+        theirs = {(e["stage"], e["pid"], e["lane"], e["tenant"]): e["ns"]
+                  for e in rep["entries"]}
+        worst = 0.0
+        for key in set(mine) | set(theirs):
+            delta = abs(mine.get(key, 0) - theirs.get(key, 0))
+            worst = max(worst, delta / total)
+            if delta > 0.01 * total:
+                rc |= fail(
+                    trace_path,
+                    f"{label}: stage {key} diverges {delta} ns "
+                    f"({delta / total:.2%} of the window) between the "
+                    "trace-derived sweep and the health report")
+        if not rc:
+            print(f"OK   {label}: {len(theirs)} stages agree "
+                  f"(worst divergence {worst:.4%} of {total} ns)")
+    return rc
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     top = 5
+    health_path = None
     for i, a in enumerate(argv):
         if a == "--top" and i + 1 < len(argv):
             top = int(argv[i + 1])
+            args = [x for x in args if x != argv[i + 1]]
+        if a == "--critical-path" and i + 1 < len(argv):
+            health_path = argv[i + 1]
             args = [x for x in args if x != argv[i + 1]]
     if len(args) != 1:
         print(__doc__, file=sys.stderr)
@@ -132,7 +255,13 @@ def main(argv):
     print(f"OK   {path}: {len(spans)} spans, schema valid; top {top} "
           "queue-wait contributors:")
     report(spans, top)
-    return 0
+    if health_path is not None:
+        lanes = {}
+        for ev in data["traceEvents"]:
+            if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+                lanes[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+        rc |= cross_check(path, health_path, spans, lanes)
+    return rc
 
 
 if __name__ == "__main__":
